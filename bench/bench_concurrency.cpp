@@ -1,0 +1,155 @@
+// E2 — the word-processing LAN-party: editing throughput as the number of
+// concurrent editors grows, on one shared document (edits serialize on the
+// document lock) versus distinct documents (edits scale out).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "core/tendax.h"
+
+namespace tendax {
+namespace {
+
+struct ConcurrencyEnv {
+  std::unique_ptr<TendaxServer> server;
+  std::vector<UserId> users;
+  DocumentId shared_doc;
+  std::vector<DocumentId> private_docs;
+  std::atomic<uint64_t> conflicts{0};
+
+  static ConcurrencyEnv* Get() {
+    static ConcurrencyEnv* env = [] {
+      auto* e = new ConcurrencyEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 16384;
+      e->server = *TendaxServer::Open(std::move(options));
+      for (int i = 0; i < 16; ++i) {
+        e->users.push_back(
+            *e->server->accounts()->CreateUser("editor" + std::to_string(i)));
+      }
+      e->shared_doc =
+          *e->server->text()->CreateDocument(e->users[0], "shared");
+      (void)e->server->text()->InsertText(e->users[0], e->shared_doc, 0,
+                                          "seed");
+      for (int i = 0; i < 16; ++i) {
+        auto doc = e->server->text()->CreateDocument(
+            e->users[i], "private" + std::to_string(i));
+        (void)e->server->text()->InsertText(e->users[i], *doc, 0, "seed");
+        e->private_docs.push_back(*doc);
+      }
+      return e;
+    }();
+    return env;
+  }
+};
+
+// All editors type into ONE document: keystroke transactions serialize on
+// the document's exclusive lock (the DB-centric alternative to OT).
+void BM_SharedDocTyping(benchmark::State& state) {
+  ConcurrencyEnv* env = ConcurrencyEnv::Get();
+  UserId user = env->users[state.thread_index() % env->users.size()];
+  for (auto _ : state) {
+    auto r = env->server->text()->InsertText(user, env->shared_doc, 0, "a");
+    if (!r.ok()) {
+      if (r.status().IsRetryable()) {
+        env->conflicts.fetch_add(1);
+      } else {
+        state.SkipWithError(r.status().ToString().c_str());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["retryable_conflicts"] =
+        static_cast<double>(env->conflicts.exchange(0));
+  }
+}
+BENCHMARK(BM_SharedDocTyping)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Each editor types into their OWN document: transactions only share the
+// storage engine (pages, WAL, buffer pool) and scale out.
+void BM_PrivateDocTyping(benchmark::State& state) {
+  ConcurrencyEnv* env = ConcurrencyEnv::Get();
+  int idx = state.thread_index() % env->private_docs.size();
+  UserId user = env->users[idx];
+  DocumentId doc = env->private_docs[idx];
+  for (auto _ : state) {
+    auto r = env->server->text()->InsertText(user, doc, 0, "b");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrivateDocTyping)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Readers concurrent with one writer on the same document: reads go to the
+// order cache and never block on the writer's lock.
+void BM_ReadersWithWriter(benchmark::State& state) {
+  ConcurrencyEnv* env = ConcurrencyEnv::Get();
+  if (state.thread_index() == 0) {
+    // One writer thread.
+    for (auto _ : state) {
+      auto r = env->server->text()->InsertText(env->users[0],
+                                               env->shared_doc, 0, "w");
+      if (!r.ok() && !r.status().IsRetryable()) {
+        state.SkipWithError(r.status().ToString().c_str());
+      }
+    }
+  } else {
+    for (auto _ : state) {
+      auto text = env->server->text()->Text(env->shared_doc);
+      if (!text.ok()) state.SkipWithError(text.status().ToString().c_str());
+      benchmark::DoNotOptimize(text->size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadersWithWriter)->Threads(2)->Threads(4)->UseRealTime();
+
+// Cross-document copy/paste under concurrency: pastes take locks on two
+// documents and may deadlock; the victim retries (measured as conflicts).
+void BM_CrossDocPaste(benchmark::State& state) {
+  ConcurrencyEnv* env = ConcurrencyEnv::Get();
+  int idx = state.thread_index() % env->private_docs.size();
+  UserId user = env->users[idx];
+  DocumentId source =
+      env->private_docs[(idx + 1) % env->private_docs.size()];
+  DocumentId target = env->private_docs[idx];
+  for (auto _ : state) {
+    auto clip = env->server->text()->Copy(user, source, 0, 4);
+    if (!clip.ok()) {
+      if (clip.status().IsRetryable()) continue;
+      state.SkipWithError(clip.status().ToString().c_str());
+      break;
+    }
+    auto r = env->server->text()->Paste(user, target, 0, *clip);
+    if (!r.ok() && !r.status().IsRetryable()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    auto stats = env->server->db()->locks()->stats();
+    state.counters["deadlocks_detected"] =
+        static_cast<double>(stats.deadlocks);
+    state.counters["lock_waits"] = static_cast<double>(stats.waits);
+  }
+}
+BENCHMARK(BM_CrossDocPaste)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+}  // namespace tendax
+
+BENCHMARK_MAIN();

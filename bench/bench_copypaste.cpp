@@ -1,0 +1,131 @@
+// E4 — copy & paste with per-character provenance: paste cost vs clip
+// size, provenance-chain behaviour across generations (constant, thanks to
+// origin-collapsing), and lineage extraction cost vs fan-out.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tendax.h"
+
+namespace tendax {
+namespace {
+
+struct PasteEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId user;
+
+  static PasteEnv* Get() {
+    static PasteEnv* env = [] {
+      auto* e = new PasteEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 16384;
+      e->server = *TendaxServer::Open(std::move(options));
+      e->user = *e->server->accounts()->CreateUser("paster");
+      return e;
+    }();
+    return env;
+  }
+
+  DocumentId Doc(const std::string& name, const std::string& content) {
+    auto doc = server->text()->CreateDocument(user, name);
+    if (!content.empty()) {
+      (void)server->text()->InsertText(user, *doc, 0, content);
+    }
+    return *doc;
+  }
+};
+
+// Paste of `n` characters into a target (one transaction, n+3 record ops).
+void BM_PasteClip(benchmark::State& state) {
+  PasteEnv* env = PasteEnv::Get();
+  size_t n = static_cast<size_t>(state.range(0));
+  DocumentId source = env->Doc("src" + std::to_string(n),
+                               std::string(n, 's'));
+  DocumentId target = env->Doc("dst" + std::to_string(n), "");
+  auto clip = env->server->text()->Copy(env->user, source, 0, n);
+  for (auto _ : state) {
+    auto r = env->server->text()->Paste(env->user, target, 0, *clip);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PasteClip)->Arg(16)->Arg(256)->Arg(4096);
+
+// Copy cost (reads + provenance collapse), no mutation.
+void BM_CopyRange(benchmark::State& state) {
+  PasteEnv* env = PasteEnv::Get();
+  size_t n = static_cast<size_t>(state.range(0));
+  DocumentId source = env->Doc("copysrc" + std::to_string(n),
+                               std::string(n, 'c'));
+  for (auto _ : state) {
+    auto clip = env->server->text()->Copy(env->user, source, 0, n);
+    if (!clip.ok()) state.SkipWithError(clip.status().ToString().c_str());
+    benchmark::DoNotOptimize(clip->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CopyRange)->Arg(16)->Arg(256)->Arg(4096);
+
+// Chain generations: doc0 -> doc1 -> ... -> docD. Because provenance
+// collapses to the origin at copy time, per-generation paste cost and the
+// lineage query at depth D stay flat — the paper's design makes provenance
+// chase O(1) per character, not O(depth).
+void BM_PasteAtChainDepth(benchmark::State& state) {
+  PasteEnv* env = PasteEnv::Get();
+  int depth = static_cast<int>(state.range(0));
+  static int run = 0;
+  ++run;
+  DocumentId current = env->Doc("chain0-" + std::to_string(run) + "-" +
+                                    std::to_string(depth),
+                                std::string(64, 'o'));
+  for (int d = 1; d <= depth; ++d) {
+    DocumentId next = env->Doc("chain" + std::to_string(d) + "-" +
+                                   std::to_string(run) + "-" +
+                                   std::to_string(depth),
+                               "");
+    auto clip = env->server->text()->Copy(env->user, current, 0, 64);
+    (void)env->server->text()->Paste(env->user, next, 0, *clip);
+    current = next;
+  }
+  DocumentId sink = env->Doc("chain-sink-" + std::to_string(run) + "-" +
+                                 std::to_string(depth),
+                             "");
+  auto clip = env->server->text()->Copy(env->user, current, 0, 64);
+  for (auto _ : state) {
+    auto r = env->server->text()->Paste(env->user, sink, 0, *clip);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PasteAtChainDepth)->Arg(1)->Arg(16)->Arg(64);
+
+// Lineage segment extraction for a document stitched from `fanout` sources.
+void BM_LineageForDocument(benchmark::State& state) {
+  PasteEnv* env = PasteEnv::Get();
+  int fanout = static_cast<int>(state.range(0));
+  static int run = 0;
+  ++run;
+  DocumentId target = env->Doc("stitched" + std::to_string(run), "");
+  size_t pos = 0;
+  for (int f = 0; f < fanout; ++f) {
+    DocumentId source = env->Doc(
+        "part" + std::to_string(run) + "-" + std::to_string(f),
+        std::string(32, static_cast<char>('a' + f % 26)));
+    auto clip = env->server->text()->Copy(env->user, source, 0, 32);
+    (void)env->server->text()->Paste(env->user, target, pos, *clip);
+    pos += 32;
+  }
+  for (auto _ : state) {
+    auto segments = env->server->lineage()->ForDocument(target);
+    if (!segments.ok()) {
+      state.SkipWithError(segments.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(segments->size());
+  }
+  state.counters["segments"] = static_cast<double>(fanout);
+}
+BENCHMARK(BM_LineageForDocument)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace tendax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+// E6 — dynamic folders change "within seconds": end-to-end latency from an
+// activity (read/edit) to updated folder membership, and the DESIGN.md
+// ablation of incremental (per-document) vs full re-evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/tendax.h"
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+
+
+struct FolderEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId writer, reader;
+  std::vector<DocumentId> docs;
+  std::vector<FolderId> dynamic_folders;
+
+  /// One environment per benchmark family, so corpus-size sweeps measure
+  /// exactly the corpus their argument names (the corpus only grows).
+  static FolderEnv* Get(const std::string& family) {
+    static auto* envs = new std::map<std::string, FolderEnv*>();
+    auto it = envs->find(family);
+    if (it == envs->end()) {
+      auto* e = new FolderEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 32768;
+      e->server = *TendaxServer::Open(std::move(options));
+      e->writer = *e->server->accounts()->CreateUser("writer");
+      e->reader = *e->server->accounts()->CreateUser("reader");
+      it = envs->emplace(family, e).first;
+    }
+    return it->second;
+  }
+
+  void EnsureCorpus(int n) {
+    CorpusGenerator corpus(3);
+    for (int i = static_cast<int>(docs.size()); i < n; ++i) {
+      auto doc = server->text()->CreateDocument(
+          writer, corpus.Title() + "-" + std::to_string(i));
+      (void)server->text()->InsertText(writer, *doc, 0, corpus.Document(20));
+      docs.push_back(*doc);
+    }
+  }
+
+  void EnsureFolders(int n) {
+    constexpr Timestamp kWeek = 7ULL * 24 * 3600 * 1'000'000;
+    while (static_cast<int>(dynamic_folders.size()) < n) {
+      size_t i = dynamic_folders.size();
+      std::unique_ptr<FolderQuery> query;
+      switch (i % 4) {
+        case 0:
+          query = FolderQuery::ReadBy(reader, kWeek);
+          break;
+        case 1:
+          query = FolderQuery::EditedBy(writer, kWeek);
+          break;
+        case 2:
+          query = FolderQuery::SizeAtLeast(50 + i);
+          break;
+        default:
+          query = FolderQuery::NameContains(std::to_string(i % 10));
+          break;
+      }
+      dynamic_folders.push_back(*server->folders()->CreateDynamicFolder(
+          "dyn" + std::to_string(i), std::move(query)));
+    }
+  }
+};
+
+// End-to-end: a read event lands, every dynamic folder's membership for
+// the touched document is refreshed before the call returns. This is the
+// paper's "contents may change within seconds" path — here it is micro-
+// seconds because maintenance is incremental.
+void BM_ReadEventToFolderUpdate(benchmark::State& state) {
+  FolderEnv* env = FolderEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  env->EnsureFolders(8);
+  Random rng(7);
+  for (auto _ : state) {
+    DocumentId doc = env->docs[rng.Uniform(env->docs.size())];
+    auto st = env->server->meta()->RecordRead(env->reader, doc);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadEventToFolderUpdate)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Ablation arm 1: incremental refresh of one document across all folders.
+void BM_IncrementalRefresh(benchmark::State& state) {
+  FolderEnv* env = FolderEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  env->EnsureFolders(8);
+  Random rng(11);
+  for (auto _ : state) {
+    env->server->folders()->RefreshDocument(
+        env->docs[rng.Uniform(env->docs.size())]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementalRefresh)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Ablation arm 2: full re-evaluation of one folder over the whole corpus
+// (what a naive implementation would do per change).
+void BM_FullRefresh(benchmark::State& state) {
+  FolderEnv* env = FolderEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  env->EnsureFolders(8);
+  for (auto _ : state) {
+    auto st = env->server->folders()->FullRefresh(env->dynamic_folders[0]);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullRefresh)->Arg(100)->Arg(1000)->Arg(5000);
+
+// Cost of registering a new dynamic folder (initial full evaluation).
+void BM_CreateDynamicFolder(benchmark::State& state) {
+  FolderEnv* env = FolderEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  int counter = 0;
+  for (auto _ : state) {
+    auto folder = env->server->folders()->CreateDynamicFolder(
+        "bench-tmp" + std::to_string(counter++),
+        FolderQuery::SizeAtLeast(10));
+    if (!folder.ok()) {
+      state.SkipWithError(folder.status().ToString().c_str());
+    }
+  }
+}
+BENCHMARK(BM_CreateDynamicFolder)->Arg(100)->Arg(1000);
+
+// Reading dynamic folder contents (should be a snapshot copy, not a scan).
+void BM_DynamicContents(benchmark::State& state) {
+  FolderEnv* env = FolderEnv::Get(__func__);
+  env->EnsureCorpus(1000);
+  env->EnsureFolders(8);
+  for (auto _ : state) {
+    auto contents =
+        env->server->folders()->DynamicContents(env->dynamic_folders[2]);
+    if (!contents.ok()) {
+      state.SkipWithError(contents.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(contents->size());
+  }
+}
+BENCHMARK(BM_DynamicContents);
+
+// Static folder placement for comparison.
+void BM_StaticPlacement(benchmark::State& state) {
+  FolderEnv* env = FolderEnv::Get(__func__);
+  env->EnsureCorpus(1000);
+  auto folder = env->server->folders()->CreateFolder(env->writer, FolderId(),
+                                                     "static-bench");
+  Random rng(23);
+  for (auto _ : state) {
+    DocumentId doc = env->docs[rng.Uniform(env->docs.size())];
+    Status st = env->server->folders()->PlaceDocument(env->writer, *folder,
+                                                      doc);
+    if (st.IsAlreadyExists()) {
+      (void)env->server->folders()->RemoveDocument(env->writer, *folder, doc);
+    } else if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+    }
+  }
+}
+BENCHMARK(BM_StaticPlacement);
+
+}  // namespace
+}  // namespace tendax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// E5 / Fig. 1 — the data-lineage view. Regenerates the figure as DOT +
+// ASCII from a multi-document copy scenario (printed below, and written to
+// artifacts/fig1_lineage.dot), then benchmarks provenance-graph
+// construction against corpus size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <map>
+
+#include "core/tendax.h"
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+std::unique_ptr<TendaxServer> MakeServer() {
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 16384;
+  return *TendaxServer::Open(std::move(options));
+}
+
+/// Builds the demo scenario of the paper's Fig. 1: a report assembled from
+/// two internal sources and one external one, plus a downstream quote.
+void EmitFigure1() {
+  auto server = MakeServer();
+  UserId hodel = *server->accounts()->CreateUser("hodel");
+  UserId leone = *server->accounts()->CreateUser("leone");
+
+  auto minutes = server->text()->CreateDocument(hodel, "meeting-minutes");
+  (void)server->text()->InsertText(hodel, *minutes, 0,
+                                   "decision: store text natively");
+  auto spec = server->text()->CreateDocument(hodel, "db-schema-spec");
+  (void)server->text()->InsertText(hodel, *spec, 0,
+                                   "characters become records");
+
+  auto report = server->text()->CreateDocument(leone, "project-report");
+  auto c1 = server->text()->Copy(leone, *minutes, 0, 29);
+  (void)server->text()->Paste(leone, *report, 0, *c1);
+  (void)server->text()->InsertText(leone, *report, 29, " -- therefore ");
+  auto c2 = server->text()->Copy(leone, *spec, 0, 25);
+  (void)server->text()->Paste(leone, *report, 43, *c2);
+  (void)server->text()->InsertText(leone, *report, 68,
+                                   " (cf. the EDBT call)",
+                                   "https://edbt2006.example/cfp");
+
+  auto slides = server->text()->CreateDocument(leone, "demo-slides");
+  auto c3 = server->text()->Copy(leone, *report, 0, 20);
+  (void)server->text()->Paste(leone, *slides, 0, *c3);
+
+  auto graph = *server->lineage()->BuildGraph();
+  std::string dot = server->lineage()->RenderDot(graph);
+  std::string ascii = server->lineage()->RenderAscii(graph);
+  auto detail = server->lineage()->RenderDocumentLineage(*report);
+
+  std::printf("=== Figure 1: data lineage ===\n%s\n%s\n", ascii.c_str(),
+              detail->c_str());
+  std::filesystem::create_directories("artifacts");
+  std::ofstream("artifacts/fig1_lineage.dot") << dot;
+  std::printf("(DOT written to artifacts/fig1_lineage.dot)\n\n");
+}
+
+
+
+struct CorpusEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId user;
+  int built_docs = 0;
+
+  static CorpusEnv* Get(const std::string& family) {
+    static auto* envs = new std::map<std::string, CorpusEnv*>();
+    auto it = envs->find(family);
+    if (it == envs->end()) {
+      auto* e = new CorpusEnv();
+      e->server = MakeServer();
+      e->user = *e->server->accounts()->CreateUser("builder");
+      it = envs->emplace(family, e).first;
+    }
+    return it->second;
+  }
+
+  /// Grows the corpus to `n` documents, each quoting 1-3 predecessors.
+  void EnsureCorpus(int n) {
+    CorpusGenerator corpus(5);
+    Random rng(17);
+    std::vector<DocumentId> docs = server->text()->ListDocuments();
+    for (int i = built_docs; i < n; ++i) {
+      auto doc = server->text()->CreateDocument(
+          user, "corpus" + std::to_string(i));
+      (void)server->text()->InsertText(user, *doc, 0, corpus.Document(30));
+      if (!docs.empty()) {
+        int quotes = 1 + static_cast<int>(rng.Uniform(3));
+        for (int q = 0; q < quotes; ++q) {
+          DocumentId source = docs[rng.Uniform(docs.size())];
+          auto clip = server->text()->Copy(user, source, 0, 12);
+          if (clip.ok()) {
+            (void)server->text()->Paste(user, *doc, 0, *clip);
+          }
+        }
+      }
+      docs.push_back(*doc);
+    }
+    built_docs = std::max(built_docs, n);
+  }
+};
+
+// Full provenance-graph build over an n-document corpus.
+void BM_BuildLineageGraph(benchmark::State& state) {
+  CorpusEnv* env = CorpusEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto graph = env->server->lineage()->BuildGraph();
+    if (!graph.ok()) state.SkipWithError(graph.status().ToString().c_str());
+    benchmark::DoNotOptimize(graph->EdgeCount());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildLineageGraph)->Arg(16)->Arg(64)->Arg(256);
+
+// Citation count for one document ("most cited" ranking ingredient).
+void BM_CitationCount(benchmark::State& state) {
+  CorpusEnv* env = CorpusEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  DocumentId first = env->server->text()->ListDocuments().front();
+  for (auto _ : state) {
+    auto cites = env->server->lineage()->CitationCount(first);
+    if (!cites.ok()) state.SkipWithError(cites.status().ToString().c_str());
+    benchmark::DoNotOptimize(*cites);
+  }
+}
+BENCHMARK(BM_CitationCount)->Arg(16)->Arg(64)->Arg(256);
+
+// The Fig. 1 rendering itself.
+void BM_RenderLineageViews(benchmark::State& state) {
+  CorpusEnv* env = CorpusEnv::Get(__func__);
+  env->EnsureCorpus(64);
+  auto graph = *env->server->lineage()->BuildGraph();
+  for (auto _ : state) {
+    std::string dot = env->server->lineage()->RenderDot(graph);
+    std::string ascii = env->server->lineage()->RenderAscii(graph);
+    benchmark::DoNotOptimize(dot.size() + ascii.size());
+  }
+}
+BENCHMARK(BM_RenderLineageViews);
+
+}  // namespace
+}  // namespace tendax
+
+int main(int argc, char** argv) {
+  tendax::EmitFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,161 @@
+// E8 / Fig. 2 — the visual-mining overview of the document space.
+// Regenerates the figure (ASCII below; SVG in artifacts/fig2_mining.svg)
+// over a clustered corpus, then benchmarks vector building, similarity and
+// the 2-D projection against corpus size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <map>
+
+#include "core/tendax.h"
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+
+
+struct MiningEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId writer, reader;
+  std::vector<DocumentId> docs;
+
+  static MiningEnv* Get(const std::string& family) {
+    static auto* envs = new std::map<std::string, MiningEnv*>();
+    auto it = envs->find(family);
+    if (it == envs->end()) {
+      auto* e = new MiningEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 32768;
+      e->server = *TendaxServer::Open(std::move(options));
+      e->writer = *e->server->accounts()->CreateUser("writer");
+      e->reader = *e->server->accounts()->CreateUser("reader");
+      it = envs->emplace(family, e).first;
+    }
+    return it->second;
+  }
+
+  /// Corpus in `clusters` topical clusters (disjoint vocabularies).
+  void EnsureCorpus(int n, int clusters = 4) {
+    Random rng(41);
+    for (int i = static_cast<int>(docs.size()); i < n; ++i) {
+      int cluster = i % clusters;
+      CorpusGenerator corpus(100 + cluster);  // one vocabulary per cluster
+      auto doc = server->text()->CreateDocument(
+          writer, "c" + std::to_string(cluster) + "-doc" + std::to_string(i));
+      (void)server->text()->InsertText(writer, *doc, 0,
+                                       corpus.Document(40 + rng.Uniform(40)));
+      if (rng.OneIn(3)) (void)server->meta()->RecordRead(reader, *doc);
+      docs.push_back(*doc);
+    }
+  }
+};
+
+void EmitFigure2() {
+  MiningEnv* env = MiningEnv::Get("figure2");
+  env->EnsureCorpus(48, 4);
+  auto points = *env->server->visual_miner()->Project(60);
+
+  std::printf("=== Figure 2: visual mining, %zu documents in 4 clusters ===\n",
+              points.size());
+  std::printf("%s\n",
+              env->server->visual_miner()->RenderAscii(points).c_str());
+  std::printf("dimension navigation (size vs age):\n%s\n",
+              env->server->visual_miner()
+                  ->RenderAscii(points, MiningAxis::kSize, MiningAxis::kAge)
+                  .c_str());
+  std::filesystem::create_directories("artifacts");
+  std::ofstream("artifacts/fig2_mining.svg")
+      << env->server->visual_miner()->RenderSvg(points);
+  std::printf("(SVG written to artifacts/fig2_mining.svg)\n\n");
+}
+
+// tf-idf vector construction over the corpus.
+void BM_BuildVectors(benchmark::State& state) {
+  MiningEnv* env = MiningEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto st = env->server->text_miner()->BuildVectors();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildVectors)->Arg(32)->Arg(128)->Arg(512);
+
+// Pairwise similarity of two documents.
+void BM_PairSimilarity(benchmark::State& state) {
+  MiningEnv* env = MiningEnv::Get(__func__);
+  env->EnsureCorpus(128);
+  (void)env->server->text_miner()->BuildVectors();
+  for (auto _ : state) {
+    auto sim = env->server->text_miner()->Similarity(env->docs[0],
+                                                     env->docs[1]);
+    if (!sim.ok()) state.SkipWithError(sim.status().ToString().c_str());
+    benchmark::DoNotOptimize(*sim);
+  }
+}
+BENCHMARK(BM_PairSimilarity);
+
+// Keyword extraction and nearest-neighbour queries.
+void BM_Keywords(benchmark::State& state) {
+  MiningEnv* env = MiningEnv::Get(__func__);
+  env->EnsureCorpus(128);
+  (void)env->server->text_miner()->BuildVectors();
+  for (auto _ : state) {
+    auto kw = env->server->text_miner()->Keywords(env->docs[0], 5);
+    if (!kw.ok()) state.SkipWithError(kw.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_Keywords);
+
+void BM_NearestNeighbours(benchmark::State& state) {
+  MiningEnv* env = MiningEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  (void)env->server->text_miner()->BuildVectors();
+  for (auto _ : state) {
+    auto nn = env->server->text_miner()->Nearest(env->docs[0], 5);
+    if (!nn.ok()) state.SkipWithError(nn.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_NearestNeighbours)->Arg(32)->Arg(128);
+
+// The full Fig. 2 pipeline: vectors + O(n^2) similarities + force layout.
+void BM_ProjectDocumentSpace(benchmark::State& state) {
+  MiningEnv* env = MiningEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto points = env->server->visual_miner()->Project(30);
+    if (!points.ok()) state.SkipWithError(points.status().ToString().c_str());
+    benchmark::DoNotOptimize(points->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProjectDocumentSpace)->Arg(16)->Arg(64)->Arg(128);
+
+// Rendering only.
+void BM_RenderScatter(benchmark::State& state) {
+  MiningEnv* env = MiningEnv::Get(__func__);
+  env->EnsureCorpus(128);
+  auto points = *env->server->visual_miner()->Project(20);
+  for (auto _ : state) {
+    std::string svg = env->server->visual_miner()->RenderSvg(points);
+    std::string ascii = env->server->visual_miner()->RenderAscii(points);
+    benchmark::DoNotOptimize(svg.size() + ascii.size());
+  }
+}
+BENCHMARK(BM_RenderScatter);
+
+}  // namespace
+}  // namespace tendax
+
+int main(int argc, char** argv) {
+  tendax::EmitFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

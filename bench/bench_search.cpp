@@ -1,0 +1,184 @@
+// E7 — meta-data-based search and ranking: query latency for each ranking
+// option against corpus size, phrase verification, and the index-freshness
+// ablation (lazy mark-dirty vs eager per-commit re-indexing).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/tendax.h"
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+
+
+struct SearchEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId writer, reader;
+  std::vector<DocumentId> docs;
+  std::string common_word;  // appears in many documents
+
+  static SearchEnv* Get(const std::string& family) {
+    static auto* envs = new std::map<std::string, SearchEnv*>();
+    auto it = envs->find(family);
+    if (it == envs->end()) {
+      auto* e = new SearchEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 32768;
+      e->server = *TendaxServer::Open(std::move(options));
+      e->writer = *e->server->accounts()->CreateUser("writer");
+      e->reader = *e->server->accounts()->CreateUser("reader");
+      CorpusGenerator corpus(1);
+      e->common_word = corpus.Word();  // Zipf head: frequent everywhere
+      it = envs->emplace(family, e).first;
+    }
+    return it->second;
+  }
+
+  void EnsureCorpus(int n) {
+    CorpusGenerator corpus(1);
+    bool grew = static_cast<int>(docs.size()) < n;
+    Random rng(5);
+    for (int i = static_cast<int>(docs.size()); i < n; ++i) {
+      auto doc = server->text()->CreateDocument(
+          writer, corpus.Title() + std::to_string(i));
+      (void)server->text()->InsertText(writer, *doc, 0, corpus.Document(60));
+      // A few reads and cross-citations so every ranking has signal.
+      if (rng.OneIn(4)) (void)server->meta()->RecordRead(reader, *doc);
+      if (!docs.empty() && rng.OneIn(5)) {
+        DocumentId source = docs[rng.Uniform(docs.size())];
+        auto clip = server->text()->Copy(writer, source, 0, 8);
+        if (clip.ok()) (void)server->text()->Paste(writer, *doc, 0, *clip);
+      }
+      docs.push_back(*doc);
+    }
+    // Pay the lazy re-index outside the measured region.
+    if (grew) (void)server->search()->Search(common_word);
+  }
+};
+
+void RunRankedSearch(benchmark::State& state, Ranking ranking) {
+  SearchEnv* env = SearchEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto results =
+        env->server->search()->Search(env->common_word, ranking, {}, 10);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(results->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SearchRelevance(benchmark::State& state) {
+  RunRankedSearch(state, Ranking::kRelevance);
+}
+BENCHMARK(BM_SearchRelevance)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_SearchNewest(benchmark::State& state) {
+  RunRankedSearch(state, Ranking::kNewest);
+}
+BENCHMARK(BM_SearchNewest)->Arg(100)->Arg(1000);
+
+void BM_SearchMostRead(benchmark::State& state) {
+  RunRankedSearch(state, Ranking::kMostRead);
+}
+BENCHMARK(BM_SearchMostRead)->Arg(100)->Arg(1000);
+
+// Most-cited ranking pays a lineage-graph build per candidate.
+void BM_SearchMostCited(benchmark::State& state) {
+  RunRankedSearch(state, Ranking::kMostCited);
+}
+BENCHMARK(BM_SearchMostCited)->Arg(100)->Arg(500);
+
+void BM_SearchPhrase(benchmark::State& state) {
+  SearchEnv* env = SearchEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  // A phrase that actually occurs somewhere.
+  auto text = env->server->text()->Text(env->docs[0]);
+  std::string phrase = text->substr(0, 12);
+  for (auto _ : state) {
+    auto results = env->server->search()->SearchPhrase(phrase);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(results->size());
+  }
+}
+BENCHMARK(BM_SearchPhrase)->Arg(100)->Arg(1000);
+
+// Metadata-filtered search (author + state).
+void BM_SearchWithMetadataFilter(benchmark::State& state) {
+  SearchEnv* env = SearchEnv::Get(__func__);
+  env->EnsureCorpus(static_cast<int>(state.range(0)));
+  SearchFilter filter;
+  filter.author = env->writer;
+  for (auto _ : state) {
+    auto results = env->server->search()->Search(env->common_word,
+                                                 Ranking::kRelevance, filter);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+    }
+  }
+}
+BENCHMARK(BM_SearchWithMetadataFilter)->Arg(100)->Arg(1000);
+
+// Ablation: cost one editing transaction pays for index maintenance under
+// the lazy policy (mark dirty) ...
+void BM_EditWithLazyIndex(benchmark::State& state) {
+  SearchEnv* env = SearchEnv::Get(__func__);
+  env->EnsureCorpus(100);
+  env->server->search()->SetEagerIndexing(false);
+  DocumentId doc = env->docs[0];
+  for (auto _ : state) {
+    auto r = env->server->text()->InsertText(env->writer, doc, 0, "x");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditWithLazyIndex);
+
+// ... vs the eager policy (full re-tokenize per committed edit).
+void BM_EditWithEagerIndex(benchmark::State& state) {
+  SearchEnv* env = SearchEnv::Get(__func__);
+  env->EnsureCorpus(100);
+  env->server->search()->SetEagerIndexing(true);
+  DocumentId doc = env->docs[1];
+  for (auto _ : state) {
+    auto r = env->server->text()->InsertText(env->writer, doc, 0, "x");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  env->server->search()->SetEagerIndexing(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditWithEagerIndex);
+
+// First query after a burst of edits pays the deferred re-indexing.
+void BM_QueryAfterEditBurst(benchmark::State& state) {
+  SearchEnv* env = SearchEnv::Get(__func__);
+  env->EnsureCorpus(200);
+  Random rng(31);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      DocumentId doc = env->docs[rng.Uniform(env->docs.size())];
+      (void)env->server->text()->InsertText(env->writer, doc, 0, "y");
+    }
+    state.ResumeTiming();
+    auto results = env->server->search()->Search(env->common_word);
+    if (!results.ok()) {
+      state.SkipWithError(results.status().ToString().c_str());
+    }
+  }
+  state.counters["dirty_docs_per_query"] =
+      static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_QueryAfterEditBurst)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tendax
+
+BENCHMARK_MAIN();

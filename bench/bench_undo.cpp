@@ -1,0 +1,112 @@
+// E3 — local and global undo/redo as compensating transactions: cost of an
+// undo/redo pair against operation-log depth, and global vs local lookup.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tendax.h"
+
+namespace tendax {
+namespace {
+
+struct UndoEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId alice, bob;
+
+  static UndoEnv* Get() {
+    static UndoEnv* env = [] {
+      auto* e = new UndoEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 16384;
+      e->server = *TendaxServer::Open(std::move(options));
+      e->alice = *e->server->accounts()->CreateUser("alice");
+      e->bob = *e->server->accounts()->CreateUser("bob");
+      return e;
+    }();
+    return env;
+  }
+
+  /// Document with `depth` ops (alternating authors) in the op log.
+  DocumentId DocWithHistory(int depth) {
+    static int counter = 0;
+    auto editor_a = server->AttachEditor(alice, "a");
+    auto editor_b = server->AttachEditor(bob, "b");
+    auto doc = (*editor_a)->CreateDocument("undo-" + std::to_string(counter++));
+    for (int i = 0; i < depth; ++i) {
+      Editor* ed = i % 2 == 0 ? editor_a->get() : editor_b->get();
+      (void)ed->Type(*doc, 0, "word ");
+    }
+    return *doc;
+  }
+};
+
+// Undo+redo of the caller's latest op, with a log of `depth` entries.
+void BM_LocalUndoRedoPair(benchmark::State& state) {
+  UndoEnv* env = UndoEnv::Get();
+  DocumentId doc = env->DocWithHistory(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto undo = env->server->undo()->UndoLocal(env->alice, doc);
+    if (!undo.ok()) state.SkipWithError(undo.status().ToString().c_str());
+    auto redo = env->server->undo()->RedoLocal(env->alice, doc);
+    if (!redo.ok()) state.SkipWithError(redo.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_LocalUndoRedoPair)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Global undo (anyone's op) at the same depths.
+void BM_GlobalUndoRedoPair(benchmark::State& state) {
+  UndoEnv* env = UndoEnv::Get();
+  DocumentId doc = env->DocWithHistory(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto undo = env->server->undo()->UndoGlobal(env->alice, doc);
+    if (!undo.ok()) state.SkipWithError(undo.status().ToString().c_str());
+    auto redo = env->server->undo()->RedoGlobal(env->alice, doc);
+    if (!redo.ok()) state.SkipWithError(redo.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GlobalUndoRedoPair)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Undo of a large delete (resurrecting many characters at once).
+void BM_UndoLargeDelete(benchmark::State& state) {
+  UndoEnv* env = UndoEnv::Get();
+  auto editor = env->server->AttachEditor(env->alice, "a");
+  auto doc = (*editor)->CreateDocument("bulk-undo");
+  size_t n = static_cast<size_t>(state.range(0));
+  (void)(*editor)->Type(*doc, 0, std::string(n * 2, 'x'));
+  (void)(*editor)->Erase(*doc, 0, n);
+  for (auto _ : state) {
+    auto undo = env->server->undo()->UndoLocal(env->alice, *doc);
+    if (!undo.ok()) state.SkipWithError(undo.status().ToString().c_str());
+    auto redo = env->server->undo()->RedoLocal(env->alice, *doc);
+    if (!redo.ok()) state.SkipWithError(redo.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UndoLargeDelete)->Arg(64)->Arg(1024)->Arg(8192);
+
+// The paper's key property: undo by character identity stays correct (and
+// cheap) even when unrelated edits landed after the op being undone.
+void BM_UndoWithInterferingEdits(benchmark::State& state) {
+  UndoEnv* env = UndoEnv::Get();
+  auto editor_a = env->server->AttachEditor(env->alice, "a");
+  auto editor_b = env->server->AttachEditor(env->bob, "b");
+  auto doc = (*editor_a)->CreateDocument("interfered");
+  (void)(*editor_a)->Type(*doc, 0, "target-text ");
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    (void)(*editor_b)->Type(*doc, 0, "noise ");
+  }
+  for (auto _ : state) {
+    auto undo = env->server->undo()->UndoLocal(env->alice, *doc);
+    if (!undo.ok()) state.SkipWithError(undo.status().ToString().c_str());
+    auto redo = env->server->undo()->RedoLocal(env->alice, *doc);
+    if (!redo.ok()) state.SkipWithError(redo.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_UndoWithInterferingEdits)->Arg(0)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace tendax
+
+BENCHMARK_MAIN();

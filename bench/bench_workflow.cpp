@@ -1,0 +1,153 @@
+// E10 — in-document business processes: route execution throughput, cost of
+// dynamic run-time changes, and worklist queries under many open tasks.
+
+#include <benchmark/benchmark.h>
+
+#include "core/tendax.h"
+
+namespace tendax {
+namespace {
+
+struct WorkflowEnv {
+  std::unique_ptr<TendaxServer> server;
+  UserId owner, worker;
+  DocumentId doc;
+
+  static WorkflowEnv* Get() {
+    static WorkflowEnv* env = [] {
+      auto* e = new WorkflowEnv();
+      TendaxOptions options;
+      options.db.buffer_pool_pages = 32768;
+      e->server = *TendaxServer::Open(std::move(options));
+      e->owner = *e->server->accounts()->CreateUser("owner");
+      e->worker = *e->server->accounts()->CreateUser("worker");
+      e->doc = *e->server->text()->CreateDocument(e->owner, "wf-doc");
+      (void)e->server->text()->InsertText(e->owner, e->doc, 0,
+                                          "workflow target text");
+      return e;
+    }();
+    return env;
+  }
+};
+
+// Define a process with K tasks and execute it to completion.
+void BM_RunFullRoute(benchmark::State& state) {
+  WorkflowEnv* env = WorkflowEnv::Get();
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto process = env->server->workflows()->DefineProcess(
+        env->owner, env->doc, "route");
+    if (!process.ok()) {
+      state.SkipWithError(process.status().ToString().c_str());
+      break;
+    }
+    std::vector<TaskId> tasks;
+    for (int i = 0; i < k; ++i) {
+      auto task = env->server->workflows()->AddTask(
+          env->owner, *process, "t" + std::to_string(i), "",
+          Assignee::User(env->worker));
+      if (!task.ok()) {
+        state.SkipWithError(task.status().ToString().c_str());
+        break;
+      }
+      tasks.push_back(*task);
+    }
+    for (TaskId task : tasks) {
+      auto st = env->server->workflows()->Complete(env->worker, task);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        break;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_RunFullRoute)->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+// Dynamic run-time insertion into the middle of a live route of size K
+// (shifts later tasks; the paper's "changed and routed dynamically").
+void BM_DynamicInsertion(benchmark::State& state) {
+  WorkflowEnv* env = WorkflowEnv::Get();
+  const int k = static_cast<int>(state.range(0));
+  auto process =
+      env->server->workflows()->DefineProcess(env->owner, env->doc, "dyn");
+  TaskId first;
+  for (int i = 0; i < k; ++i) {
+    auto task = env->server->workflows()->AddTask(
+        env->owner, *process, "base" + std::to_string(i), "",
+        Assignee::User(env->worker));
+    if (i == 0) first = *task;
+  }
+  for (auto _ : state) {
+    auto task = env->server->workflows()->InsertTaskAfter(
+        env->owner, first, "inserted", "", Assignee::User(env->worker));
+    if (!task.ok()) state.SkipWithError(task.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicInsertion)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+// Worklist query with many ready tasks across processes.
+void BM_WorklistQuery(benchmark::State& state) {
+  WorkflowEnv* env = WorkflowEnv::Get();
+  static int populated = 0;
+  const int want = static_cast<int>(state.range(0));
+  while (populated < want) {
+    auto process = env->server->workflows()->DefineProcess(
+        env->owner, env->doc, "wl" + std::to_string(populated));
+    (void)env->server->workflows()->AddTask(env->owner, *process, "task", "",
+                                            Assignee::User(env->worker));
+    ++populated;
+  }
+  for (auto _ : state) {
+    auto worklist = env->server->workflows()->Worklist(env->worker);
+    benchmark::DoNotOptimize(worklist.size());
+  }
+  state.counters["ready_tasks"] = static_cast<double>(want);
+}
+BENCHMARK(BM_WorklistQuery)->Arg(16)->Arg(256);
+
+// Reassignment and rejection/reroute cycle.
+void BM_RejectRerouteCycle(benchmark::State& state) {
+  WorkflowEnv* env = WorkflowEnv::Get();
+  auto process = env->server->workflows()->DefineProcess(env->owner,
+                                                         env->doc, "cycle");
+  auto task = env->server->workflows()->AddTask(
+      env->owner, *process, "bounce", "", Assignee::User(env->worker));
+  for (auto _ : state) {
+    auto st = env->server->workflows()->Reject(env->worker, *task, "no");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    st = env->server->workflows()->Reroute(env->owner, *task,
+                                           Assignee::User(env->worker));
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RejectRerouteCycle);
+
+// Workflow steps interleaved with concurrent edits on the same document
+// (tasks anchored to live text keep working while the text changes).
+void BM_WorkflowUnderConcurrentEdits(benchmark::State& state) {
+  WorkflowEnv* env = WorkflowEnv::Get();
+  auto process = env->server->workflows()->DefineProcess(
+      env->owner, env->doc, "interleaved");
+  for (auto _ : state) {
+    (void)env->server->text()->InsertText(env->owner, env->doc, 0, "e");
+    auto task = env->server->workflows()->AddTask(
+        env->owner, *process, "step", "", Assignee::User(env->worker), 0, 5);
+    if (!task.ok()) {
+      state.SkipWithError(task.status().ToString().c_str());
+      break;
+    }
+    auto st = env->server->workflows()->Complete(env->worker, *task);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkflowUnderConcurrentEdits);
+
+}  // namespace
+}  // namespace tendax
+
+BENCHMARK_MAIN();

@@ -1,0 +1,186 @@
+// Interactive TeNDaX shell: drive a server from the command line.
+//
+//   build/examples/tendax_shell           # interactive
+//   echo "help" | build/examples/tendax_shell
+//
+// Commands (one per line):
+//   user <name>                      create/switch user
+//   new <docname>                    create document (becomes current)
+//   open <docname>                   switch current document
+//   ls                               list documents
+//   show                             print current document
+//   type <pos> <text...>             insert text
+//   erase <pos> <len>                delete range
+//   bold <pos> <len>                 apply bold layout
+//   note <pos> <text...>             annotate
+//   undo | redo | gundo | gredo      local/global undo/redo
+//   hist                             version + length
+//   diff <from> <to>                 version diff
+//   lineage                          provenance of current document
+//   search <term...>                 ranked search
+//   meta                             metadata of current document
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/tendax.h"
+
+using namespace tendax;
+
+namespace {
+
+void PrintStatus(const Status& st) {
+  std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  auto server_res = TendaxServer::Open({});
+  if (!server_res.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 server_res.status().ToString().c_str());
+    return 1;
+  }
+  TendaxServer* server = server_res->get();
+
+  UserId user = *server->accounts()->CreateUser("shell-user");
+  auto editor = *server->AttachEditor(user, "tendax-shell");
+  DocumentId current;
+
+  std::printf("tendax shell — type 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string op;
+    in >> op;
+    if (op.empty()) continue;
+    if (op == "quit" || op == "exit") break;
+
+    if (op == "help") {
+      std::printf(
+          "user new open ls show type erase bold note undo redo gundo gredo "
+          "hist diff lineage search meta quit\n");
+    } else if (op == "user") {
+      std::string name;
+      in >> name;
+      auto found = server->accounts()->FindUser(name);
+      auto id = found.ok() ? *found : *server->accounts()->CreateUser(name);
+      user = id;
+      editor = *server->AttachEditor(user, "tendax-shell");
+      if (current.valid()) (void)editor->Open(current);
+      std::printf("now acting as %s\n", name.c_str());
+    } else if (op == "new") {
+      std::string name;
+      in >> name;
+      auto doc = editor->CreateDocument(name);
+      if (doc.ok()) {
+        current = *doc;
+        std::printf("created %s\n", name.c_str());
+      } else {
+        PrintStatus(doc.status());
+      }
+    } else if (op == "open") {
+      std::string name;
+      in >> name;
+      auto doc = server->text()->FindDocumentByName(name);
+      if (doc.ok()) {
+        current = *doc;
+        PrintStatus(editor->Open(current));
+      } else {
+        PrintStatus(doc.status());
+      }
+    } else if (op == "ls") {
+      for (DocumentId doc : server->text()->ListDocuments()) {
+        auto info = server->text()->GetDocumentInfo(doc);
+        if (info.ok()) {
+          std::printf("  %-24s v%-4llu %llu chars [%s]\n", info->name.c_str(),
+                      static_cast<unsigned long long>(info->version),
+                      static_cast<unsigned long long>(info->length),
+                      info->state.c_str());
+        }
+      }
+    } else if (!current.valid()) {
+      std::printf("no document open ('new' or 'open' first)\n");
+    } else if (op == "show") {
+      auto markup = server->documents()->RenderMarkup(current);
+      std::printf("%s\n", markup.ok() ? markup->c_str() : "(error)");
+    } else if (op == "type") {
+      size_t pos;
+      in >> pos;
+      std::string text;
+      std::getline(in, text);
+      if (!text.empty() && text[0] == ' ') text.erase(0, 1);
+      PrintStatus(editor->Type(current, pos, text));
+    } else if (op == "erase") {
+      size_t pos, len;
+      in >> pos >> len;
+      PrintStatus(editor->Erase(current, pos, len));
+    } else if (op == "bold") {
+      size_t pos, len;
+      in >> pos >> len;
+      PrintStatus(editor->ApplyLayout(current, pos, len, "bold", "true"));
+    } else if (op == "note") {
+      size_t pos;
+      in >> pos;
+      std::string text;
+      std::getline(in, text);
+      PrintStatus(editor->Annotate(current, pos, text).status());
+    } else if (op == "undo") {
+      PrintStatus(editor->Undo(current));
+    } else if (op == "redo") {
+      PrintStatus(editor->Redo(current));
+    } else if (op == "gundo") {
+      PrintStatus(editor->UndoAnyone(current));
+    } else if (op == "gredo") {
+      PrintStatus(editor->RedoAnyone(current));
+    } else if (op == "hist") {
+      auto info = server->text()->GetDocumentInfo(current);
+      if (info.ok()) {
+        std::printf("version %llu, %llu live chars, %zu chain records\n",
+                    static_cast<unsigned long long>(info->version),
+                    static_cast<unsigned long long>(info->length),
+                    server->text()->FullChain(current)->size());
+      }
+    } else if (op == "diff") {
+      Version from, to;
+      in >> from >> to;
+      auto rendered = server->diff()->Render(current, from, to);
+      std::printf("%s", rendered.ok() ? rendered->c_str()
+                                      : (rendered.status().ToString() + "\n")
+                                            .c_str());
+    } else if (op == "lineage") {
+      auto rendered = server->lineage()->RenderDocumentLineage(current);
+      std::printf("%s", rendered.ok() ? rendered->c_str() : "(error)\n");
+    } else if (op == "search") {
+      std::string query;
+      std::getline(in, query);
+      auto results = server->search()->Search(query);
+      if (results.ok()) {
+        for (const SearchResult& r : *results) {
+          std::printf("  %-24s %.3f  %s\n", r.name.c_str(), r.score,
+                      r.snippet.c_str());
+        }
+      } else {
+        PrintStatus(results.status());
+      }
+    } else if (op == "meta") {
+      DocumentMeta meta = server->meta()->Meta(current);
+      std::printf("%zu authors, %zu readers, %llu edits, %llu reads\n",
+                  meta.authors.size(), meta.readers.size(),
+                  static_cast<unsigned long long>(meta.total_edits),
+                  static_cast<unsigned long long>(meta.total_reads));
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", op.c_str());
+    }
+    // Show what other editors did in the meantime (awareness).
+    auto events = editor->PollEvents();
+    if (events.ok() && !events->empty()) {
+      std::printf("  [%zu change notification(s) received]\n",
+                  events->size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// In-document business processes (paper Sec. 3, bullet 2): a contract gets
+// a dynamic review workflow — tasks assigned to users and roles, re-routed
+// and extended at run time while the document is being edited.
+//
+//   build/examples/workflow_document
+
+#include <cstdio>
+
+#include "core/tendax.h"
+
+using namespace tendax;
+
+namespace {
+
+void PrintRoute(TendaxServer* server, ProcessId process) {
+  auto proc = server->workflows()->GetProcess(process);
+  std::printf("process '%s' [%s]\n", proc->name.c_str(),
+              proc->state.c_str());
+  for (const TaskInfo& t : server->workflows()->Route(process)) {
+    std::printf("  %llu. %-12s -> %s%llu  [%s]\n",
+                static_cast<unsigned long long>(t.order + 1), t.name.c_str(),
+                t.assignee.is_role ? "role:" : "user:",
+                static_cast<unsigned long long>(t.assignee.id),
+                TaskStateName(t.state));
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto server_res = TendaxServer::Open({});
+  if (!server_res.ok()) return 1;
+  TendaxServer* server = server_res->get();
+
+  // Cast: an author, a translator, and a verification role with one member.
+  UserId author = *server->accounts()->CreateUser("author");
+  UserId translator = *server->accounts()->CreateUser("translator");
+  UserId verifier = *server->accounts()->CreateUser("verifier");
+  RoleId verifiers = *server->accounts()->CreateRole("verifiers");
+  (void)server->accounts()->AssignRole(verifier, verifiers);
+
+  // The contract document.
+  auto editor = server->AttachEditor(author, "editor-linux");
+  auto doc = (*editor)->CreateDocument("contract.txt");
+  (void)(*editor)->Type(
+      *doc, 0,
+      "Clause 1: the parties agree to collaborate.\n"
+      "Clause 2: TeNDaX stores this contract in a database.\n");
+
+  // Define the workflow: translate clause 2, then verify the whole text.
+  auto process =
+      server->workflows()->DefineProcess(author, *doc, "contract-review");
+  auto translate = server->workflows()->AddTask(
+      author, *process, "translate", "German translation of clause 2",
+      Assignee::User(translator), 44, 52);
+  auto verify = server->workflows()->AddTask(
+      author, *process, "verify", "legal verification",
+      Assignee::Role(verifiers));
+  std::printf("== initial route ==\n");
+  PrintRoute(server, *process);
+
+  // The translator works: their worklist shows the ready task anchored to
+  // the clause.
+  auto worklist = server->workflows()->Worklist(translator);
+  std::printf("\ntranslator's worklist: %zu task(s), first anchored to a "
+              "%zu-char clause\n",
+              worklist.size(), worklist.empty() ? 0ul : size_t{52});
+  auto trans_ed = server->AttachEditor(translator, "editor-macos");
+  (void)(*trans_ed)->Open(*doc);
+  (void)(*trans_ed)->Type(*doc, 97, "[DE] Klausel 2 uebersetzt.\n");
+  (void)server->workflows()->Complete(translator, *translate);
+
+  // Run-time change: before verification, the author squeezes in a legal
+  // pre-check and routes it to themselves.
+  auto precheck = server->workflows()->InsertTaskAfter(
+      author, *translate, "legal-precheck", "inserted at run time",
+      Assignee::User(author));
+  std::printf("\n== after dynamic insertion (while the process runs) ==\n");
+  PrintRoute(server, *process);
+
+  (void)server->workflows()->Complete(author, *precheck);
+
+  // The verifier rejects; the author reroutes to the translator instead.
+  (void)server->workflows()->Reject(verifier, *verify,
+                                    "missing signature block");
+  std::printf("\n== after rejection ==\n");
+  PrintRoute(server, *process);
+  (void)server->workflows()->Reroute(author, *verify,
+                                     Assignee::User(translator));
+  (void)server->workflows()->Complete(translator, *verify);
+  std::printf("\n== final ==\n");
+  PrintRoute(server, *process);
+
+  // Everything the workflow did is in the document's audit trail.
+  int workflow_entries = 0;
+  (void)server->meta()->VisitAudit([&](const AuditEntry& e) {
+    if (e.doc == *doc && e.kind == AuditKind::kWorkflow) ++workflow_entries;
+    return true;
+  });
+  std::printf("\naudit trail recorded %d workflow transactions\n",
+              workflow_entries);
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "collab/editor.h"
+
+#include "text/utf8.h"
+
+namespace tendax {
+
+Editor::Editor(CollabServices services, SessionId session, UserId user)
+    : services_(services), session_(session), user_(user) {}
+
+Editor::~Editor() { (void)services_.sessions->Disconnect(session_); }
+
+Result<DocumentId> Editor::CreateDocument(const std::string& name) {
+  auto doc = services_.text->CreateDocument(user_, name);
+  if (!doc.ok()) return doc;
+  TENDAX_RETURN_IF_ERROR(services_.sessions->OpenDocument(session_, *doc));
+  return doc;
+}
+
+Status Editor::Open(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kRead));
+  return services_.sessions->OpenDocument(session_, doc);
+}
+
+Status Editor::Close(DocumentId doc) {
+  return services_.sessions->CloseDocument(session_, doc);
+}
+
+Status Editor::Type(DocumentId doc, size_t pos, const std::string& text) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  auto result = services_.text->InsertText(user_, doc, pos, text);
+  if (!result.ok()) return result.status();
+  services_.undo->RecordInsert(user_, doc, *result, text);
+  return Status::OK();
+}
+
+Status Editor::Erase(DocumentId doc, size_t pos, size_t len) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  auto erased = services_.text->TextRange(doc, pos, len);
+  if (!erased.ok()) return erased.status();
+  auto result = services_.text->DeleteRange(user_, doc, pos, len);
+  if (!result.ok()) return result.status();
+  services_.undo->RecordDelete(user_, doc, *result, *erased);
+  return Status::OK();
+}
+
+Result<std::vector<PasteChar>> Editor::CopyRange(DocumentId doc, size_t pos,
+                                                 size_t len) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kRead));
+  return services_.text->Copy(user_, doc, pos, len);
+}
+
+Status Editor::PasteAt(DocumentId doc, size_t pos,
+                       const std::vector<PasteChar>& clipboard) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  auto result = services_.text->Paste(user_, doc, pos, clipboard);
+  if (!result.ok()) return result.status();
+  std::vector<uint32_t> cps;
+  cps.reserve(clipboard.size());
+  for (const PasteChar& c : clipboard) cps.push_back(c.cp);
+  services_.undo->RecordInsert(user_, doc, *result, EncodeUtf8(cps));
+  return Status::OK();
+}
+
+Status Editor::PasteExternal(DocumentId doc, size_t pos,
+                             const std::string& text,
+                             const std::string& source) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  auto result = services_.text->InsertText(user_, doc, pos, text, source);
+  if (!result.ok()) return result.status();
+  services_.undo->RecordInsert(user_, doc, *result, text);
+  return Status::OK();
+}
+
+Status Editor::ApplyLayout(DocumentId doc, size_t pos, size_t len,
+                           const std::string& attr, const std::string& value) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kLayout));
+  return services_.docs->ApplyLayout(user_, doc, pos, len, attr, value)
+      .status();
+}
+
+Result<ElementId> Editor::MarkSection(DocumentId doc, const std::string& label,
+                                      size_t pos, size_t len) {
+  TENDAX_RETURN_IF_ERROR(
+      services_.acl->Require(user_, doc, Right::kStructure));
+  return services_.docs->CreateElement(user_, doc, ElementId(), "section",
+                                       label, pos, len);
+}
+
+Result<NoteId> Editor::Annotate(DocumentId doc, size_t pos,
+                                const std::string& note) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.docs->AddNote(user_, doc, pos, note);
+}
+
+Result<ObjectId> Editor::InsertImage(DocumentId doc, size_t pos,
+                                     const std::string& name,
+                                     const std::string& bytes) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.docs->EmbedImage(user_, doc, pos, name, bytes);
+}
+
+Result<ObjectId> Editor::InsertTable(DocumentId doc, size_t pos,
+                                     const std::string& name, uint32_t rows,
+                                     uint32_t cols) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.docs->InsertTable(user_, doc, pos, name, rows, cols);
+}
+
+Status Editor::Undo(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.undo->UndoLocal(user_, doc).status();
+}
+
+Status Editor::Redo(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.undo->RedoLocal(user_, doc).status();
+}
+
+Status Editor::UndoAnyone(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.undo->UndoGlobal(user_, doc).status();
+}
+
+Status Editor::RedoAnyone(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kWrite));
+  return services_.undo->RedoGlobal(user_, doc).status();
+}
+
+Result<std::string> Editor::Text(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kRead));
+  return services_.text->Text(doc);
+}
+
+Result<std::string> Editor::RenderMarkup(DocumentId doc) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kRead));
+  return services_.docs->RenderMarkup(doc);
+}
+
+Status Editor::SetCursor(DocumentId doc, size_t pos) {
+  return services_.sessions->SetCursor(session_, doc, pos);
+}
+
+Result<std::vector<ChangeEvent>> Editor::PollEvents() {
+  return services_.sessions->Poll(session_);
+}
+
+}  // namespace tendax

@@ -1,0 +1,95 @@
+#ifndef TENDAX_COLLAB_EDITOR_H_
+#define TENDAX_COLLAB_EDITOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collab/session_manager.h"
+#include "collab/undo_manager.h"
+#include "document/document_model.h"
+#include "security/access_control.h"
+#include "text/text_store.h"
+
+namespace tendax {
+
+/// The services an editor client talks to (all owned by the server).
+struct CollabServices {
+  TextStore* text = nullptr;
+  DocumentModel* docs = nullptr;
+  AccessControl* acl = nullptr;
+  MetaStore* meta = nullptr;
+  SessionManager* sessions = nullptr;
+  UndoManager* undo = nullptr;
+};
+
+/// A headless TeNDaX editor client: the word processor without the GUI.
+/// Every gesture (typing, deleting, copy/paste, layouting, annotating,
+/// undo/redo) checks access rights, runs as real-time transactions, and is
+/// registered in the operation log so it can be undone locally or globally.
+///
+/// The original demo ran editors on Windows, Linux and macOS against one
+/// database; here an Editor is an in-process client attached to a session.
+class Editor {
+ public:
+  Editor(CollabServices services, SessionId session, UserId user);
+  ~Editor();
+
+  Editor(const Editor&) = delete;
+  Editor& operator=(const Editor&) = delete;
+
+  SessionId session() const { return session_; }
+  UserId user() const { return user_; }
+
+  // --- document handling ---
+  Result<DocumentId> CreateDocument(const std::string& name);
+  Status Open(DocumentId doc);
+  Status Close(DocumentId doc);
+
+  // --- text gestures ---
+  Status Type(DocumentId doc, size_t pos, const std::string& text);
+  Status Erase(DocumentId doc, size_t pos, size_t len);
+  Result<std::vector<PasteChar>> CopyRange(DocumentId doc, size_t pos,
+                                           size_t len);
+  Status PasteAt(DocumentId doc, size_t pos,
+                 const std::vector<PasteChar>& clipboard);
+  /// Paste text that originated outside TeNDaX (tracked provenance).
+  Status PasteExternal(DocumentId doc, size_t pos, const std::string& text,
+                       const std::string& source);
+
+  // --- layout / structure / annotation gestures ---
+  Status ApplyLayout(DocumentId doc, size_t pos, size_t len,
+                     const std::string& attr, const std::string& value);
+  Result<ElementId> MarkSection(DocumentId doc, const std::string& label,
+                                size_t pos, size_t len);
+  Result<NoteId> Annotate(DocumentId doc, size_t pos,
+                          const std::string& note);
+  Result<ObjectId> InsertImage(DocumentId doc, size_t pos,
+                               const std::string& name,
+                               const std::string& bytes);
+  Result<ObjectId> InsertTable(DocumentId doc, size_t pos,
+                               const std::string& name, uint32_t rows,
+                               uint32_t cols);
+
+  // --- undo / redo ---
+  Status Undo(DocumentId doc);        // local: my last op
+  Status Redo(DocumentId doc);
+  Status UndoAnyone(DocumentId doc);  // global: anyone's last op
+  Status RedoAnyone(DocumentId doc);
+
+  // --- view ---
+  Result<std::string> Text(DocumentId doc);
+  Result<std::string> RenderMarkup(DocumentId doc);
+  Status SetCursor(DocumentId doc, size_t pos);
+  /// Change notifications accumulated since the last call.
+  Result<std::vector<ChangeEvent>> PollEvents();
+
+ private:
+  CollabServices services_;
+  SessionId session_;
+  UserId user_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_COLLAB_EDITOR_H_

@@ -1,0 +1,147 @@
+#include "collab/session_manager.h"
+
+namespace tendax {
+
+namespace {
+/// Cap per-session inboxes so an idle session cannot grow without bound.
+constexpr size_t kMaxInbox = 10000;
+}  // namespace
+
+SessionManager::SessionManager(Database* db, MetaStore* meta)
+    : db_(db), meta_(meta) {}
+
+Status SessionManager::Init() {
+  db_->txns()->AddCommitListener(
+      [this](TxnId, UserId, const ChangeBatch& batch) { Dispatch(batch); });
+  return Status::OK();
+}
+
+void SessionManager::Dispatch(const ChangeBatch& batch) {
+  if (batch.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ChangeEvent& ev : batch) {
+    if (!ev.doc.valid()) continue;
+    for (auto& [id, session] : sessions_) {
+      if (!session->info.open_docs.count(ev.doc)) continue;
+      if (session->inbox.size() >= kMaxInbox) session->inbox.pop_front();
+      session->inbox.push_back(ev);
+      events_delivered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Result<SessionId> SessionManager::Connect(UserId user,
+                                          const std::string& client) {
+  SessionId id(next_session_id_.fetch_add(1));
+  auto session = std::make_unique<Session>();
+  session->info.id = id;
+  session->info.user = user;
+  session->info.client = client;
+  session->info.connected_at = db_->clock()->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_[id.value] = std::move(session);
+  return id;
+}
+
+Status SessionManager::Disconnect(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(session.value) == 0) {
+    return Status::NotFound("unknown session");
+  }
+  return Status::OK();
+}
+
+Status SessionManager::OpenDocument(SessionId session, DocumentId doc) {
+  UserId user;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session.value);
+    if (it == sessions_.end()) return Status::NotFound("unknown session");
+    it->second->info.open_docs.insert(doc);
+    user = it->second->info.user;
+  }
+  // Opening is a read: it lands in the audit trail and powers dynamic
+  // folders like "all documents I read last week".
+  return meta_->RecordRead(user, doc);
+}
+
+Status SessionManager::CloseDocument(SessionId session, DocumentId doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  it->second->info.open_docs.erase(doc);
+  it->second->cursors.erase(doc.value);
+  return Status::OK();
+}
+
+Status SessionManager::SetCursor(SessionId session, DocumentId doc,
+                                 size_t pos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  if (!it->second->info.open_docs.count(doc)) {
+    return Status::FailedPrecondition("document not open in session");
+  }
+  it->second->cursors[doc.value] = pos;
+  return Status::OK();
+}
+
+Result<std::vector<ChangeEvent>> SessionManager::Poll(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  std::vector<ChangeEvent> out(it->second->inbox.begin(),
+                               it->second->inbox.end());
+  it->second->inbox.clear();
+  return out;
+}
+
+Result<size_t> SessionManager::PendingCount(SessionId session) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  return it->second->inbox.size();
+}
+
+std::vector<SessionInfo> SessionManager::OnlineSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session->info);
+  std::sort(out.begin(), out.end(),
+            [](const SessionInfo& a, const SessionInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<SessionInfo> SessionManager::SessionsViewing(
+    DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> out;
+  for (const auto& [id, session] : sessions_) {
+    if (session->info.open_docs.count(doc)) out.push_back(session->info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionInfo& a, const SessionInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<CursorInfo> SessionManager::CursorsFor(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CursorInfo> out;
+  for (const auto& [id, session] : sessions_) {
+    auto it = session->cursors.find(doc.value);
+    if (it == session->cursors.end()) continue;
+    CursorInfo c;
+    c.session = session->info.id;
+    c.user = session->info.user;
+    c.pos = it->second;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace tendax

@@ -1,0 +1,139 @@
+#include "collab/undo_manager.h"
+
+namespace tendax {
+
+UndoManager::UndoManager(TextStore* text) : text_(text) {}
+
+void UndoManager::RecordInsert(UserId user, DocumentId doc,
+                               const EditResult& result,
+                               const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EditOp op;
+  op.op_id = next_op_id_++;
+  op.doc = doc;
+  op.user = user;
+  op.version = result.version;
+  op.kind = OpKind::kInsert;
+  op.chars = result.chars;
+  op.text = text;
+  history_[doc.value].push_back(std::move(op));
+}
+
+void UndoManager::RecordDelete(UserId user, DocumentId doc,
+                               const EditResult& result,
+                               const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EditOp op;
+  op.op_id = next_op_id_++;
+  op.doc = doc;
+  op.user = user;
+  op.version = result.version;
+  op.kind = OpKind::kDelete;
+  op.chars = result.chars;
+  op.text = text;
+  history_[doc.value].push_back(std::move(op));
+}
+
+Status UndoManager::ApplyInverse(UserId actor, const EditOp& op) {
+  if (op.kind == OpKind::kInsert) {
+    return text_->DeleteChars(actor, op.doc, op.chars).status();
+  }
+  return text_->ResurrectChars(actor, op.doc, op.chars).status();
+}
+
+Status UndoManager::ApplyForward(UserId actor, const EditOp& op) {
+  if (op.kind == OpKind::kInsert) {
+    return text_->ResurrectChars(actor, op.doc, op.chars).status();
+  }
+  return text_->DeleteChars(actor, op.doc, op.chars).status();
+}
+
+Result<EditOp> UndoManager::UndoImpl(UserId actor, DocumentId doc,
+                                     bool local) {
+  EditOp target;
+  size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = history_.find(doc.value);
+    if (it == history_.end()) return Status::NotFound("nothing to undo");
+    auto& ops = it->second;
+    bool found = false;
+    for (size_t i = ops.size(); i-- > 0;) {
+      if (ops[i].undone) continue;
+      if (local && ops[i].user != actor) continue;
+      target = ops[i];
+      index = i;
+      found = true;
+      break;
+    }
+    if (!found) return Status::NotFound("nothing to undo");
+  }
+  TENDAX_RETURN_IF_ERROR(ApplyInverse(actor, target));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& ops = history_[doc.value];
+  if (index < ops.size() && ops[index].op_id == target.op_id) {
+    ops[index].undone = true;
+    ops[index].undo_seq = next_undo_seq_++;
+  }
+  target.undone = true;
+  return target;
+}
+
+Result<EditOp> UndoManager::RedoImpl(UserId actor, DocumentId doc,
+                                     bool local) {
+  EditOp target;
+  size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = history_.find(doc.value);
+    if (it == history_.end()) return Status::NotFound("nothing to redo");
+    auto& ops = it->second;
+    // Redo the most recently *undone* op (stack discipline), not the most
+    // recent op.
+    bool found = false;
+    uint64_t best_seq = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (!ops[i].undone) continue;
+      if (local && ops[i].user != actor) continue;
+      if (ops[i].undo_seq >= best_seq) {
+        best_seq = ops[i].undo_seq;
+        target = ops[i];
+        index = i;
+        found = true;
+      }
+    }
+    if (!found) return Status::NotFound("nothing to redo");
+  }
+  TENDAX_RETURN_IF_ERROR(ApplyForward(actor, target));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& ops = history_[doc.value];
+  if (index < ops.size() && ops[index].op_id == target.op_id) {
+    ops[index].undone = false;
+  }
+  target.undone = false;
+  return target;
+}
+
+Result<EditOp> UndoManager::UndoLocal(UserId user, DocumentId doc) {
+  return UndoImpl(user, doc, /*local=*/true);
+}
+
+Result<EditOp> UndoManager::UndoGlobal(UserId user, DocumentId doc) {
+  return UndoImpl(user, doc, /*local=*/false);
+}
+
+Result<EditOp> UndoManager::RedoLocal(UserId user, DocumentId doc) {
+  return RedoImpl(user, doc, /*local=*/true);
+}
+
+Result<EditOp> UndoManager::RedoGlobal(UserId user, DocumentId doc) {
+  return RedoImpl(user, doc, /*local=*/false);
+}
+
+std::vector<EditOp> UndoManager::History(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(doc.value);
+  return it == history_.end() ? std::vector<EditOp>() : it->second;
+}
+
+}  // namespace tendax

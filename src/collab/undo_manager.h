@@ -1,0 +1,82 @@
+#ifndef TENDAX_COLLAB_UNDO_MANAGER_H_
+#define TENDAX_COLLAB_UNDO_MANAGER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Kind of a recorded editing operation.
+enum class OpKind : uint8_t { kInsert = 1, kDelete = 2 };
+
+/// One entry of the server-wide operation log used for undo/redo.
+struct EditOp {
+  uint64_t op_id = 0;
+  DocumentId doc;
+  UserId user;
+  Version version = 0;
+  OpKind kind = OpKind::kInsert;
+  std::vector<CharId> chars;
+  std::string text;
+  bool undone = false;
+  uint64_t undo_seq = 0;  // when it was undone (redo re-applies newest first)
+};
+
+/// Local and global undo/redo as *compensating transactions* — the paper's
+/// headline collaboration feature. Because deleted characters are
+/// tombstoned (never removed), every inverse is exact:
+///
+///   undo(insert) = tombstone those characters      redo = resurrect them
+///   undo(delete) = resurrect those characters      redo = tombstone again
+///
+/// *Local* undo reverts the calling user's most recent op in a document;
+/// *global* undo reverts the most recent op by anyone. Neither touches
+/// other users' later edits (character identity, not positions, addresses
+/// the targets), which is exactly what makes undo safe under concurrency.
+class UndoManager {
+ public:
+  explicit UndoManager(TextStore* text);
+
+  /// Records a committed editing operation (editors call this after each
+  /// successful insert/paste or delete).
+  void RecordInsert(UserId user, DocumentId doc, const EditResult& result,
+                    const std::string& text);
+  void RecordDelete(UserId user, DocumentId doc, const EditResult& result,
+                    const std::string& text);
+
+  /// Undoes the calling user's latest not-yet-undone op in `doc`.
+  Result<EditOp> UndoLocal(UserId user, DocumentId doc);
+  /// Undoes the latest not-yet-undone op in `doc` regardless of author;
+  /// `user` is the actor performing the compensation.
+  Result<EditOp> UndoGlobal(UserId user, DocumentId doc);
+  /// Re-applies the calling user's most recently undone op.
+  Result<EditOp> RedoLocal(UserId user, DocumentId doc);
+  /// Re-applies the most recently undone op by anyone.
+  Result<EditOp> RedoGlobal(UserId user, DocumentId doc);
+
+  /// Ops recorded for a document, oldest first (for tests/inspection).
+  std::vector<EditOp> History(DocumentId doc) const;
+
+ private:
+  Result<EditOp> UndoImpl(UserId actor, DocumentId doc, bool local);
+  Result<EditOp> RedoImpl(UserId actor, DocumentId doc, bool local);
+  Status ApplyInverse(UserId actor, const EditOp& op);
+  Status ApplyForward(UserId actor, const EditOp& op);
+
+  TextStore* const text_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::vector<EditOp>> history_;  // doc -> ops in order
+  uint64_t next_op_id_ = 1;
+  uint64_t next_undo_seq_ = 1;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_COLLAB_UNDO_MANAGER_H_

@@ -1,0 +1,214 @@
+#include "collab/wire.h"
+
+#include "util/coding.h"
+
+namespace tendax {
+
+std::string EncodeCommand(const EditCommand& command) {
+  std::string out;
+  out.push_back(static_cast<char>(command.kind));
+  PutVarint64(&out, command.doc.value);
+  PutVarint64(&out, command.pos);
+  PutVarint64(&out, command.len);
+  PutLengthPrefixed(&out, command.text);
+  PutLengthPrefixed(&out, command.extra);
+  return out;
+}
+
+Result<EditCommand> DecodeCommand(Slice bytes) {
+  if (bytes.empty()) return Status::Corruption("empty command");
+  EditCommand command;
+  command.kind = static_cast<CommandKind>(bytes[0]);
+  bytes.remove_prefix(1);
+  uint64_t doc;
+  Slice text, extra;
+  if (!GetVarint64(&bytes, &doc) || !GetVarint64(&bytes, &command.pos) ||
+      !GetVarint64(&bytes, &command.len) ||
+      !GetLengthPrefixed(&bytes, &text) ||
+      !GetLengthPrefixed(&bytes, &extra)) {
+    return Status::Corruption("truncated command");
+  }
+  command.doc = DocumentId(doc);
+  command.text = text.ToString();
+  command.extra = extra.ToString();
+  return command;
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(response.code));
+  PutLengthPrefixed(&out, response.message);
+  PutLengthPrefixed(&out, response.payload);
+  return out;
+}
+
+Result<WireResponse> DecodeResponse(Slice bytes) {
+  if (bytes.empty()) return Status::Corruption("empty response");
+  WireResponse response;
+  response.code = static_cast<StatusCode>(bytes[0]);
+  bytes.remove_prefix(1);
+  Slice message, payload;
+  if (!GetLengthPrefixed(&bytes, &message) ||
+      !GetLengthPrefixed(&bytes, &payload)) {
+    return Status::Corruption("truncated response");
+  }
+  response.message = message.ToString();
+  response.payload = payload.ToString();
+  return response;
+}
+
+std::string EncodeEvent(const ChangeEvent& event) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(event.kind));
+  PutVarint64(&out, event.doc.value);
+  PutVarint64(&out, event.user.value);
+  PutVarint64(&out, event.version);
+  PutVarint64(&out, event.at);
+  PutVarint64(&out, event.anchor.value);
+  PutVarint64(&out, event.count);
+  PutLengthPrefixed(&out, event.detail);
+  return out;
+}
+
+Result<ChangeEvent> DecodeEvent(Slice bytes) {
+  ChangeEvent event;
+  uint32_t kind;
+  uint64_t doc, user, anchor;
+  Slice detail;
+  if (!GetVarint32(&bytes, &kind) || !GetVarint64(&bytes, &doc) ||
+      !GetVarint64(&bytes, &user) || !GetVarint64(&bytes, &event.version) ||
+      !GetVarint64(&bytes, &event.at) || !GetVarint64(&bytes, &anchor) ||
+      !GetVarint64(&bytes, &event.count) ||
+      !GetLengthPrefixed(&bytes, &detail)) {
+    return Status::Corruption("truncated event");
+  }
+  event.kind = static_cast<ChangeKind>(kind);
+  event.doc = DocumentId(doc);
+  event.user = UserId(user);
+  event.anchor = CharId(anchor);
+  event.detail = detail.ToString();
+  return event;
+}
+
+std::string EncodeEventBatch(const ChangeBatch& batch) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(batch.size()));
+  for (const ChangeEvent& event : batch) {
+    PutLengthPrefixed(&out, EncodeEvent(event));
+  }
+  return out;
+}
+
+Result<ChangeBatch> DecodeEventBatch(Slice bytes) {
+  uint32_t n;
+  if (!GetVarint32(&bytes, &n)) return Status::Corruption("truncated batch");
+  ChangeBatch batch;
+  batch.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice one;
+    if (!GetLengthPrefixed(&bytes, &one)) {
+      return Status::Corruption("truncated batch entry");
+    }
+    auto event = DecodeEvent(one);
+    if (!event.ok()) return event.status();
+    batch.push_back(std::move(*event));
+  }
+  return batch;
+}
+
+std::string RemoteEditorEndpoint::Handle(Slice command_bytes) {
+  auto command = DecodeCommand(command_bytes);
+  if (!command.ok()) {
+    WireResponse bad;
+    bad.code = command.status().code();
+    bad.message = command.status().message();
+    return EncodeResponse(bad);
+  }
+  return EncodeResponse(Execute(*command));
+}
+
+WireResponse RemoteEditorEndpoint::Execute(const EditCommand& command) {
+  WireResponse response;
+  auto fail = [&response](const Status& st) {
+    response.code = st.code();
+    response.message = st.message();
+  };
+  switch (command.kind) {
+    case CommandKind::kOpen:
+      fail(editor_->Open(command.doc));
+      break;
+    case CommandKind::kClose:
+      fail(editor_->Close(command.doc));
+      break;
+    case CommandKind::kType:
+      fail(editor_->Type(command.doc, command.pos, command.text));
+      break;
+    case CommandKind::kErase:
+      fail(editor_->Erase(command.doc, command.pos, command.len));
+      break;
+    case CommandKind::kCopy: {
+      auto clip = editor_->CopyRange(command.doc, command.pos, command.len);
+      if (!clip.ok()) {
+        fail(clip.status());
+        break;
+      }
+      clipboards_.push_back(std::move(*clip));
+      response.payload = std::to_string(clipboards_.size() - 1);
+      break;
+    }
+    case CommandKind::kPaste: {
+      size_t handle = 0;
+      if (!command.text.empty()) handle = std::stoull(command.text);
+      if (handle >= clipboards_.size()) {
+        fail(Status::InvalidArgument("unknown clipboard handle"));
+        break;
+      }
+      fail(editor_->PasteAt(command.doc, command.pos, clipboards_[handle]));
+      break;
+    }
+    case CommandKind::kUndo:
+      fail(editor_->Undo(command.doc));
+      break;
+    case CommandKind::kRedo:
+      fail(editor_->Redo(command.doc));
+      break;
+    case CommandKind::kUndoAnyone:
+      fail(editor_->UndoAnyone(command.doc));
+      break;
+    case CommandKind::kRedoAnyone:
+      fail(editor_->RedoAnyone(command.doc));
+      break;
+    case CommandKind::kGetText: {
+      auto text = editor_->Text(command.doc);
+      if (!text.ok()) {
+        fail(text.status());
+        break;
+      }
+      response.payload = std::move(*text);
+      break;
+    }
+    case CommandKind::kSetCursor:
+      fail(editor_->SetCursor(command.doc, command.pos));
+      break;
+    case CommandKind::kAnnotate:
+      fail(editor_->Annotate(command.doc, command.pos, command.text)
+               .status());
+      break;
+    case CommandKind::kApplyLayout:
+      fail(editor_->ApplyLayout(command.doc, command.pos, command.len,
+                                command.text, command.extra));
+      break;
+    default:
+      fail(Status::InvalidArgument("unknown command kind"));
+      break;
+  }
+  return response;
+}
+
+Result<std::string> RemoteEditorEndpoint::PollEventsWire() {
+  auto events = editor_->PollEvents();
+  if (!events.ok()) return events.status();
+  return EncodeEventBatch(*events);
+}
+
+}  // namespace tendax

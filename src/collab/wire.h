@@ -1,0 +1,91 @@
+#ifndef TENDAX_COLLAB_WIRE_H_
+#define TENDAX_COLLAB_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "collab/editor.h"
+#include "txn/events.h"
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace tendax {
+
+/// Editor gestures as wire messages. The original demo ran GUI editors on
+/// Windows, Linux and macOS against one database over a LAN; this codec is
+/// the reproduction's stand-in for that protocol: every gesture and every
+/// change notification round-trips through a compact binary encoding, so a
+/// remote editor only ever exchanges bytes with the server.
+enum class CommandKind : uint8_t {
+  kOpen = 1,
+  kClose = 2,
+  kType = 3,
+  kErase = 4,
+  kCopy = 5,       // returns a clipboard handle held server-side
+  kPaste = 6,
+  kUndo = 7,
+  kRedo = 8,
+  kUndoAnyone = 9,
+  kRedoAnyone = 10,
+  kGetText = 11,
+  kSetCursor = 12,
+  kAnnotate = 13,
+  kApplyLayout = 14,
+};
+
+/// One editor gesture on the wire.
+struct EditCommand {
+  CommandKind kind = CommandKind::kGetText;
+  DocumentId doc;
+  uint64_t pos = 0;
+  uint64_t len = 0;
+  std::string text;   // kType/kPaste payload, kAnnotate note, layout attr
+  std::string extra;  // layout value
+};
+
+/// The server's answer: a status plus an optional payload (document text,
+/// clipboard id, ...).
+struct WireResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::string payload;
+};
+
+// --- codec ---
+
+std::string EncodeCommand(const EditCommand& command);
+Result<EditCommand> DecodeCommand(Slice bytes);
+
+std::string EncodeResponse(const WireResponse& response);
+Result<WireResponse> DecodeResponse(Slice bytes);
+
+/// Change notifications cross the wire too (server -> editor push).
+std::string EncodeEvent(const ChangeEvent& event);
+Result<ChangeEvent> DecodeEvent(Slice bytes);
+std::string EncodeEventBatch(const ChangeBatch& batch);
+Result<ChangeBatch> DecodeEventBatch(Slice bytes);
+
+/// Server-side endpoint for one remote editor: decodes command bytes,
+/// executes them against the wrapped `Editor`, and encodes the response.
+/// Clipboards from kCopy stay server-side and are referenced by handle in
+/// kPaste (`text` = handle), exactly like a GUI client would do.
+class RemoteEditorEndpoint {
+ public:
+  explicit RemoteEditorEndpoint(Editor* editor) : editor_(editor) {}
+
+  /// One request/response exchange.
+  std::string Handle(Slice command_bytes);
+
+  /// Pending change notifications, encoded for the wire.
+  Result<std::string> PollEventsWire();
+
+ private:
+  WireResponse Execute(const EditCommand& command);
+
+  Editor* const editor_;
+  std::vector<std::vector<PasteChar>> clipboards_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_COLLAB_WIRE_H_

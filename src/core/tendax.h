@@ -1,0 +1,99 @@
+#ifndef TENDAX_CORE_TENDAX_H_
+#define TENDAX_CORE_TENDAX_H_
+
+#include <memory>
+#include <string>
+
+#include "collab/editor.h"
+#include "collab/session_manager.h"
+#include "collab/undo_manager.h"
+#include "db/database.h"
+#include "document/document_model.h"
+#include "document/templates.h"
+#include "folders/folders.h"
+#include "lineage/lineage.h"
+#include "meta/meta_store.h"
+#include "mining/mining.h"
+#include "search/search_engine.h"
+#include "security/access_control.h"
+#include "text/diff.h"
+#include "text/text_store.h"
+#include "workflow/workflow_engine.h"
+
+namespace tendax {
+
+/// Server configuration.
+struct TendaxOptions {
+  /// Storage/transaction options (path empty = in-memory database).
+  DatabaseOptions db;
+  /// Whether documents without explicit grants are open to every user
+  /// (the demo's LAN-party default) or restricted to their creator.
+  bool default_open_access = true;
+};
+
+/// The TeNDaX server: one embedded database plus every subsystem of the
+/// paper wired together — native text storage, automatic metadata capture,
+/// access control, collaborative sessions with awareness and undo/redo,
+/// in-document workflows, dynamic folders, data lineage, search, and
+/// text/visual mining.
+///
+/// Typical use:
+///
+///   auto server = TendaxServer::Open({});
+///   auto alice  = (*server)->accounts()->CreateUser("alice");
+///   auto editor = (*server)->AttachEditor(*alice, "editor-linux");
+///   auto doc    = (*editor)->CreateDocument("notes.txt");
+///   (*editor)->Type(*doc, 0, "hello, tendax");
+class TendaxServer {
+ public:
+  static Result<std::unique_ptr<TendaxServer>> Open(TendaxOptions options);
+
+  TendaxServer(const TendaxServer&) = delete;
+  TendaxServer& operator=(const TendaxServer&) = delete;
+
+  /// Connects a new editor client for `user`.
+  Result<std::unique_ptr<Editor>> AttachEditor(UserId user,
+                                               const std::string& client);
+
+  Database* db() { return db_.get(); }
+  TextStore* text() { return text_.get(); }
+  MetaStore* meta() { return meta_.get(); }
+  AccessControl* accounts() { return acl_.get(); }
+  DocumentModel* documents() { return docs_.get(); }
+  SessionManager* sessions() { return sessions_.get(); }
+  UndoManager* undo() { return undo_.get(); }
+  WorkflowEngine* workflows() { return workflows_.get(); }
+  LineageAnalyzer* lineage() { return lineage_.get(); }
+  FolderManager* folders() { return folders_.get(); }
+  SearchEngine* search() { return search_.get(); }
+  TextMiner* text_miner() { return text_miner_.get(); }
+  VisualMiner* visual_miner() { return visual_miner_.get(); }
+  VersionDiff* diff() { return diff_.get(); }
+  TemplateStore* templates() { return templates_.get(); }
+
+  /// Quiescent checkpoint of the underlying database.
+  Status Checkpoint() { return db_->Checkpoint(); }
+
+ private:
+  TendaxServer() = default;
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<TextStore> text_;
+  std::unique_ptr<MetaStore> meta_;
+  std::unique_ptr<AccessControl> acl_;
+  std::unique_ptr<DocumentModel> docs_;
+  std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<UndoManager> undo_;
+  std::unique_ptr<WorkflowEngine> workflows_;
+  std::unique_ptr<LineageAnalyzer> lineage_;
+  std::unique_ptr<FolderManager> folders_;
+  std::unique_ptr<SearchEngine> search_;
+  std::unique_ptr<TextMiner> text_miner_;
+  std::unique_ptr<VisualMiner> visual_miner_;
+  std::unique_ptr<VersionDiff> diff_;
+  std::unique_ptr<TemplateStore> templates_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_CORE_TENDAX_H_

@@ -1,0 +1,396 @@
+#include "db/bptree.h"
+
+#include <vector>
+
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace tendax {
+
+namespace {
+
+// Node layout inside Page::payload():
+//   off 0: marker u32 (0x80000000 | index_id) -- skipped by table discovery
+//   off 4: is_leaf u8, off 5: unused
+//   off 6: num_entries u16
+//   off 8: next_leaf u32 (leaf) | leftmost_child u32 (internal)
+//   off 12: entries
+// Leaf entry: key u64, val u64 (16 bytes).
+// Internal entry: key u64, val u64, child u32 (20 bytes); `child` holds the
+// subtree whose entries are >= (key, val).
+constexpr size_t kMarkerOff = 0;
+constexpr size_t kLeafOff = 4;
+constexpr size_t kNumOff = 6;
+constexpr size_t kLinkOff = 8;
+constexpr size_t kEntriesOff = 12;
+constexpr size_t kLeafEntrySize = 16;
+constexpr size_t kInternalEntrySize = 20;
+
+constexpr size_t kLeafCapacity =
+    (Page::payload_size() - kEntriesOff) / kLeafEntrySize;
+constexpr size_t kInternalCapacity =
+    (Page::payload_size() - kEntriesOff) / kInternalEntrySize;
+
+struct Entry {
+  uint64_t key;
+  uint64_t val;
+  uint32_t child;  // internal nodes only
+
+  bool LessThan(uint64_t k, uint64_t v) const {
+    return key < k || (key == k && val < v);
+  }
+  bool Equals(uint64_t k, uint64_t v) const { return key == k && val == v; }
+};
+
+class NodeView {
+ public:
+  explicit NodeView(Page* page) : p_(page->payload()) {}
+
+  void Init(uint32_t index_id, bool leaf) {
+    EncodeFixed32(p_ + kMarkerOff, 0x80000000u | index_id);
+    p_[kLeafOff] = leaf ? 1 : 0;
+    EncodeFixed16(p_ + kNumOff, 0);
+    EncodeFixed32(p_ + kLinkOff, kInvalidPageId);
+  }
+
+  bool is_leaf() const { return p_[kLeafOff] != 0; }
+  uint16_t num() const { return DecodeFixed16(p_ + kNumOff); }
+  void set_num(uint16_t n) { EncodeFixed16(p_ + kNumOff, n); }
+  PageId link() const { return DecodeFixed32(p_ + kLinkOff); }
+  void set_link(PageId id) { EncodeFixed32(p_ + kLinkOff, id); }
+
+  size_t entry_size() const {
+    return is_leaf() ? kLeafEntrySize : kInternalEntrySize;
+  }
+  size_t capacity() const {
+    return is_leaf() ? kLeafCapacity : kInternalCapacity;
+  }
+
+  Entry Get(size_t i) const {
+    const char* e = p_ + kEntriesOff + i * entry_size();
+    Entry out;
+    out.key = DecodeFixed64(e);
+    out.val = DecodeFixed64(e + 8);
+    out.child = is_leaf() ? kInvalidPageId : DecodeFixed32(e + 16);
+    return out;
+  }
+
+  void Set(size_t i, const Entry& e) {
+    char* dst = p_ + kEntriesOff + i * entry_size();
+    EncodeFixed64(dst, e.key);
+    EncodeFixed64(dst + 8, e.val);
+    if (!is_leaf()) EncodeFixed32(dst + 16, e.child);
+  }
+
+  /// Index of the first entry >= (key, val), i.e. the insert position.
+  size_t LowerBound(uint64_t key, uint64_t val) const {
+    size_t lo = 0, hi = num();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (Get(mid).LessThan(key, val)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  void InsertAt(size_t i, const Entry& e) {
+    const size_t es = entry_size();
+    char* base = p_ + kEntriesOff;
+    memmove(base + (i + 1) * es, base + i * es, (num() - i) * es);
+    set_num(num() + 1);
+    Set(i, e);
+  }
+
+  void RemoveAt(size_t i) {
+    const size_t es = entry_size();
+    char* base = p_ + kEntriesOff;
+    memmove(base + i * es, base + (i + 1) * es, (num() - i - 1) * es);
+    set_num(num() - 1);
+  }
+
+  /// Child to follow for (key, val) in an internal node.
+  PageId ChildFor(uint64_t key, uint64_t val) const {
+    size_t i = LowerBound(key, val);
+    // Entries at j < i are < target; entry at i (if equal) also leads right.
+    if (i < num() && Get(i).Equals(key, val)) {
+      return Get(i).child;
+    }
+    if (i == 0) return link();  // leftmost child
+    return Get(i - 1).child;
+  }
+
+ private:
+  char* p_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(uint32_t index_id,
+                                                     std::string name,
+                                                     BufferPool* pool) {
+  auto tree = std::unique_ptr<BPlusTree>(
+      new BPlusTree(index_id, std::move(name), pool));
+  std::lock_guard<std::mutex> lock(tree->mu_);
+  auto root = tree->NewNode(/*leaf=*/true);
+  if (!root.ok()) return root.status();
+  tree->root_ = *root;
+  return tree;
+}
+
+Result<PageId> BPlusTree::NewNode(bool leaf) {
+  auto page = pool_->NewPage();
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+  NodeView node(guard.get());
+  node.Init(index_id_, leaf);
+  guard.MarkDirty();
+  return guard->id();
+}
+
+Result<PageId> BPlusTree::FindLeaf(uint64_t key, uint64_t value,
+                                   std::vector<PageId>* path) const {
+  PageId current = root_;
+  while (true) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    NodeView node(guard.get());
+    if (node.is_leaf()) return current;
+    if (path != nullptr) path->push_back(current);
+    current = node.ChildFor(key, value);
+    if (current == kInvalidPageId) {
+      return Status::Corruption("bptree: dangling child pointer");
+    }
+  }
+}
+
+Status BPlusTree::Insert(uint64_t key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PageId> path;
+  auto leaf = FindLeaf(key, value, &path);
+  if (!leaf.ok()) return leaf.status();
+  TENDAX_RETURN_IF_ERROR(InsertIntoLeaf(*leaf, path, key, value));
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+Status BPlusTree::InsertIntoLeaf(PageId leaf_id,
+                                 const std::vector<PageId>& path,
+                                 uint64_t key, uint64_t value) {
+  {
+    auto page = pool_->FetchPage(leaf_id);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    NodeView node(guard.get());
+    size_t pos = node.LowerBound(key, value);
+    if (pos < node.num() && node.Get(pos).Equals(key, value)) {
+      return Status::AlreadyExists("bptree: duplicate entry");
+    }
+    if (node.num() < node.capacity()) {
+      node.InsertAt(pos, Entry{key, value, kInvalidPageId});
+      guard.MarkDirty();
+      return Status::OK();
+    }
+  }
+  TENDAX_RETURN_IF_ERROR(SplitAndPropagate(leaf_id, path));
+  // Retry after the split (the tree shape changed; re-descend).
+  std::vector<PageId> new_path;
+  auto leaf = FindLeaf(key, value, &new_path);
+  if (!leaf.ok()) return leaf.status();
+  return InsertIntoLeaf(*leaf, new_path, key, value);
+}
+
+Status BPlusTree::SplitAndPropagate(PageId node_id,
+                                    const std::vector<PageId>& path) {
+  ++stats_.splits;
+  auto right_res = NewNode(/*leaf=*/true);  // re-tagged below
+  if (!right_res.ok()) return right_res.status();
+  PageId right_id = *right_res;
+
+  uint64_t sep_key = 0, sep_val = 0;
+
+  {
+    auto left_page = pool_->FetchPage(node_id);
+    if (!left_page.ok()) return left_page.status();
+    PageGuard left_guard(pool_, *left_page);
+    NodeView left(left_guard.get());
+
+    auto right_page = pool_->FetchPage(right_id);
+    if (!right_page.ok()) return right_page.status();
+    PageGuard right_guard(pool_, *right_page);
+    NodeView right(right_guard.get());
+    right.Init(index_id_, left.is_leaf());
+
+    size_t n = left.num();
+    size_t mid = n / 2;
+    if (left.is_leaf()) {
+      // Move entries [mid, n) to the right node.
+      for (size_t i = mid; i < n; ++i) {
+        right.Set(i - mid, left.Get(i));
+      }
+      right.set_num(static_cast<uint16_t>(n - mid));
+      left.set_num(static_cast<uint16_t>(mid));
+      Entry first_right = right.Get(0);
+      sep_key = first_right.key;
+      sep_val = first_right.val;
+      right.set_link(left.link());
+      left.set_link(right_id);
+    } else {
+      // Promote the middle entry; its child becomes right's leftmost child.
+      Entry promoted = left.Get(mid);
+      sep_key = promoted.key;
+      sep_val = promoted.val;
+      right.set_link(promoted.child);
+      for (size_t i = mid + 1; i < n; ++i) {
+        right.Set(i - mid - 1, left.Get(i));
+      }
+      right.set_num(static_cast<uint16_t>(n - mid - 1));
+      left.set_num(static_cast<uint16_t>(mid));
+    }
+    left_guard.MarkDirty();
+    right_guard.MarkDirty();
+  }
+
+  // Insert the separator into the parent (or grow a new root).
+  if (path.empty()) {
+    auto new_root_res = NewNode(/*leaf=*/false);
+    if (!new_root_res.ok()) return new_root_res.status();
+    auto page = pool_->FetchPage(*new_root_res);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    NodeView root(guard.get());
+    root.set_link(node_id);  // leftmost child
+    root.InsertAt(0, Entry{sep_key, sep_val, right_id});
+    guard.MarkDirty();
+    root_ = *new_root_res;
+    ++stats_.height;
+    return Status::OK();
+  }
+
+  PageId parent_id = path.back();
+  {
+    auto page = pool_->FetchPage(parent_id);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    NodeView parent(guard.get());
+    if (parent.num() < parent.capacity()) {
+      size_t pos = parent.LowerBound(sep_key, sep_val);
+      parent.InsertAt(pos, Entry{sep_key, sep_val, right_id});
+      guard.MarkDirty();
+      return Status::OK();
+    }
+  }
+  // Parent full: split it first, then re-descend to place the separator.
+  std::vector<PageId> parent_path(path.begin(), path.end() - 1);
+  TENDAX_RETURN_IF_ERROR(SplitAndPropagate(parent_id, parent_path));
+  std::vector<PageId> fresh_path;
+  PageId current = root_;
+  // Descend to the internal node that should hold the separator.
+  while (true) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    NodeView node(guard.get());
+    if (node.is_leaf()) {
+      return Status::Corruption("bptree: separator descent reached a leaf");
+    }
+    PageId next = node.ChildFor(sep_key, sep_val);
+    // The separator belongs in the parent of the split node: stop when the
+    // child we would follow is one of the two halves.
+    if (next == node_id || next == right_id) {
+      if (node.num() >= node.capacity()) {
+        return Status::Corruption("bptree: parent still full after split");
+      }
+      size_t pos = node.LowerBound(sep_key, sep_val);
+      node.InsertAt(pos, Entry{sep_key, sep_val, right_id});
+      guard.MarkDirty();
+      return Status::OK();
+    }
+    current = next;
+  }
+}
+
+Status BPlusTree::Delete(uint64_t key, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto leaf = FindLeaf(key, value, nullptr);
+  if (!leaf.ok()) return leaf.status();
+  auto page = pool_->FetchPage(*leaf);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+  NodeView node(guard.get());
+  size_t pos = node.LowerBound(key, value);
+  if (pos >= node.num() || !node.Get(pos).Equals(key, value)) {
+    return Status::NotFound("bptree: entry not found");
+  }
+  node.RemoveAt(pos);
+  guard.MarkDirty();
+  ++stats_.deletes;
+  return Status::OK();
+}
+
+Result<uint64_t> BPlusTree::GetFirst(uint64_t key) const {
+  uint64_t found = 0;
+  bool any = false;
+  TENDAX_RETURN_IF_ERROR(ScanRange(key, key, [&](uint64_t, uint64_t v) {
+    found = v;
+    any = true;
+    return false;
+  }));
+  if (!any) return Status::NotFound("bptree: key not found");
+  return found;
+}
+
+bool BPlusTree::Contains(uint64_t key, uint64_t value) const {
+  bool found = false;
+  Status st = ScanRange(key, key, [&](uint64_t, uint64_t v) {
+    if (v == value) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return st.ok() && found;
+}
+
+Status BPlusTree::ScanRange(
+    uint64_t lo_key, uint64_t hi_key,
+    const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto leaf = FindLeaf(lo_key, 0, nullptr);
+  if (!leaf.ok()) return leaf.status();
+  PageId current = *leaf;
+  while (current != kInvalidPageId) {
+    auto page = pool_->FetchPage(current);
+    if (!page.ok()) return page.status();
+    PageGuard guard(pool_, *page);
+    NodeView node(guard.get());
+    size_t start = node.LowerBound(lo_key, 0);
+    for (size_t i = start; i < node.num(); ++i) {
+      Entry e = node.Get(i);
+      if (e.key > hi_key) return Status::OK();
+      if (!fn(e.key, e.val)) return Status::OK();
+    }
+    current = node.link();
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> BPlusTree::Count() const {
+  uint64_t n = 0;
+  TENDAX_RETURN_IF_ERROR(
+      ScanRange(0, UINT64_MAX, [&](uint64_t, uint64_t) {
+        ++n;
+        return true;
+      }));
+  return n;
+}
+
+BPlusTreeStats BPlusTree::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tendax

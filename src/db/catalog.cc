@@ -1,0 +1,148 @@
+#include "db/catalog.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+namespace {
+
+Schema CatalogSchema() {
+  return Schema({{"table_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString},
+                 {"schema", ColumnType::kString}});
+}
+
+Result<ColumnType> ParseColumnType(const std::string& s) {
+  if (s == "UINT64") return ColumnType::kUint64;
+  if (s == "INT64") return ColumnType::kInt64;
+  if (s == "BOOL") return ColumnType::kBool;
+  if (s == "DOUBLE") return ColumnType::kDouble;
+  if (s == "STRING") return ColumnType::kString;
+  return Status::Corruption("unknown column type '" + s + "'");
+}
+
+}  // namespace
+
+std::string SerializeSchema(const Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.column(i).name;
+    out += ":";
+    out += ColumnTypeName(schema.column(i).type);
+  }
+  return out;
+}
+
+Result<Schema> ParseSchema(const std::string& text) {
+  std::vector<Column> columns;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string part = text.substr(pos, comma - pos);
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("bad schema fragment '" + part + "'");
+    }
+    auto type = ParseColumnType(part.substr(colon + 1));
+    if (!type.ok()) return type.status();
+    columns.push_back(Column{part.substr(0, colon), *type});
+    pos = comma + 1;
+  }
+  return Schema(std::move(columns));
+}
+
+Catalog::Catalog(BufferPool* pool, TxnManager* txns)
+    : pool_(pool), txns_(txns) {
+  catalog_table_ = std::make_unique<HeapTable>(
+      kCatalogTableId, "__catalog", CatalogSchema(), pool_, txns_);
+}
+
+Result<HeapTable*> Catalog::CreateTable(Transaction* txn,
+                                        const std::string& name,
+                                        const Schema& schema) {
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (by_name_.count(name)) {
+      return Status::AlreadyExists("table '" + name + "' exists");
+    }
+    id = next_table_id_++;
+  }
+  Record entry({uint64_t{id}, name, SerializeSchema(schema)});
+  auto rid = catalog_table_->Insert(txn, entry);
+  if (!rid.ok()) return rid.status();
+  return RegisterTable(id, name, schema);
+}
+
+Result<HeapTable*> Catalog::RegisterTable(uint32_t id, const std::string& name,
+                                          Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto table = std::make_unique<HeapTable>(id, name, std::move(schema), pool_,
+                                           txns_);
+  HeapTable* raw = table.get();
+  by_id_[id] = std::move(table);
+  by_name_[name] = raw;
+  next_table_id_ = std::max(next_table_id_, id + 1);
+  return raw;
+}
+
+Result<HeapTable*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<HeapTable*> Catalog::GetTableById(uint64_t table_id) const {
+  if (table_id == kCatalogTableId) return catalog_table_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(table_id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("no table with id " + std::to_string(table_id));
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, table] : by_name_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status Catalog::LoadFromStorage(
+    const std::unordered_map<uint32_t, std::vector<PageId>>& pages_by_table) {
+  auto cat_pages = pages_by_table.find(kCatalogTableId);
+  if (cat_pages != pages_by_table.end()) {
+    for (PageId p : cat_pages->second) catalog_table_->AdoptPage(p);
+  }
+  Status scan_status = Status::OK();
+  TENDAX_RETURN_IF_ERROR(
+      catalog_table_->Scan([&](RecordId, const Record& rec) {
+        auto schema = ParseSchema(rec.GetString(2));
+        if (!schema.ok()) {
+          scan_status = schema.status();
+          return false;
+        }
+        auto table = RegisterTable(static_cast<uint32_t>(rec.GetUint(0)),
+                                   rec.GetString(1), std::move(*schema));
+        if (!table.ok()) {
+          scan_status = table.status();
+          return false;
+        }
+        auto pages = pages_by_table.find(static_cast<uint32_t>(rec.GetUint(0)));
+        if (pages != pages_by_table.end()) {
+          for (PageId p : pages->second) (*table)->AdoptPage(p);
+        }
+        return true;
+      }));
+  return scan_status;
+}
+
+}  // namespace tendax

@@ -1,0 +1,61 @@
+#ifndef TENDAX_DB_CATALOG_H_
+#define TENDAX_DB_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/heap_table.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Serializes a schema to "name:TYPE,name:TYPE" and back (catalog storage).
+std::string SerializeSchema(const Schema& schema);
+Result<Schema> ParseSchema(const std::string& text);
+
+/// The system catalog: maps table names/ids to heap tables. Catalog entries
+/// are themselves records in a bootstrap heap table (table id 1), so table
+/// creation is transactional and recoverable like any other write.
+class Catalog {
+ public:
+  static constexpr uint32_t kCatalogTableId = 1;
+
+  Catalog(BufferPool* pool, TxnManager* txns);
+
+  /// The bootstrap table holding catalog records.
+  HeapTable* catalog_table() { return catalog_table_.get(); }
+
+  /// Creates a table inside `txn`. Fails with AlreadyExists on name clash.
+  Result<HeapTable*> CreateTable(Transaction* txn, const std::string& name,
+                                 const Schema& schema);
+
+  Result<HeapTable*> GetTable(const std::string& name) const;
+  Result<HeapTable*> GetTableById(uint64_t table_id) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Rebuilds the in-memory table map from catalog records plus the page
+  /// groups discovered by scanning the database file. Called at open.
+  Status LoadFromStorage(
+      const std::unordered_map<uint32_t, std::vector<PageId>>& pages_by_table);
+
+ private:
+  Result<HeapTable*> RegisterTable(uint32_t id, const std::string& name,
+                                   Schema schema);
+
+  BufferPool* const pool_;
+  TxnManager* const txns_;
+  std::unique_ptr<HeapTable> catalog_table_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, HeapTable*> by_name_;
+  std::unordered_map<uint64_t, std::unique_ptr<HeapTable>> by_id_;
+  uint32_t next_table_id_ = kCatalogTableId + 1;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DB_CATALOG_H_

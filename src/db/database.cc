@@ -1,0 +1,179 @@
+#include "db/database.h"
+
+#include "db/slotted_page.h"
+#include "util/logging.h"
+
+namespace tendax {
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->clock_ =
+      options.clock ? options.clock : std::make_shared<SystemClock>();
+
+  if (options.disk) {
+    db->disk_ = options.disk;
+  } else if (options.path.empty()) {
+    db->disk_ = std::make_shared<InMemoryDiskManager>();
+  } else {
+    auto disk = FileDiskManager::Open(options.path);
+    if (!disk.ok()) return disk.status();
+    db->disk_ = std::shared_ptr<DiskManager>(std::move(*disk));
+  }
+
+  if (options.log_storage) {
+    db->log_storage_ = options.log_storage;
+  } else if (options.path.empty()) {
+    db->log_storage_ = std::make_shared<InMemoryLogStorage>();
+  } else {
+    auto log = FileLogStorage::Open(options.path + ".wal");
+    if (!log.ok()) return log.status();
+    db->log_storage_ = std::shared_ptr<LogStorage>(std::move(*log));
+  }
+
+  db->wal_ = std::make_unique<Wal>(db->log_storage_);
+  db->buffer_pool_ = std::make_unique<BufferPool>(
+      options.buffer_pool_pages, db->disk_.get(), db->wal_.get());
+  db->lock_manager_ = std::make_unique<LockManager>(options.lock_timeout);
+  db->txn_manager_ = std::make_unique<TxnManager>(
+      db->wal_.get(), db->lock_manager_.get(), db->clock_.get(),
+      options.sync_commit);
+  db->txn_manager_->SetChangeApplier(db.get());
+  db->catalog_ =
+      std::make_unique<Catalog>(db->buffer_pool_.get(), db->txn_manager_.get());
+
+  TENDAX_RETURN_IF_ERROR(db->RecoverAndLoad());
+  return db;
+}
+
+Database::~Database() {
+  if (buffer_pool_ != nullptr) {
+    (void)buffer_pool_->FlushAll();
+  }
+  if (wal_ != nullptr) {
+    (void)wal_->FlushAll();
+  }
+}
+
+Status Database::RecoverAndLoad() {
+  std::vector<LogRecord> log;
+  TENDAX_RETURN_IF_ERROR(wal_->ReadAll(&log));
+
+  if (!log.empty()) {
+    // Recovery works on schema-less stub tables: redo/undo is bytes-level.
+    std::unordered_map<uint64_t, std::unique_ptr<HeapTable>> stubs;
+    auto table_for = [&](uint64_t table_id) -> HeapTable* {
+      auto it = stubs.find(table_id);
+      if (it == stubs.end()) {
+        auto stub = std::make_unique<HeapTable>(
+            static_cast<uint32_t>(table_id), "__recovery_stub", Schema(),
+            buffer_pool_.get(), txn_manager_.get());
+        it = stubs.emplace(table_id, std::move(stub)).first;
+      }
+      return it->second.get();
+    };
+    RecoveryManager recovery(table_for, wal_.get());
+    TENDAX_RETURN_IF_ERROR(recovery.Run(log));
+    recovery_stats_ = recovery.stats();
+    // State is now the committed history; make it durable and restart the
+    // log so replay never sees the old records again.
+    TENDAX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
+    TENDAX_RETURN_IF_ERROR(wal_->Reset());
+  }
+
+  auto pages = DiscoverPages();
+  if (!pages.ok()) return pages.status();
+  return catalog_->LoadFromStorage(*pages);
+}
+
+Result<std::unordered_map<uint32_t, std::vector<PageId>>>
+Database::DiscoverPages() {
+  std::unordered_map<uint32_t, std::vector<PageId>> by_table;
+  const uint32_t n = disk_->NumPages();
+  for (PageId pid = 0; pid < n; ++pid) {
+    auto page = buffer_pool_->FetchPage(pid);
+    if (!page.ok()) return page.status();
+    PageGuard guard(buffer_pool_.get(), *page);
+    SlottedPage sp(guard.get());
+    uint32_t table_id = sp.table_id();
+    if (!sp.IsInitialized()) continue;       // free/unused page
+    if (table_id & 0x80000000u) continue;    // index page (derived data)
+    by_table[table_id].push_back(pid);
+  }
+  return by_table;
+}
+
+Result<HeapTable*> Database::CreateTable(const std::string& name,
+                                         const Schema& schema) {
+  HeapTable* created = nullptr;
+  Status st = txn_manager_->RunInTxn(
+      UserId(0), [&](Transaction* txn) -> Status {
+        TENDAX_RETURN_IF_ERROR(lock_manager_->Acquire(
+            txn->id(), MakeResource(ResourceKind::kCatalog, 0), LockMode::kX));
+        auto table = catalog_->CreateTable(txn, name, schema);
+        if (!table.ok()) return table.status();
+        created = *table;
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return created;
+}
+
+Result<HeapTable*> Database::EnsureTable(const std::string& name,
+                                         const Schema& schema) {
+  auto existing = catalog_->GetTable(name);
+  if (existing.ok()) return existing;
+  auto created = CreateTable(name, schema);
+  if (created.ok()) return created;
+  if (created.status().IsAlreadyExists()) return catalog_->GetTable(name);
+  return created;
+}
+
+Result<HeapTable*> Database::GetTable(const std::string& name) const {
+  return catalog_->GetTable(name);
+}
+
+Result<BPlusTree*> Database::CreateIndex(const std::string& name) {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (indexes_.count(name)) {
+    return Status::AlreadyExists("index '" + name + "' exists");
+  }
+  auto tree = BPlusTree::Create(next_index_id_++, name, buffer_pool_.get());
+  if (!tree.ok()) return tree.status();
+  BPlusTree* raw = tree->get();
+  indexes_[name] = std::move(*tree);
+  return raw;
+}
+
+Result<BPlusTree*> Database::GetIndex(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Database::Checkpoint() {
+  if (txn_manager_->ActiveCount() > 0) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a quiescent database");
+  }
+  TENDAX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
+  TENDAX_RETURN_IF_ERROR(wal_->Reset());
+  LogRecord marker;
+  marker.type = LogType::kCheckpoint;
+  auto lsn = wal_->Append(&marker);
+  if (!lsn.ok()) return lsn.status();
+  return wal_->Flush(*lsn);
+}
+
+void Database::SimulateCrash() { buffer_pool_->DropAllForCrashTest(); }
+
+Status Database::ApplyChange(uint64_t table_id, UpdateOp op, uint64_t rid,
+                             const std::string& image, Lsn lsn) {
+  auto table = catalog_->GetTableById(table_id);
+  if (!table.ok()) return table.status();
+  return (*table)->ApplyChange(op, RecordId::Unpack(rid), image, lsn);
+}
+
+}  // namespace tendax

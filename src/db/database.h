@@ -1,0 +1,111 @@
+#ifndef TENDAX_DB_DATABASE_H_
+#define TENDAX_DB_DATABASE_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "db/bptree.h"
+#include "db/catalog.h"
+#include "db/recovery.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Configuration for opening a database.
+struct DatabaseOptions {
+  /// Path prefix for the data file (`<path>`) and log (`<path>.wal`).
+  /// Empty means fully in-memory.
+  std::string path;
+  /// Buffer pool capacity in pages.
+  size_t buffer_pool_pages = 4096;
+  /// Whether commits wait for the log flush.
+  bool sync_commit = true;
+  /// Lock wait timeout before a Conflict error.
+  std::chrono::milliseconds lock_timeout{2000};
+  /// Time source for all metadata stamps; defaults to the system clock.
+  std::shared_ptr<Clock> clock;
+  /// Test hooks: pre-built storage to share across a simulated crash.
+  std::shared_ptr<DiskManager> disk;
+  std::shared_ptr<LogStorage> log_storage;
+};
+
+/// The embedded database engine TeNDaX runs on: storage + WAL + buffer pool
+/// + locking + transactions + catalog + crash recovery, in one handle.
+///
+/// Opening a database automatically runs ARIES-lite recovery over any log
+/// left by a previous incarnation, then rebuilds the catalog from storage.
+class Database : public ChangeApplier {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table in its own transaction.
+  Result<HeapTable*> CreateTable(const std::string& name,
+                                 const Schema& schema);
+  /// Creates the table if it does not exist yet; returns it either way.
+  Result<HeapTable*> EnsureTable(const std::string& name,
+                                 const Schema& schema);
+  Result<HeapTable*> GetTable(const std::string& name) const;
+
+  /// Creates an in-memory-rooted, page-backed secondary index (derived
+  /// data: rebuilt by callers after reopen, not WAL-logged).
+  Result<BPlusTree*> CreateIndex(const std::string& name);
+  Result<BPlusTree*> GetIndex(const std::string& name) const;
+
+  /// Quiescent checkpoint: flushes all pages and truncates the log. Fails
+  /// with FailedPrecondition while transactions are active.
+  Status Checkpoint();
+
+  /// Drops all cached pages without flushing (crash simulation for tests;
+  /// pair with reopening via the same DiskManager/LogStorage).
+  void SimulateCrash();
+
+  /// ChangeApplier: routes abort-undo changes to the owning table.
+  Status ApplyChange(uint64_t table_id, UpdateOp op, uint64_t rid,
+                     const std::string& image, Lsn lsn) override;
+
+  TxnManager* txns() { return txn_manager_.get(); }
+  LockManager* locks() { return lock_manager_.get(); }
+  BufferPool* buffer_pool() { return buffer_pool_.get(); }
+  Catalog* catalog() { return catalog_.get(); }
+  Wal* wal() { return wal_.get(); }
+  Clock* clock() { return clock_.get(); }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+ private:
+  Database() = default;
+
+  Status RecoverAndLoad();
+  /// Groups initialized data pages by owning table id (skips index pages).
+  Result<std::unordered_map<uint32_t, std::vector<PageId>>> DiscoverPages();
+
+  std::shared_ptr<Clock> clock_;
+  std::shared_ptr<DiskManager> disk_;
+  std::shared_ptr<LogStorage> log_storage_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<BufferPool> buffer_pool_;
+  std::unique_ptr<LockManager> lock_manager_;
+  std::unique_ptr<TxnManager> txn_manager_;
+  std::unique_ptr<Catalog> catalog_;
+
+  mutable std::mutex index_mu_;
+  std::unordered_map<std::string, std::unique_ptr<BPlusTree>> indexes_;
+  uint32_t next_index_id_ = 1;
+
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DB_DATABASE_H_

@@ -1,0 +1,152 @@
+#include "db/query.h"
+
+#include <optional>
+
+namespace tendax {
+
+namespace {
+
+/// Strict-weak ordering across comparable Value alternatives; returns
+/// nullopt when the operands are not comparable (mixed types or NULL).
+std::optional<int> CompareValues(const Value& lhs, const Value& rhs) {
+  if (ValueIsNull(lhs) || ValueIsNull(rhs)) return std::nullopt;
+  if (lhs.index() != rhs.index()) {
+    // Allow uint64/int64/double cross-comparison via double widening.
+    auto as_double = [](const Value& v) -> std::optional<double> {
+      if (const auto* u = std::get_if<uint64_t>(&v)) {
+        return static_cast<double>(*u);
+      }
+      if (const auto* i = std::get_if<int64_t>(&v)) {
+        return static_cast<double>(*i);
+      }
+      if (const auto* d = std::get_if<double>(&v)) return *d;
+      return std::nullopt;
+    };
+    auto l = as_double(lhs), r = as_double(rhs);
+    if (!l || !r) return std::nullopt;
+    return *l < *r ? -1 : (*l > *r ? 1 : 0);
+  }
+  if (lhs < rhs) return -1;
+  if (rhs < lhs) return 1;
+  return 0;
+}
+
+}  // namespace
+
+bool EvaluateCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (op == CompareOp::kContains) {
+    const auto* hay = std::get_if<std::string>(&lhs);
+    const auto* needle = std::get_if<std::string>(&rhs);
+    return hay != nullptr && needle != nullptr &&
+           hay->find(*needle) != std::string::npos;
+  }
+  auto cmp = CompareValues(lhs, rhs);
+  if (!cmp.has_value()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return *cmp == 0;
+    case CompareOp::kNe:
+      return *cmp != 0;
+    case CompareOp::kLt:
+      return *cmp < 0;
+    case CompareOp::kLe:
+      return *cmp <= 0;
+    case CompareOp::kGt:
+      return *cmp > 0;
+    case CompareOp::kGe:
+      return *cmp >= 0;
+    case CompareOp::kContains:
+      break;
+  }
+  return false;
+}
+
+TableQuery& TableQuery::Where(const std::string& column, CompareOp op,
+                              Value value) {
+  predicates_.push_back(Pred{column, op, std::move(value)});
+  return *this;
+}
+
+TableQuery& TableQuery::Select(std::vector<std::string> columns) {
+  projection_ = std::move(columns);
+  return *this;
+}
+
+TableQuery& TableQuery::Limit(size_t n) {
+  limit_ = n;
+  return *this;
+}
+
+Status TableQuery::Resolve(std::vector<size_t>* pred_cols,
+                           std::vector<size_t>* out_cols) const {
+  const Schema& schema = table_->schema();
+  for (const Pred& pred : predicates_) {
+    auto idx = schema.ColumnIndex(pred.column);
+    if (!idx.ok()) return idx.status();
+    pred_cols->push_back(*idx);
+  }
+  for (const std::string& column : projection_) {
+    auto idx = schema.ColumnIndex(column);
+    if (!idx.ok()) return idx.status();
+    out_cols->push_back(*idx);
+  }
+  return Status::OK();
+}
+
+bool TableQuery::Matches(const Record& record,
+                         const std::vector<size_t>& pred_cols) const {
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (pred_cols[i] >= record.size()) return false;
+    if (!EvaluateCompare(record.value(pred_cols[i]), predicates_[i].op,
+                         predicates_[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Record>> TableQuery::Run() {
+  std::vector<size_t> pred_cols, out_cols;
+  TENDAX_RETURN_IF_ERROR(Resolve(&pred_cols, &out_cols));
+  std::vector<Record> rows;
+  TENDAX_RETURN_IF_ERROR(table_->Scan([&](RecordId, const Record& record) {
+    if (!Matches(record, pred_cols)) return true;
+    if (projection_.empty()) {
+      rows.push_back(record);
+    } else {
+      std::vector<Value> values;
+      values.reserve(out_cols.size());
+      for (size_t col : out_cols) values.push_back(record.value(col));
+      rows.emplace_back(std::move(values));
+    }
+    return rows.size() < limit_;
+  }));
+  return rows;
+}
+
+Result<uint64_t> TableQuery::Count() {
+  std::vector<size_t> pred_cols, out_cols;
+  TENDAX_RETURN_IF_ERROR(Resolve(&pred_cols, &out_cols));
+  uint64_t n = 0;
+  TENDAX_RETURN_IF_ERROR(table_->Scan([&](RecordId, const Record& record) {
+    if (Matches(record, pred_cols)) ++n;
+    return true;
+  }));
+  return n;
+}
+
+Result<uint64_t> TableQuery::Delete(Transaction* txn) {
+  std::vector<size_t> pred_cols, out_cols;
+  TENDAX_RETURN_IF_ERROR(Resolve(&pred_cols, &out_cols));
+  std::vector<RecordId> victims;
+  TENDAX_RETURN_IF_ERROR(table_->Scan([&](RecordId rid, const Record& record) {
+    if (Matches(record, pred_cols)) victims.push_back(rid);
+    return victims.size() < limit_;
+  }));
+  for (RecordId rid : victims) {
+    TENDAX_RETURN_IF_ERROR(table_->Delete(txn, rid));
+  }
+  return static_cast<uint64_t>(victims.size());
+}
+
+}  // namespace tendax

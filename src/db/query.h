@@ -1,0 +1,76 @@
+#ifndef TENDAX_DB_QUERY_H_
+#define TENDAX_DB_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "db/heap_table.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Comparison operators for query predicates.
+enum class CompareOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,  // substring match, string columns only
+};
+
+/// Three-valued comparison result of `lhs op rhs`; NULL operands make the
+/// predicate false (SQL semantics).
+bool EvaluateCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// A fluent scan-filter-project query over one heap table — the "uniform
+/// tool access" the paper gets for free from keeping documents in a DBMS:
+///
+///   auto rows = TableQuery(chars_table)
+///                   .Where("author", CompareOp::kEq, user.value)
+///                   .Where("deleted_version", CompareOp::kEq, uint64_t{0})
+///                   .Select({"char_id", "codepoint"})
+///                   .Limit(100)
+///                   .Run();
+///
+/// Predicates are conjunctive. Column names resolve against the table's
+/// schema; name errors surface when the query runs.
+class TableQuery {
+ public:
+  explicit TableQuery(HeapTable* table) : table_(table) {}
+
+  TableQuery& Where(const std::string& column, CompareOp op, Value value);
+  TableQuery& Select(std::vector<std::string> columns);
+  TableQuery& Limit(size_t n);
+
+  /// Executes the query; rows come back in (page, slot) order.
+  Result<std::vector<Record>> Run();
+
+  /// Number of rows matching the predicates (projection ignored).
+  Result<uint64_t> Count();
+
+  /// Deletes matching rows inside `txn`; returns how many were removed.
+  Result<uint64_t> Delete(Transaction* txn);
+
+ private:
+  struct Pred {
+    std::string column;
+    CompareOp op;
+    Value value;
+  };
+
+  Status Resolve(std::vector<size_t>* pred_cols,
+                 std::vector<size_t>* out_cols) const;
+  bool Matches(const Record& record,
+               const std::vector<size_t>& pred_cols) const;
+
+  HeapTable* const table_;
+  std::vector<Pred> predicates_;
+  std::vector<std::string> projection_;
+  size_t limit_ = SIZE_MAX;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DB_QUERY_H_

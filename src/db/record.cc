@@ -1,0 +1,183 @@
+#include "db/record.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace tendax {
+
+namespace {
+
+// Type tags in the wire format.
+enum : uint8_t {
+  kTagNull = 0,
+  kTagUint64 = 1,
+  kTagInt64 = 2,
+  kTagBool = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+};
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace
+
+bool ValueIsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+std::string ValueToString(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "NULL"; }
+    std::string operator()(uint64_t x) const { return std::to_string(x); }
+    std::string operator()(int64_t x) const { return std::to_string(x); }
+    std::string operator()(bool x) const { return x ? "true" : "false"; }
+    std::string operator()(double x) const { return std::to_string(x); }
+    std::string operator()(const std::string& x) const { return "'" + x + "'"; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+void Record::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(values_.size()));
+  for (const Value& v : values_) {
+    if (std::holds_alternative<std::monostate>(v)) {
+      dst->push_back(static_cast<char>(kTagNull));
+    } else if (const auto* u = std::get_if<uint64_t>(&v)) {
+      dst->push_back(static_cast<char>(kTagUint64));
+      PutVarint64(dst, *u);
+    } else if (const auto* i = std::get_if<int64_t>(&v)) {
+      dst->push_back(static_cast<char>(kTagInt64));
+      PutVarint64(dst, ZigZagEncode(*i));
+    } else if (const auto* b = std::get_if<bool>(&v)) {
+      dst->push_back(static_cast<char>(kTagBool));
+      dst->push_back(*b ? 1 : 0);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+      dst->push_back(static_cast<char>(kTagDouble));
+      uint64_t bits;
+      memcpy(&bits, d, sizeof(bits));
+      PutFixed64(dst, bits);
+    } else if (const auto* s = std::get_if<std::string>(&v)) {
+      dst->push_back(static_cast<char>(kTagString));
+      PutLengthPrefixed(dst, *s);
+    }
+  }
+}
+
+std::string Record::Encode() const {
+  std::string out;
+  EncodeTo(&out);
+  return out;
+}
+
+Result<Record> Record::Decode(Slice input) {
+  uint32_t n;
+  if (!GetVarint32(&input, &n)) {
+    return Status::Corruption("record: bad arity");
+  }
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (input.empty()) return Status::Corruption("record: truncated");
+    uint8_t tag = static_cast<uint8_t>(input[0]);
+    input.remove_prefix(1);
+    switch (tag) {
+      case kTagNull:
+        values.emplace_back(std::monostate{});
+        break;
+      case kTagUint64: {
+        uint64_t u;
+        if (!GetVarint64(&input, &u))
+          return Status::Corruption("record: bad uint64");
+        values.emplace_back(u);
+        break;
+      }
+      case kTagInt64: {
+        uint64_t u;
+        if (!GetVarint64(&input, &u))
+          return Status::Corruption("record: bad int64");
+        values.emplace_back(ZigZagDecode(u));
+        break;
+      }
+      case kTagBool: {
+        if (input.empty()) return Status::Corruption("record: bad bool");
+        values.emplace_back(input[0] != 0);
+        input.remove_prefix(1);
+        break;
+      }
+      case kTagDouble: {
+        uint64_t bits;
+        if (!GetFixed64(&input, &bits))
+          return Status::Corruption("record: bad double");
+        double d;
+        memcpy(&d, &bits, sizeof(d));
+        values.emplace_back(d);
+        break;
+      }
+      case kTagString: {
+        Slice s;
+        if (!GetLengthPrefixed(&input, &s))
+          return Status::Corruption("record: bad string");
+        values.emplace_back(s.ToString());
+        break;
+      }
+      default:
+        return Status::Corruption("record: unknown value tag " +
+                                  std::to_string(tag));
+    }
+  }
+  return Record(std::move(values));
+}
+
+Status Record::ConformsTo(const Schema& schema) const {
+  if (values_.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "record arity " + std::to_string(values_.size()) +
+        " does not match schema arity " +
+        std::to_string(schema.num_columns()));
+  }
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (ValueIsNull(values_[i])) continue;
+    bool ok = false;
+    switch (schema.column(i).type) {
+      case ColumnType::kUint64:
+        ok = std::holds_alternative<uint64_t>(values_[i]);
+        break;
+      case ColumnType::kInt64:
+        ok = std::holds_alternative<int64_t>(values_[i]);
+        break;
+      case ColumnType::kBool:
+        ok = std::holds_alternative<bool>(values_[i]);
+        break;
+      case ColumnType::kDouble:
+        ok = std::holds_alternative<double>(values_[i]);
+        break;
+      case ColumnType::kString:
+        ok = std::holds_alternative<std::string>(values_[i]);
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("column '" + schema.column(i).name +
+                                     "' type mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Record::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ValueToString(values_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tendax

@@ -1,0 +1,62 @@
+#ifndef TENDAX_DB_RECORD_H_
+#define TENDAX_DB_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "db/schema.h"
+#include "util/result.h"
+#include "util/slice.h"
+
+namespace tendax {
+
+/// A single column value. `std::monostate` encodes SQL NULL.
+using Value = std::variant<std::monostate, uint64_t, int64_t, bool, double,
+                           std::string>;
+
+bool ValueIsNull(const Value& v);
+std::string ValueToString(const Value& v);
+
+/// A typed tuple. Values are positional; the schema gives them names and
+/// types. Encoding is self-delimiting so records can live in slotted pages.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& value(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  uint64_t GetUint(size_t i) const { return std::get<uint64_t>(values_[i]); }
+  int64_t GetInt(size_t i) const { return std::get<int64_t>(values_[i]); }
+  bool GetBool(size_t i) const { return std::get<bool>(values_[i]); }
+  double GetDouble(size_t i) const { return std::get<double>(values_[i]); }
+  const std::string& GetString(size_t i) const {
+    return std::get<std::string>(values_[i]);
+  }
+
+  /// Serializes to a self-delimiting byte string.
+  void EncodeTo(std::string* dst) const;
+  std::string Encode() const;
+
+  /// Parses bytes produced by EncodeTo.
+  static Result<Record> Decode(Slice input);
+
+  /// Checks the record's arity and value types against `schema` (NULLs pass).
+  Status ConformsTo(const Schema& schema) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Record& other) const { return values_ == other.values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DB_RECORD_H_

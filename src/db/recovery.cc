@@ -1,0 +1,111 @@
+#include "db/recovery.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tendax {
+
+Status RecoveryManager::Run(const std::vector<LogRecord>& log) {
+  stats_.records_scanned = log.size();
+
+  // --- Analysis ---
+  std::unordered_set<uint64_t> seen, winners, finished;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> compensated;
+  for (const LogRecord& rec : log) {
+    seen.insert(rec.txn.value);
+    switch (rec.type) {
+      case LogType::kCommit:
+        winners.insert(rec.txn.value);
+        finished.insert(rec.txn.value);
+        break;
+      case LogType::kAbort:
+        finished.insert(rec.txn.value);
+        break;
+      case LogType::kCompensation:
+        compensated[rec.txn.value].insert(rec.undo_next_lsn);
+        break;
+      default:
+        break;
+    }
+  }
+  stats_.txns_seen = seen.size();
+  stats_.winners = winners.size();
+
+  // --- Redo: repeat history in log order ---
+  for (const LogRecord& rec : log) {
+    if (rec.type != LogType::kUpdate && rec.type != LogType::kCompensation) {
+      continue;
+    }
+    HeapTable* table = table_for_(rec.table_id);
+    if (table == nullptr) {
+      return Status::Corruption("recovery: unknown table " +
+                                std::to_string(rec.table_id));
+    }
+    const std::string& image =
+        rec.op == UpdateOp::kDelete ? std::string() : rec.after;
+    TENDAX_RETURN_IF_ERROR(table->ApplyChange(
+        rec.op, RecordId::Unpack(rec.rid), image, rec.lsn));
+    ++stats_.redo_applied;
+  }
+
+  // --- Undo losers in reverse log order ---
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    const LogRecord& rec = *it;
+    if (rec.type != LogType::kUpdate) continue;
+    if (finished.count(rec.txn.value)) continue;  // winner or aborted cleanly
+    auto comp = compensated.find(rec.txn.value);
+    if (comp != compensated.end() && comp->second.count(rec.lsn)) {
+      continue;  // a pre-crash CLR already undid this update
+    }
+    stats_.losers = 0;  // recomputed below for reporting
+    UpdateOp inverse;
+    const std::string* image;
+    switch (rec.op) {
+      case UpdateOp::kInsert:
+        inverse = UpdateOp::kDelete;
+        image = &rec.before;
+        break;
+      case UpdateOp::kDelete:
+        inverse = UpdateOp::kInsert;
+        image = &rec.before;
+        break;
+      case UpdateOp::kUpdate:
+        inverse = UpdateOp::kUpdate;
+        image = &rec.before;
+        break;
+      default:
+        return Status::Corruption("recovery: unknown update op");
+    }
+    Lsn clr_lsn = kInvalidLsn;
+    if (wal_ != nullptr) {
+      LogRecord clr;
+      clr.type = LogType::kCompensation;
+      clr.txn = rec.txn;
+      clr.op = inverse;
+      clr.table_id = rec.table_id;
+      clr.rid = rec.rid;
+      clr.after = *image;
+      clr.undo_next_lsn = rec.lsn;
+      auto lsn = wal_->Append(&clr);
+      if (!lsn.ok()) return lsn.status();
+      clr_lsn = *lsn;
+    }
+    HeapTable* table = table_for_(rec.table_id);
+    if (table == nullptr) {
+      return Status::Corruption("recovery: unknown table " +
+                                std::to_string(rec.table_id));
+    }
+    TENDAX_RETURN_IF_ERROR(table->ApplyChange(
+        inverse, RecordId::Unpack(rec.rid), *image, clr_lsn));
+    ++stats_.undo_applied;
+  }
+
+  size_t losers = 0;
+  for (uint64_t t : seen) {
+    if (!finished.count(t)) ++losers;
+  }
+  stats_.losers = losers;
+  return Status::OK();
+}
+
+}  // namespace tendax

@@ -1,0 +1,52 @@
+#ifndef TENDAX_DB_RECOVERY_H_
+#define TENDAX_DB_RECOVERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "db/heap_table.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace tendax {
+
+/// Outcome counters for one recovery run (reported by bench_storage, E9).
+struct RecoveryStats {
+  size_t records_scanned = 0;
+  size_t txns_seen = 0;
+  size_t winners = 0;   // committed transactions
+  size_t losers = 0;    // transactions active at the crash
+  size_t redo_applied = 0;
+  size_t undo_applied = 0;
+};
+
+/// ARIES-lite crash recovery over the logical WAL:
+///
+///  1. *Analysis*: one scan classifying transactions into winners
+///     (commit record present) and losers (no commit/abort completion).
+///  2. *Redo*: repeat history — every update and compensation record is
+///     re-applied in log order; page LSNs make this idempotent.
+///  3. *Undo*: losers' updates are rolled back in reverse log order,
+///     skipping updates that a pre-crash compensation record already
+///     undid, and logging fresh CLRs so recovery itself is restartable.
+class RecoveryManager {
+ public:
+  /// `table_for` resolves a table id to a HeapTable to apply changes to
+  /// (recovery-time stub tables are fine: redo/undo is bytes-level).
+  /// `wal` receives the CLRs written during undo; may be null in tests.
+  RecoveryManager(std::function<HeapTable*(uint64_t)> table_for, Wal* wal)
+      : table_for_(std::move(table_for)), wal_(wal) {}
+
+  Status Run(const std::vector<LogRecord>& log);
+
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  std::function<HeapTable*(uint64_t)> table_for_;
+  Wal* wal_;
+  RecoveryStats stats_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DB_RECOVERY_H_

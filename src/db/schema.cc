@@ -1,0 +1,47 @@
+#include "db/schema.h"
+
+namespace tendax {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kUint64:
+      return "UINT64";
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kBool:
+      return "BOOL";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_[columns_[i].name] = i;
+  }
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ColumnTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tendax

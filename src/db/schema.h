@@ -1,0 +1,51 @@
+#ifndef TENDAX_DB_SCHEMA_H_
+#define TENDAX_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace tendax {
+
+/// Column data types supported by the relational substrate.
+enum class ColumnType : uint8_t {
+  kUint64 = 1,
+  kInt64 = 2,
+  kBool = 3,
+  kDouble = 4,
+  kString = 5,  // also used for blobs
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or kNotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DB_SCHEMA_H_

@@ -1,0 +1,718 @@
+#include "document/document_model.h"
+
+#include <algorithm>
+
+#include "text/utf8.h"
+
+namespace tendax {
+
+namespace {
+
+Schema ElementsSchema() {
+  return Schema({{"elem_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"parent", ColumnType::kUint64},
+                 {"ord", ColumnType::kUint64},
+                 {"type", ColumnType::kString},
+                 {"label", ColumnType::kString},
+                 {"anchor_start", ColumnType::kUint64},
+                 {"anchor_end", ColumnType::kUint64},
+                 {"author", ColumnType::kUint64},
+                 {"at", ColumnType::kUint64}});
+}
+
+Schema LayoutSchema() {
+  return Schema({{"run_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"start_char", ColumnType::kUint64},
+                 {"end_char", ColumnType::kUint64},
+                 {"attr", ColumnType::kString},
+                 {"value", ColumnType::kString},
+                 {"author", ColumnType::kUint64},
+                 {"at", ColumnType::kUint64}});
+}
+
+Schema NotesSchema() {
+  return Schema({{"note_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"anchor", ColumnType::kUint64},
+                 {"author", ColumnType::kUint64},
+                 {"at", ColumnType::kUint64},
+                 {"text", ColumnType::kString}});
+}
+
+Schema ObjectsSchema() {
+  return Schema({{"obj_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"kind", ColumnType::kString},
+                 {"anchor", ColumnType::kUint64},
+                 {"name", ColumnType::kString},
+                 {"author", ColumnType::kUint64},
+                 {"at", ColumnType::kUint64},
+                 {"meta", ColumnType::kString}});
+}
+
+Schema BlobsSchema() {
+  return Schema({{"obj_id", ColumnType::kUint64},
+                 {"seq", ColumnType::kUint64},
+                 {"bytes", ColumnType::kString}});
+}
+
+/// Blob chunk size, safely below the page record limit.
+constexpr size_t kBlobChunk = 3500;
+
+}  // namespace
+
+DocumentModel::DocumentModel(Database* db, TextStore* text)
+    : db_(db), text_(text) {}
+
+Status DocumentModel::Init() {
+  auto elements = db_->EnsureTable("tendax_elements", ElementsSchema());
+  if (!elements.ok()) return elements.status();
+  elements_table_ = *elements;
+  auto layout = db_->EnsureTable("tendax_layout", LayoutSchema());
+  if (!layout.ok()) return layout.status();
+  layout_table_ = *layout;
+  auto notes = db_->EnsureTable("tendax_notes", NotesSchema());
+  if (!notes.ok()) return notes.status();
+  notes_table_ = *notes;
+  auto objects = db_->EnsureTable("tendax_objects", ObjectsSchema());
+  if (!objects.ok()) return objects.status();
+  objects_table_ = *objects;
+  auto blobs = db_->EnsureTable("tendax_blobs", BlobsSchema());
+  if (!blobs.ok()) return blobs.status();
+  blobs_table_ = *blobs;
+
+  uint64_t max_elem = 0, max_run = 0, max_note = 0, max_obj = 0;
+  TENDAX_RETURN_IF_ERROR(
+      elements_table_->Scan([&](RecordId rid, const Record& rec) {
+        ElementInfo e;
+        e.id = ElementId(rec.GetUint(0));
+        e.doc = DocumentId(rec.GetUint(1));
+        e.parent = ElementId(rec.GetUint(2));
+        e.order = rec.GetUint(3);
+        e.type = rec.GetString(4);
+        e.label = rec.GetString(5);
+        e.anchor_start = CharId(rec.GetUint(6));
+        e.anchor_end = CharId(rec.GetUint(7));
+        e.author = UserId(rec.GetUint(8));
+        e.at = rec.GetUint(9);
+        max_elem = std::max(max_elem, e.id.value);
+        elements_[e.id.value] = e;
+        element_rids_[e.id.value] = rid;
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      layout_table_->Scan([&](RecordId, const Record& rec) {
+        LayoutRun r;
+        r.run_id = rec.GetUint(0);
+        r.doc = DocumentId(rec.GetUint(1));
+        r.start = CharId(rec.GetUint(2));
+        r.end = CharId(rec.GetUint(3));
+        r.attr = rec.GetString(4);
+        r.value = rec.GetString(5);
+        r.author = UserId(rec.GetUint(6));
+        r.at = rec.GetUint(7);
+        max_run = std::max(max_run, r.run_id);
+        runs_[r.run_id] = r;
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      notes_table_->Scan([&](RecordId, const Record& rec) {
+        NoteInfo n;
+        n.id = NoteId(rec.GetUint(0));
+        n.doc = DocumentId(rec.GetUint(1));
+        n.anchor = CharId(rec.GetUint(2));
+        n.author = UserId(rec.GetUint(3));
+        n.at = rec.GetUint(4);
+        n.text = rec.GetString(5);
+        max_note = std::max(max_note, n.id.value);
+        notes_[n.id.value] = n;
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      objects_table_->Scan([&](RecordId, const Record& rec) {
+        ObjectInfo o;
+        o.id = ObjectId(rec.GetUint(0));
+        o.doc = DocumentId(rec.GetUint(1));
+        o.kind = rec.GetString(2);
+        o.anchor = CharId(rec.GetUint(3));
+        o.name = rec.GetString(4);
+        o.author = UserId(rec.GetUint(5));
+        o.at = rec.GetUint(6);
+        o.meta = rec.GetString(7);
+        max_obj = std::max(max_obj, o.id.value);
+        objects_[o.id.value] = o;
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      blobs_table_->Scan([&](RecordId rid, const Record& rec) {
+        blob_rids_[{rec.GetUint(0), rec.GetUint(1)}] = rid;
+        return true;
+      }));
+  next_element_id_ = max_elem + 1;
+  next_run_id_ = max_run + 1;
+  next_note_id_ = max_note + 1;
+  next_object_id_ = max_obj + 1;
+  return Status::OK();
+}
+
+Result<std::unordered_map<uint64_t, size_t>> DocumentModel::PositionIndex(
+    DocumentId doc) {
+  auto length = text_->Length(doc);
+  if (!length.ok()) return length.status();
+  std::unordered_map<uint64_t, size_t> index;
+  if (*length == 0) return index;
+  auto infos = text_->RangeInfo(doc, 0, *length);
+  if (!infos.ok()) return infos.status();
+  index.reserve(infos->size());
+  for (size_t i = 0; i < infos->size(); ++i) {
+    index[(*infos)[i].id.value] = i;
+  }
+  return index;
+}
+
+Result<CharId> DocumentModel::AnchorAt(DocumentId doc, size_t pos) {
+  auto length = text_->Length(doc);
+  if (!length.ok()) return length.status();
+  if (*length == 0) return CharId();  // doc-level anchor
+  size_t clamped = std::min(pos, static_cast<size_t>(*length - 1));
+  auto info = text_->CharAt(doc, clamped);
+  if (!info.ok()) return info.status();
+  return info->id;
+}
+
+Result<ElementId> DocumentModel::CreateElement(UserId user, DocumentId doc,
+                                               ElementId parent,
+                                               const std::string& type,
+                                               const std::string& label,
+                                               size_t pos, size_t len) {
+  CharId start, end;
+  if (len > 0) {
+    auto info = text_->RangeInfo(doc, pos, len);
+    if (!info.ok()) return info.status();
+    start = info->front().id;
+    end = info->back().id;
+  } else {
+    auto anchor = AnchorAt(doc, pos);
+    if (!anchor.ok()) return anchor.status();
+    start = end = *anchor;
+  }
+  ElementInfo e;
+  e.id = ElementId(next_element_id_.fetch_add(1));
+  e.doc = doc;
+  e.parent = parent;
+  e.type = type;
+  e.label = label;
+  e.anchor_start = start;
+  e.anchor_end = end;
+  e.author = user;
+  e.at = db_->clock()->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t max_ord = 0;
+    for (const auto& [id, other] : elements_) {
+      if (other.doc == doc && other.parent == parent) {
+        max_ord = std::max(max_ord, other.order + 1);
+      }
+    }
+    e.order = max_ord;
+  }
+
+  RecordId rid;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
+        LockMode::kIX));
+    auto r = elements_table_->Insert(
+        txn, Record({e.id.value, doc.value, parent.value, e.order, type,
+                     label, start.value, end.value, user.value,
+                     uint64_t{e.at}}));
+    if (!r.ok()) return r.status();
+    rid = *r;
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kStructureChanged;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = e.at;
+    ev.detail = type + ":" + label;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  elements_[e.id.value] = e;
+  element_rids_[e.id.value] = rid;
+  return e.id;
+}
+
+Status DocumentModel::RelabelElement(UserId user, ElementId element,
+                                     const std::string& label) {
+  ElementInfo e;
+  RecordId rid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = elements_.find(element.value);
+    if (it == elements_.end()) return Status::NotFound("unknown element");
+    e = it->second;
+    rid = element_rids_.at(element.value);
+  }
+  e.label = label;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    auto r = elements_table_->Update(
+        txn, rid,
+        Record({e.id.value, e.doc.value, e.parent.value, e.order, e.type,
+                label, e.anchor_start.value, e.anchor_end.value,
+                e.author.value, uint64_t{e.at}}));
+    if (!r.ok()) return r.status();
+    rid = *r;
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kStructureChanged;
+    ev.doc = e.doc;
+    ev.user = user;
+    ev.at = db_->clock()->NowMicros();
+    ev.detail = "relabel:" + label;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  elements_[element.value] = e;
+  element_rids_[element.value] = rid;
+  return Status::OK();
+}
+
+Status DocumentModel::DeleteElement(UserId user, ElementId element) {
+  RecordId rid;
+  DocumentId doc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = elements_.find(element.value);
+    if (it == elements_.end()) return Status::NotFound("unknown element");
+    doc = it->second.doc;
+    rid = element_rids_.at(element.value);
+  }
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(elements_table_->Delete(txn, rid));
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kStructureChanged;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = db_->clock()->NowMicros();
+    ev.detail = "delete-element";
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  elements_.erase(element.value);
+  element_rids_.erase(element.value);
+  return Status::OK();
+}
+
+Result<std::vector<ElementInfo>> DocumentModel::ElementTree(DocumentId doc) {
+  auto positions = PositionIndex(doc);
+  if (!positions.ok()) return positions.status();
+  std::vector<ElementInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, e] : elements_) {
+      if (e.doc == doc) out.push_back(e);
+    }
+  }
+  for (ElementInfo& e : out) {
+    auto s = positions->find(e.anchor_start.value);
+    auto t = positions->find(e.anchor_end.value);
+    if (s != positions->end()) e.start_pos = s->second;
+    if (t != positions->end()) e.end_pos = t->second;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ElementInfo& a, const ElementInfo& b) {
+              if (a.parent != b.parent) return a.parent < b.parent;
+              return a.order < b.order;
+            });
+  return out;
+}
+
+Result<uint64_t> DocumentModel::ApplyLayout(UserId user, DocumentId doc,
+                                            size_t pos, size_t len,
+                                            const std::string& attr,
+                                            const std::string& value) {
+  if (len == 0) return Status::InvalidArgument("empty layout range");
+  auto info = text_->RangeInfo(doc, pos, len);
+  if (!info.ok()) return info.status();
+  LayoutRun r;
+  r.run_id = next_run_id_.fetch_add(1);
+  r.doc = doc;
+  r.start = info->front().id;
+  r.end = info->back().id;
+  r.attr = attr;
+  r.value = value;
+  r.author = user;
+  r.at = db_->clock()->NowMicros();
+
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
+        LockMode::kIX));
+    auto rid = layout_table_->Insert(
+        txn, Record({r.run_id, doc.value, r.start.value, r.end.value, attr,
+                     value, user.value, uint64_t{r.at}}));
+    if (!rid.ok()) return rid.status();
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kLayoutChanged;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = r.at;
+    ev.anchor = r.start;
+    ev.count = len;
+    ev.detail = attr + "=" + value;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_[r.run_id] = r;
+  return r.run_id;
+}
+
+std::vector<LayoutRun> DocumentModel::RunsFor(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LayoutRun> out;
+  for (const auto& [id, r] : runs_) {
+    if (r.doc == doc) out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<LayoutSpan>> DocumentModel::ComputeSpans(DocumentId doc) {
+  auto length = text_->Length(doc);
+  if (!length.ok()) return length.status();
+  auto positions = PositionIndex(doc);
+  if (!positions.ok()) return positions.status();
+
+  // Resolve runs to position intervals. Later runs override earlier ones on
+  // the same attribute (last-writer-wins collaborative layouting).
+  struct Interval {
+    size_t start, end;  // inclusive positions
+    std::string attr, value;
+    uint64_t run_id;
+  };
+  std::vector<Interval> intervals;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, r] : runs_) {
+      if (r.doc != doc) continue;
+      auto s = positions->find(r.start.value);
+      auto e = positions->find(r.end.value);
+      if (s == positions->end() || e == positions->end()) continue;
+      size_t lo = std::min(s->second, e->second);
+      size_t hi = std::max(s->second, e->second);
+      intervals.push_back(Interval{lo, hi, r.attr, r.value, id});
+    }
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.run_id < b.run_id;
+            });
+
+  // Sweep boundaries.
+  std::vector<size_t> cuts = {0, static_cast<size_t>(*length)};
+  for (const Interval& iv : intervals) {
+    cuts.push_back(iv.start);
+    cuts.push_back(iv.end + 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<LayoutSpan> spans;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    if (cuts[i] >= static_cast<size_t>(*length)) break;
+    LayoutSpan span;
+    span.start = cuts[i];
+    span.end = std::min(cuts[i + 1], static_cast<size_t>(*length));
+    for (const Interval& iv : intervals) {
+      if (iv.start <= span.start && span.start <= iv.end) {
+        span.attrs[iv.attr] = iv.value;  // later run_id overrides
+      }
+    }
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+Result<std::string> DocumentModel::RenderMarkup(DocumentId doc) {
+  auto spans = ComputeSpans(doc);
+  if (!spans.ok()) return spans.status();
+  std::string out;
+  for (const LayoutSpan& span : *spans) {
+    auto piece = text_->TextRange(doc, span.start, span.end - span.start);
+    if (!piece.ok()) return piece.status();
+    if (span.attrs.empty()) {
+      out += *piece;
+      continue;
+    }
+    for (const auto& [attr, value] : span.attrs) {
+      out += "[" + attr + "=" + value + "]";
+    }
+    out += *piece;
+    for (auto it = span.attrs.rbegin(); it != span.attrs.rend(); ++it) {
+      out += "[/" + it->first + "]";
+    }
+  }
+  return out;
+}
+
+Result<NoteId> DocumentModel::AddNote(UserId user, DocumentId doc, size_t pos,
+                                      const std::string& note_text) {
+  auto anchor = AnchorAt(doc, pos);
+  if (!anchor.ok()) return anchor.status();
+  NoteInfo n;
+  n.id = NoteId(next_note_id_.fetch_add(1));
+  n.doc = doc;
+  n.anchor = *anchor;
+  n.author = user;
+  n.at = db_->clock()->NowMicros();
+  n.text = note_text;
+
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    auto rid = notes_table_->Insert(
+        txn, Record({n.id.value, doc.value, n.anchor.value, user.value,
+                     uint64_t{n.at}, note_text}));
+    if (!rid.ok()) return rid.status();
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kNoteAdded;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = n.at;
+    ev.anchor = n.anchor;
+    ev.detail = note_text;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  notes_[n.id.value] = n;
+  return n.id;
+}
+
+Result<std::vector<NoteInfo>> DocumentModel::Notes(DocumentId doc) {
+  auto positions = PositionIndex(doc);
+  if (!positions.ok()) return positions.status();
+  std::vector<NoteInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, n] : notes_) {
+      if (n.doc == doc) out.push_back(n);
+    }
+  }
+  for (NoteInfo& n : out) {
+    auto it = positions->find(n.anchor.value);
+    if (it != positions->end()) n.pos = it->second;
+  }
+  return out;
+}
+
+Result<ObjectId> DocumentModel::EmbedImage(UserId user, DocumentId doc,
+                                           size_t pos,
+                                           const std::string& name,
+                                           const std::string& bytes) {
+  // Transaction 1: the anchor character enters the text flow.
+  std::string anchor_char;
+  AppendUtf8(&anchor_char, kObjectAnchorCp);
+  auto edit = text_->InsertText(user, doc, pos, anchor_char);
+  if (!edit.ok()) return edit.status();
+  CharId anchor = edit->chars.front();
+
+  ObjectInfo o;
+  o.id = ObjectId(next_object_id_.fetch_add(1));
+  o.doc = doc;
+  o.kind = "image";
+  o.anchor = anchor;
+  o.name = name;
+  o.author = user;
+  o.at = db_->clock()->NowMicros();
+  o.meta = std::to_string(bytes.size());
+
+  // Transaction 2: object row. Transactions 3..n: blob chunks.
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    auto rid = objects_table_->Insert(
+        txn, Record({o.id.value, doc.value, o.kind, anchor.value, name,
+                     user.value, uint64_t{o.at}, o.meta}));
+    if (!rid.ok()) return rid.status();
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kObjectInserted;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = o.at;
+    ev.anchor = anchor;
+    ev.detail = "image:" + name;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  for (size_t off = 0, seq = 0; off < bytes.size(); off += kBlobChunk, ++seq) {
+    TENDAX_RETURN_IF_ERROR(
+        PutBlob(user, o.id, seq, bytes.substr(off, kBlobChunk)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[o.id.value] = o;
+  return o.id;
+}
+
+Status DocumentModel::PutBlob(UserId user, ObjectId object, uint64_t seq,
+                              const std::string& bytes) {
+  RecordId existing;
+  bool update = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blob_rids_.find({object.value, seq});
+    if (it != blob_rids_.end()) {
+      existing = it->second;
+      update = true;
+    }
+  }
+  RecordId rid;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    Record rec({object.value, seq, bytes});
+    if (update) {
+      auto r = blobs_table_->Update(txn, existing, rec);
+      if (!r.ok()) return r.status();
+      rid = *r;
+    } else {
+      auto r = blobs_table_->Insert(txn, rec);
+      if (!r.ok()) return r.status();
+      rid = *r;
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  blob_rids_[{object.value, seq}] = rid;
+  return Status::OK();
+}
+
+Result<std::string> DocumentModel::ReadBlobs(ObjectId object, uint64_t lo,
+                                             uint64_t hi) const {
+  std::vector<std::pair<uint64_t, RecordId>> chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blob_rids_.lower_bound({object.value, lo});
+    for (; it != blob_rids_.end() && it->first.first == object.value &&
+           it->first.second <= hi;
+         ++it) {
+      chunks.emplace_back(it->first.second, it->second);
+    }
+  }
+  std::string out;
+  for (const auto& [seq, rid] : chunks) {
+    auto rec = blobs_table_->Get(rid);
+    if (!rec.ok()) return rec.status();
+    out += rec->GetString(2);
+  }
+  return out;
+}
+
+Result<std::string> DocumentModel::GetImage(ObjectId object) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(object.value);
+    if (it == objects_.end() || it->second.kind != "image") {
+      return Status::NotFound("no image object " + object.ToString());
+    }
+  }
+  return ReadBlobs(object, 0, UINT64_MAX);
+}
+
+Result<ObjectId> DocumentModel::InsertTable(UserId user, DocumentId doc,
+                                            size_t pos,
+                                            const std::string& name,
+                                            uint32_t rows, uint32_t cols) {
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("table must have at least one cell");
+  }
+  std::string anchor_char;
+  AppendUtf8(&anchor_char, kObjectAnchorCp);
+  auto edit = text_->InsertText(user, doc, pos, anchor_char);
+  if (!edit.ok()) return edit.status();
+
+  ObjectInfo o;
+  o.id = ObjectId(next_object_id_.fetch_add(1));
+  o.doc = doc;
+  o.kind = "table";
+  o.anchor = edit->chars.front();
+  o.name = name;
+  o.author = user;
+  o.at = db_->clock()->NowMicros();
+  o.meta = std::to_string(rows) + "," + std::to_string(cols);
+
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    auto rid = objects_table_->Insert(
+        txn, Record({o.id.value, doc.value, o.kind, o.anchor.value, name,
+                     user.value, uint64_t{o.at}, o.meta}));
+    if (!rid.ok()) return rid.status();
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kObjectInserted;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = o.at;
+    ev.anchor = o.anchor;
+    ev.detail = "table:" + name;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[o.id.value] = o;
+  return o.id;
+}
+
+Result<std::pair<uint32_t, uint32_t>> DocumentModel::TableDims(
+    ObjectId table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(table.value);
+  if (it == objects_.end() || it->second.kind != "table") {
+    return Status::NotFound("no table object " + table.ToString());
+  }
+  const std::string& meta = it->second.meta;
+  size_t comma = meta.find(',');
+  if (comma == std::string::npos) {
+    return Status::Corruption("bad table meta: " + meta);
+  }
+  return std::make_pair(
+      static_cast<uint32_t>(std::stoul(meta.substr(0, comma))),
+      static_cast<uint32_t>(std::stoul(meta.substr(comma + 1))));
+}
+
+Status DocumentModel::SetCell(UserId user, ObjectId table, uint32_t row,
+                              uint32_t col, const std::string& cell_text) {
+  auto dims = TableDims(table);
+  if (!dims.ok()) return dims.status();
+  if (row >= dims->first || col >= dims->second) {
+    return Status::OutOfRange("cell out of table bounds");
+  }
+  uint64_t seq = static_cast<uint64_t>(row) * dims->second + col;
+  return PutBlob(user, table, seq, cell_text);
+}
+
+Result<std::string> DocumentModel::GetCell(ObjectId table, uint32_t row,
+                                           uint32_t col) const {
+  auto dims = TableDims(table);
+  if (!dims.ok()) return dims.status();
+  if (row >= dims->first || col >= dims->second) {
+    return Status::OutOfRange("cell out of table bounds");
+  }
+  uint64_t seq = static_cast<uint64_t>(row) * dims->second + col;
+  return ReadBlobs(table, seq, seq);
+}
+
+std::vector<ObjectInfo> DocumentModel::Objects(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectInfo> out;
+  for (const auto& [id, o] : objects_) {
+    if (o.doc == doc) out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace tendax

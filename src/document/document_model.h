@@ -1,0 +1,180 @@
+#ifndef TENDAX_DOCUMENT_DOCUMENT_MODEL_H_
+#define TENDAX_DOCUMENT_DOCUMENT_MODEL_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// A structure element (section, paragraph, title, …) anchored to a
+/// character range. Anchors are character ids, so structure survives
+/// concurrent edits around it.
+struct ElementInfo {
+  ElementId id;
+  DocumentId doc;
+  ElementId parent;        // invalid = top level
+  uint64_t order = 0;      // sibling order
+  std::string type;        // "section", "paragraph", "title", ...
+  std::string label;
+  CharId anchor_start;
+  CharId anchor_end;
+  UserId author;
+  Timestamp at = 0;
+  /// Resolved live positions (filled by ElementTree; nullopt if the anchors
+  /// were deleted).
+  std::optional<size_t> start_pos;
+  std::optional<size_t> end_pos;
+};
+
+/// One layout attribute run (bold, font, size, …) over a character range.
+struct LayoutRun {
+  uint64_t run_id = 0;
+  DocumentId doc;
+  CharId start;
+  CharId end;
+  std::string attr;
+  std::string value;
+  UserId author;
+  Timestamp at = 0;
+};
+
+/// A contiguous stretch of text with a resolved set of layout attributes.
+struct LayoutSpan {
+  size_t start = 0;  // position (inclusive)
+  size_t end = 0;    // position (exclusive)
+  std::map<std::string, std::string> attrs;
+};
+
+/// An annotation anchored to one character (or the document if anchor 0).
+struct NoteInfo {
+  NoteId id;
+  DocumentId doc;
+  CharId anchor;
+  UserId author;
+  Timestamp at = 0;
+  std::string text;
+  std::optional<size_t> pos;  // resolved position, if the anchor is live
+};
+
+/// An embedded object: an image blob or a table, anchored at an object
+/// replacement character (U+FFFC) in the text flow.
+struct ObjectInfo {
+  ObjectId id;
+  DocumentId doc;
+  std::string kind;  // "image" | "table"
+  CharId anchor;
+  std::string name;
+  UserId author;
+  Timestamp at = 0;
+  std::string meta;  // kind-specific, e.g. "rows,cols" for tables
+};
+
+/// Everything in a TeNDaX document beyond raw characters: the structure
+/// tree, collaborative layout, notes, and embedded images/tables. Each
+/// mutating call commits one (or, for object embedding, a short sequence
+/// of) real-time transactions — matching the paper's "one or several
+/// database transactions" per editing action.
+class DocumentModel {
+ public:
+  /// The object replacement character used as an embed anchor.
+  static constexpr uint32_t kObjectAnchorCp = 0xFFFC;
+
+  DocumentModel(Database* db, TextStore* text);
+
+  Status Init();
+
+  // --- structure ---
+
+  /// Anchors a new element to the live range [pos, pos+len) (len 0 makes a
+  /// point anchor at pos; an empty document yields a doc-level element).
+  Result<ElementId> CreateElement(UserId user, DocumentId doc,
+                                  ElementId parent, const std::string& type,
+                                  const std::string& label, size_t pos,
+                                  size_t len);
+  Status RelabelElement(UserId user, ElementId element,
+                        const std::string& label);
+  Status DeleteElement(UserId user, ElementId element);
+  /// Elements of `doc` in (parent, order) order with resolved positions.
+  Result<std::vector<ElementInfo>> ElementTree(DocumentId doc);
+
+  // --- layout ---
+
+  Result<uint64_t> ApplyLayout(UserId user, DocumentId doc, size_t pos,
+                               size_t len, const std::string& attr,
+                               const std::string& value);
+  std::vector<LayoutRun> RunsFor(DocumentId doc) const;
+  /// Resolves all live runs into non-overlapping attribute spans covering
+  /// the document. Runs whose anchors were deleted are skipped.
+  Result<std::vector<LayoutSpan>> ComputeSpans(DocumentId doc);
+  /// Text with inline markers, e.g. "plain [bold=true]fat[/bold] plain".
+  Result<std::string> RenderMarkup(DocumentId doc);
+
+  // --- notes ---
+
+  Result<NoteId> AddNote(UserId user, DocumentId doc, size_t pos,
+                         const std::string& text);
+  Result<std::vector<NoteInfo>> Notes(DocumentId doc);
+
+  // --- embedded objects ---
+
+  /// Inserts an image: an anchor character at `pos` plus the blob.
+  Result<ObjectId> EmbedImage(UserId user, DocumentId doc, size_t pos,
+                              const std::string& name,
+                              const std::string& bytes);
+  Result<std::string> GetImage(ObjectId object) const;
+
+  /// Inserts an empty rows x cols table at `pos`.
+  Result<ObjectId> InsertTable(UserId user, DocumentId doc, size_t pos,
+                               const std::string& name, uint32_t rows,
+                               uint32_t cols);
+  Status SetCell(UserId user, ObjectId table, uint32_t row, uint32_t col,
+                 const std::string& text);
+  Result<std::string> GetCell(ObjectId table, uint32_t row,
+                              uint32_t col) const;
+  Result<std::pair<uint32_t, uint32_t>> TableDims(ObjectId table) const;
+
+  std::vector<ObjectInfo> Objects(DocumentId doc) const;
+
+ private:
+  /// Builds char-id -> live position for a document (one RangeInfo pass).
+  Result<std::unordered_map<uint64_t, size_t>> PositionIndex(DocumentId doc);
+  Result<CharId> AnchorAt(DocumentId doc, size_t pos);
+  Status PutBlob(UserId user, ObjectId object, uint64_t seq,
+                 const std::string& bytes);
+  Result<std::string> ReadBlobs(ObjectId object, uint64_t lo,
+                                uint64_t hi) const;
+
+  Database* const db_;
+  TextStore* const text_;
+
+  HeapTable* elements_table_ = nullptr;
+  HeapTable* layout_table_ = nullptr;
+  HeapTable* notes_table_ = nullptr;
+  HeapTable* objects_table_ = nullptr;
+  HeapTable* blobs_table_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, ElementInfo> elements_;             // by element id
+  std::unordered_map<uint64_t, RecordId> element_rids_;
+  std::map<uint64_t, LayoutRun> runs_;                   // by run id
+  std::map<uint64_t, NoteInfo> notes_;                   // by note id
+  std::map<uint64_t, ObjectInfo> objects_;               // by object id
+  std::map<std::pair<uint64_t, uint64_t>, RecordId> blob_rids_;
+  std::atomic<uint64_t> next_element_id_{1};
+  std::atomic<uint64_t> next_run_id_{1};
+  std::atomic<uint64_t> next_note_id_{1};
+  std::atomic<uint64_t> next_object_id_{1};
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DOCUMENT_DOCUMENT_MODEL_H_

@@ -1,0 +1,166 @@
+#include "document/templates.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+namespace {
+
+Schema TemplatesSchema() {
+  // One row per template section; layout serialized "attr=value;attr=value".
+  return Schema({{"template_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString},
+                 {"creator", ColumnType::kUint64},
+                 {"created_at", ColumnType::kUint64},
+                 {"seq", ColumnType::kUint64},
+                 {"type", ColumnType::kString},
+                 {"label", ColumnType::kString},
+                 {"placeholder", ColumnType::kString},
+                 {"layout", ColumnType::kString}});
+}
+
+std::string SerializeLayout(const std::map<std::string, std::string>& attrs) {
+  std::string out;
+  for (const auto& [attr, value] : attrs) {
+    if (!out.empty()) out += ";";
+    out += attr + "=" + value;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseLayout(const std::string& text) {
+  std::map<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    std::string part = text.substr(pos, semi - pos);
+    size_t eq = part.find('=');
+    if (eq != std::string::npos) {
+      out[part.substr(0, eq)] = part.substr(eq + 1);
+    }
+    pos = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+TemplateStore::TemplateStore(Database* db, TextStore* text,
+                             DocumentModel* docs)
+    : db_(db), text_(text), docs_(docs) {}
+
+Status TemplateStore::Init() {
+  auto table = db_->EnsureTable("tendax_templates", TemplatesSchema());
+  if (!table.ok()) return table.status();
+  table_ = *table;
+
+  uint64_t max_id = 0;
+  std::map<uint64_t, std::map<uint64_t, TemplateSection>> sections_by_id;
+  std::map<uint64_t, TemplateInfo> headers;
+  TENDAX_RETURN_IF_ERROR(table_->Scan([&](RecordId, const Record& rec) {
+    uint64_t id = rec.GetUint(0);
+    max_id = std::max(max_id, id);
+    TemplateInfo& info = headers[id];
+    info.id = id;
+    info.name = rec.GetString(1);
+    info.creator = UserId(rec.GetUint(2));
+    info.created_at = rec.GetUint(3);
+    TemplateSection section;
+    section.type = rec.GetString(5);
+    section.label = rec.GetString(6);
+    section.placeholder = rec.GetString(7);
+    section.layout = ParseLayout(rec.GetString(8));
+    sections_by_id[id][rec.GetUint(4)] = std::move(section);
+    return true;
+  }));
+  for (auto& [id, info] : headers) {
+    for (auto& [seq, section] : sections_by_id[id]) {
+      info.sections.push_back(std::move(section));
+    }
+    templates_[info.name] = std::move(info);
+  }
+  next_template_id_ = max_id + 1;
+  return Status::OK();
+}
+
+Result<uint64_t> TemplateStore::Define(UserId user, const std::string& name,
+                                       std::vector<TemplateSection> sections) {
+  if (sections.empty()) {
+    return Status::InvalidArgument("a template needs at least one section");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (templates_.count(name)) {
+      return Status::AlreadyExists("template '" + name + "' exists");
+    }
+  }
+  TemplateInfo info;
+  info.id = next_template_id_.fetch_add(1);
+  info.name = name;
+  info.creator = user;
+  info.created_at = db_->clock()->NowMicros();
+  info.sections = std::move(sections);
+
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    for (size_t i = 0; i < info.sections.size(); ++i) {
+      const TemplateSection& s = info.sections[i];
+      auto rid = table_->Insert(
+          txn, Record({info.id, name, user.value, uint64_t{info.created_at},
+                       static_cast<uint64_t>(i), s.type, s.label,
+                       s.placeholder, SerializeLayout(s.layout)}));
+      if (!rid.ok()) return rid.status();
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  templates_[name] = std::move(info);
+  return templates_[name].id;
+}
+
+Result<TemplateInfo> TemplateStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    return Status::NotFound("no template named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TemplateStore::TemplateNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, info] : templates_) out.push_back(name);
+  return out;
+}
+
+Result<DocumentId> TemplateStore::Instantiate(UserId user,
+                                              const std::string& name,
+                                              const std::string& doc_name) {
+  auto info = Get(name);
+  if (!info.ok()) return info.status();
+
+  auto doc = text_->CreateDocument(user, doc_name);
+  if (!doc.ok()) return doc;
+  size_t pos = 0;
+  for (const TemplateSection& section : info->sections) {
+    std::string body = section.placeholder + "\n";
+    auto edit = text_->InsertText(user, *doc, pos, body);
+    if (!edit.ok()) return edit.status();
+    size_t body_len = body.size();  // placeholders are ASCII by convention
+    auto element = docs_->CreateElement(user, *doc, ElementId(),
+                                        section.type, section.label, pos,
+                                        body_len - 1);
+    if (!element.ok()) return element.status();
+    for (const auto& [attr, value] : section.layout) {
+      auto run = docs_->ApplyLayout(user, *doc, pos, body_len - 1, attr,
+                                    value);
+      if (!run.ok()) return run.status();
+    }
+    pos += body_len;
+  }
+  return doc;
+}
+
+}  // namespace tendax

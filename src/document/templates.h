@@ -1,0 +1,68 @@
+#ifndef TENDAX_DOCUMENT_TEMPLATES_H_
+#define TENDAX_DOCUMENT_TEMPLATES_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "document/document_model.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// One section of a document template.
+struct TemplateSection {
+  std::string type;         // "title", "section", "paragraph", ...
+  std::string label;
+  std::string placeholder;  // initial text
+  std::map<std::string, std::string> layout;  // attrs applied to the text
+};
+
+/// A named document template.
+struct TemplateInfo {
+  uint64_t id = 0;
+  std::string name;
+  UserId creator;
+  Timestamp created_at = 0;
+  std::vector<TemplateSection> sections;
+};
+
+/// Reusable document blueprints — the paper lists "template definitions"
+/// among the captured structure metadata. A template is an ordered list of
+/// typed sections with placeholder text and layout; instantiating one
+/// creates a document, types the placeholders, anchors a structure element
+/// per section and applies the section layout — all as the usual sequence
+/// of committed transactions.
+class TemplateStore {
+ public:
+  TemplateStore(Database* db, TextStore* text, DocumentModel* docs);
+
+  Status Init();
+
+  Result<uint64_t> Define(UserId user, const std::string& name,
+                          std::vector<TemplateSection> sections);
+  Result<TemplateInfo> Get(const std::string& name) const;
+  std::vector<std::string> TemplateNames() const;
+
+  /// Creates `doc_name` from the template and returns the new document.
+  Result<DocumentId> Instantiate(UserId user, const std::string& name,
+                                 const std::string& doc_name);
+
+ private:
+  Database* const db_;
+  TextStore* const text_;
+  DocumentModel* const docs_;
+
+  HeapTable* table_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<std::string, TemplateInfo> templates_;
+  std::atomic<uint64_t> next_template_id_{1};
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_DOCUMENT_TEMPLATES_H_

@@ -1,0 +1,430 @@
+#include "folders/folders.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+namespace {
+
+Schema FoldersSchema() {
+  return Schema({{"folder_id", ColumnType::kUint64},
+                 {"parent", ColumnType::kUint64},
+                 {"name", ColumnType::kString}});
+}
+
+Schema PlacementsSchema() {
+  return Schema({{"folder_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64}});
+}
+
+class ReadByQuery : public FolderQuery {
+ public:
+  ReadByQuery(UserId user, Timestamp within) : user_(user), within_(within) {}
+  bool Matches(DocumentId doc, const MetaStore& meta, TextStore&,
+               Timestamp now) const override {
+    auto m = meta.Meta(doc);
+    auto it = m.by_user.find(user_);
+    if (it == m.by_user.end() || it->second.last_read == 0) return false;
+    return within_ == 0 || it->second.last_read + within_ >= now;
+  }
+  std::string Describe() const override {
+    return "read-by(" + user_.ToString() + ")";
+  }
+
+ private:
+  UserId user_;
+  Timestamp within_;
+};
+
+class EditedByQuery : public FolderQuery {
+ public:
+  EditedByQuery(UserId user, Timestamp within)
+      : user_(user), within_(within) {}
+  bool Matches(DocumentId doc, const MetaStore& meta, TextStore&,
+               Timestamp now) const override {
+    auto m = meta.Meta(doc);
+    auto it = m.by_user.find(user_);
+    if (it == m.by_user.end() || it->second.last_edit == 0) return false;
+    return within_ == 0 || it->second.last_edit + within_ >= now;
+  }
+  std::string Describe() const override {
+    return "edited-by(" + user_.ToString() + ")";
+  }
+
+ private:
+  UserId user_;
+  Timestamp within_;
+};
+
+class CreatedByQuery : public FolderQuery {
+ public:
+  explicit CreatedByQuery(UserId user) : user_(user) {}
+  bool Matches(DocumentId doc, const MetaStore&, TextStore& text,
+               Timestamp) const override {
+    auto info = text.GetDocumentInfo(doc);
+    return info.ok() && info->creator == user_;
+  }
+  std::string Describe() const override {
+    return "created-by(" + user_.ToString() + ")";
+  }
+
+ private:
+  UserId user_;
+};
+
+class StateIsQuery : public FolderQuery {
+ public:
+  explicit StateIsQuery(std::string state) : state_(std::move(state)) {}
+  bool Matches(DocumentId doc, const MetaStore&, TextStore& text,
+               Timestamp) const override {
+    auto info = text.GetDocumentInfo(doc);
+    return info.ok() && info->state == state_;
+  }
+  std::string Describe() const override { return "state(" + state_ + ")"; }
+
+ private:
+  std::string state_;
+};
+
+class NameContainsQuery : public FolderQuery {
+ public:
+  explicit NameContainsQuery(std::string needle)
+      : needle_(std::move(needle)) {}
+  bool Matches(DocumentId doc, const MetaStore&, TextStore& text,
+               Timestamp) const override {
+    auto info = text.GetDocumentInfo(doc);
+    return info.ok() && info->name.find(needle_) != std::string::npos;
+  }
+  std::string Describe() const override { return "name~(" + needle_ + ")"; }
+
+ private:
+  std::string needle_;
+};
+
+class SizeQuery : public FolderQuery {
+ public:
+  SizeQuery(uint64_t chars, bool at_least)
+      : chars_(chars), at_least_(at_least) {}
+  bool Matches(DocumentId doc, const MetaStore&, TextStore& text,
+               Timestamp) const override {
+    auto info = text.GetDocumentInfo(doc);
+    if (!info.ok()) return false;
+    return at_least_ ? info->length >= chars_ : info->length <= chars_;
+  }
+  std::string Describe() const override {
+    return std::string(at_least_ ? "size>=" : "size<=") +
+           std::to_string(chars_);
+  }
+
+ private:
+  uint64_t chars_;
+  bool at_least_;
+};
+
+class PropertyIsQuery : public FolderQuery {
+ public:
+  PropertyIsQuery(std::string key, std::string value)
+      : key_(std::move(key)), value_(std::move(value)) {}
+  bool Matches(DocumentId doc, const MetaStore& meta, TextStore&,
+               Timestamp) const override {
+    auto v = meta.GetProperty(doc, key_);
+    return v.ok() && *v == value_;
+  }
+  std::string Describe() const override {
+    return "prop(" + key_ + "=" + value_ + ")";
+  }
+
+ private:
+  std::string key_, value_;
+};
+
+class BoolQuery : public FolderQuery {
+ public:
+  BoolQuery(std::vector<std::unique_ptr<FolderQuery>> parts, bool conjunction)
+      : parts_(std::move(parts)), conjunction_(conjunction) {}
+  bool Matches(DocumentId doc, const MetaStore& meta, TextStore& text,
+               Timestamp now) const override {
+    for (const auto& part : parts_) {
+      bool m = part->Matches(doc, meta, text, now);
+      if (conjunction_ && !m) return false;
+      if (!conjunction_ && m) return true;
+    }
+    return conjunction_;
+  }
+  std::string Describe() const override {
+    std::string out = conjunction_ ? "and(" : "or(";
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += parts_[i]->Describe();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<std::unique_ptr<FolderQuery>> parts_;
+  bool conjunction_;
+};
+
+class NotQuery : public FolderQuery {
+ public:
+  explicit NotQuery(std::unique_ptr<FolderQuery> part)
+      : part_(std::move(part)) {}
+  bool Matches(DocumentId doc, const MetaStore& meta, TextStore& text,
+               Timestamp now) const override {
+    return !part_->Matches(doc, meta, text, now);
+  }
+  std::string Describe() const override {
+    return "not(" + part_->Describe() + ")";
+  }
+
+ private:
+  std::unique_ptr<FolderQuery> part_;
+};
+
+}  // namespace
+
+std::unique_ptr<FolderQuery> FolderQuery::ReadBy(UserId user,
+                                                 Timestamp within) {
+  return std::make_unique<ReadByQuery>(user, within);
+}
+std::unique_ptr<FolderQuery> FolderQuery::EditedBy(UserId user,
+                                                   Timestamp within) {
+  return std::make_unique<EditedByQuery>(user, within);
+}
+std::unique_ptr<FolderQuery> FolderQuery::CreatedBy(UserId user) {
+  return std::make_unique<CreatedByQuery>(user);
+}
+std::unique_ptr<FolderQuery> FolderQuery::StateIs(std::string state) {
+  return std::make_unique<StateIsQuery>(std::move(state));
+}
+std::unique_ptr<FolderQuery> FolderQuery::NameContains(std::string needle) {
+  return std::make_unique<NameContainsQuery>(std::move(needle));
+}
+std::unique_ptr<FolderQuery> FolderQuery::SizeAtLeast(uint64_t chars) {
+  return std::make_unique<SizeQuery>(chars, true);
+}
+std::unique_ptr<FolderQuery> FolderQuery::SizeAtMost(uint64_t chars) {
+  return std::make_unique<SizeQuery>(chars, false);
+}
+std::unique_ptr<FolderQuery> FolderQuery::PropertyIs(std::string key,
+                                                     std::string value) {
+  return std::make_unique<PropertyIsQuery>(std::move(key), std::move(value));
+}
+std::unique_ptr<FolderQuery> FolderQuery::And(
+    std::vector<std::unique_ptr<FolderQuery>> parts) {
+  return std::make_unique<BoolQuery>(std::move(parts), true);
+}
+std::unique_ptr<FolderQuery> FolderQuery::Or(
+    std::vector<std::unique_ptr<FolderQuery>> parts) {
+  return std::make_unique<BoolQuery>(std::move(parts), false);
+}
+std::unique_ptr<FolderQuery> FolderQuery::Not(
+    std::unique_ptr<FolderQuery> part) {
+  return std::make_unique<NotQuery>(std::move(part));
+}
+
+FolderManager::FolderManager(Database* db, TextStore* text, MetaStore* meta)
+    : db_(db), text_(text), meta_(meta) {}
+
+Status FolderManager::Init() {
+  auto folders = db_->EnsureTable("tendax_folders", FoldersSchema());
+  if (!folders.ok()) return folders.status();
+  folders_table_ = *folders;
+  auto placements =
+      db_->EnsureTable("tendax_folder_docs", PlacementsSchema());
+  if (!placements.ok()) return placements.status();
+  placements_table_ = *placements;
+
+  uint64_t max_folder = 0;
+  TENDAX_RETURN_IF_ERROR(
+      folders_table_->Scan([&](RecordId, const Record& rec) {
+        StaticFolderInfo f;
+        f.id = FolderId(rec.GetUint(0));
+        f.parent = FolderId(rec.GetUint(1));
+        f.name = rec.GetString(2);
+        max_folder = std::max(max_folder, f.id.value);
+        static_folders_[f.id.value] = f;
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      placements_table_->Scan([&](RecordId rid, const Record& rec) {
+        placements_[{rec.GetUint(0), rec.GetUint(1)}] = rid;
+        return true;
+      }));
+  next_folder_id_ = max_folder + 1;
+
+  // Incremental maintenance: each audit event refreshes only its document.
+  meta_->AddAuditListener(
+      [this](const AuditEntry& entry) { RefreshDocument(entry.doc); });
+  return Status::OK();
+}
+
+Result<FolderId> FolderManager::CreateFolder(UserId user, FolderId parent,
+                                             const std::string& name) {
+  StaticFolderInfo f;
+  f.id = FolderId(next_folder_id_.fetch_add(1));
+  f.parent = parent;
+  f.name = name;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) {
+    return folders_table_
+        ->Insert(txn, Record({f.id.value, parent.value, name}))
+        .status();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  static_folders_[f.id.value] = f;
+  return f.id;
+}
+
+Status FolderManager::PlaceDocument(UserId user, FolderId folder,
+                                    DocumentId doc) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!static_folders_.count(folder.value)) {
+      return Status::NotFound("unknown folder");
+    }
+    if (placements_.count({folder.value, doc.value})) {
+      return Status::AlreadyExists("document already in folder");
+    }
+  }
+  RecordId rid;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    auto r = placements_table_->Insert(txn,
+                                       Record({folder.value, doc.value}));
+    if (!r.ok()) return r.status();
+    rid = *r;
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kFolderChanged;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = db_->clock()->NowMicros();
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  placements_[{folder.value, doc.value}] = rid;
+  return Status::OK();
+}
+
+Status FolderManager::RemoveDocument(UserId user, FolderId folder,
+                                     DocumentId doc) {
+  RecordId rid;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find({folder.value, doc.value});
+    if (it == placements_.end()) {
+      return Status::NotFound("document not in folder");
+    }
+    rid = it->second;
+  }
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) {
+    return placements_table_->Delete(txn, rid);
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  placements_.erase({folder.value, doc.value});
+  return Status::OK();
+}
+
+Result<std::vector<DocumentId>> FolderManager::FolderContents(
+    FolderId folder) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!static_folders_.count(folder.value)) {
+    return Status::NotFound("unknown folder");
+  }
+  std::vector<DocumentId> out;
+  auto lo = placements_.lower_bound({folder.value, 0});
+  for (auto it = lo; it != placements_.end() && it->first.first == folder.value;
+       ++it) {
+    out.push_back(DocumentId(it->first.second));
+  }
+  return out;
+}
+
+std::vector<StaticFolderInfo> FolderManager::Folders() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StaticFolderInfo> out;
+  for (const auto& [id, f] : static_folders_) out.push_back(f);
+  return out;
+}
+
+std::vector<FolderId> FolderManager::PlacementsOf(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FolderId> out;
+  for (const auto& [key, rid] : placements_) {
+    if (key.second == doc.value) out.push_back(FolderId(key.first));
+  }
+  return out;
+}
+
+Result<FolderId> FolderManager::CreateDynamicFolder(
+    const std::string& name, std::unique_ptr<FolderQuery> query) {
+  FolderId id(next_folder_id_.fetch_add(1));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DynamicFolder folder;
+    folder.id = id;
+    folder.name = name;
+    folder.query = std::move(query);
+    dynamic_folders_[id.value] = std::move(folder);
+  }
+  TENDAX_RETURN_IF_ERROR(FullRefresh(id));
+  return id;
+}
+
+Result<std::set<DocumentId>> FolderManager::DynamicContents(
+    FolderId folder) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dynamic_folders_.find(folder.value);
+  if (it == dynamic_folders_.end()) {
+    return Status::NotFound("unknown dynamic folder");
+  }
+  return it->second.members;
+}
+
+Status FolderManager::FullRefresh(FolderId folder) {
+  Timestamp now = db_->clock()->NowMicros();
+  std::vector<DocumentId> docs = text_->ListDocuments();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dynamic_folders_.find(folder.value);
+  if (it == dynamic_folders_.end()) {
+    return Status::NotFound("unknown dynamic folder");
+  }
+  DynamicFolder& df = it->second;
+  std::set<DocumentId> members;
+  for (DocumentId doc : docs) {
+    if (df.query->Matches(doc, *meta_, *text_, now)) members.insert(doc);
+  }
+  if (members != df.members) {
+    ++stats_.membership_changes;
+    df.members = std::move(members);
+  }
+  ++stats_.full_refreshes;
+  return Status::OK();
+}
+
+void FolderManager::RefreshDocument(DocumentId doc) {
+  if (!doc.valid()) return;
+  Timestamp now = db_->clock()->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, df] : dynamic_folders_) {
+    bool matches = df.query->Matches(doc, *meta_, *text_, now);
+    bool present = df.members.count(doc) > 0;
+    if (matches && !present) {
+      df.members.insert(doc);
+      ++stats_.membership_changes;
+    } else if (!matches && present) {
+      df.members.erase(doc);
+      ++stats_.membership_changes;
+    }
+  }
+  ++stats_.incremental_refreshes;
+}
+
+FolderManagerStats FolderManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tendax

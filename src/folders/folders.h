@@ -1,0 +1,121 @@
+#ifndef TENDAX_FOLDERS_FOLDERS_H_
+#define TENDAX_FOLDERS_FOLDERS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "meta/meta_store.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Predicate over a document's metadata — the definition language of
+/// dynamic folders. Combine with And/Or/Not; evaluate against the current
+/// metadata state. "Within" durations are relative to evaluation time, so
+/// folder contents are fluent ("documents I read within the last week").
+class FolderQuery {
+ public:
+  virtual ~FolderQuery() = default;
+  virtual bool Matches(DocumentId doc, const MetaStore& meta,
+                       TextStore& text, Timestamp now) const = 0;
+  virtual std::string Describe() const = 0;
+
+  // --- factory helpers ---
+  static std::unique_ptr<FolderQuery> ReadBy(UserId user, Timestamp within);
+  static std::unique_ptr<FolderQuery> EditedBy(UserId user, Timestamp within);
+  static std::unique_ptr<FolderQuery> CreatedBy(UserId user);
+  static std::unique_ptr<FolderQuery> StateIs(std::string state);
+  static std::unique_ptr<FolderQuery> NameContains(std::string needle);
+  static std::unique_ptr<FolderQuery> SizeAtLeast(uint64_t chars);
+  static std::unique_ptr<FolderQuery> SizeAtMost(uint64_t chars);
+  static std::unique_ptr<FolderQuery> PropertyIs(std::string key,
+                                                 std::string value);
+  static std::unique_ptr<FolderQuery> And(
+      std::vector<std::unique_ptr<FolderQuery>> parts);
+  static std::unique_ptr<FolderQuery> Or(
+      std::vector<std::unique_ptr<FolderQuery>> parts);
+  static std::unique_ptr<FolderQuery> Not(std::unique_ptr<FolderQuery> part);
+};
+
+/// A classic hierarchical folder.
+struct StaticFolderInfo {
+  FolderId id;
+  FolderId parent;
+  std::string name;
+};
+
+struct FolderManagerStats {
+  uint64_t incremental_refreshes = 0;
+  uint64_t full_refreshes = 0;
+  uint64_t membership_changes = 0;
+};
+
+/// Static folders (persisted hierarchy + placements) and dynamic folders:
+/// virtual folders whose membership is a metadata predicate, maintained
+/// *incrementally* — an audit event re-evaluates only the touched document,
+/// so folder contents change "within seconds" of the underlying activity
+/// (paper Sec. 3 bullet 3) without rescanning the corpus.
+class FolderManager {
+ public:
+  FolderManager(Database* db, TextStore* text, MetaStore* meta);
+
+  Status Init();
+
+  // --- static folders ---
+  Result<FolderId> CreateFolder(UserId user, FolderId parent,
+                                const std::string& name);
+  Status PlaceDocument(UserId user, FolderId folder, DocumentId doc);
+  Status RemoveDocument(UserId user, FolderId folder, DocumentId doc);
+  Result<std::vector<DocumentId>> FolderContents(FolderId folder) const;
+  std::vector<StaticFolderInfo> Folders() const;
+  /// Static folders containing `doc` (document-level metadata).
+  std::vector<FolderId> PlacementsOf(DocumentId doc) const;
+
+  // --- dynamic folders ---
+  /// Registers a dynamic folder; membership is evaluated immediately over
+  /// all known documents and then maintained incrementally.
+  Result<FolderId> CreateDynamicFolder(const std::string& name,
+                                       std::unique_ptr<FolderQuery> query);
+  Result<std::set<DocumentId>> DynamicContents(FolderId folder) const;
+  /// Re-evaluates one dynamic folder over every document (the ablation
+  /// baseline for the incremental path).
+  Status FullRefresh(FolderId folder);
+  /// Re-evaluates all dynamic folders for one document (incremental path;
+  /// also invoked automatically on audit events).
+  void RefreshDocument(DocumentId doc);
+
+  FolderManagerStats stats() const;
+
+ private:
+  struct DynamicFolder {
+    FolderId id;
+    std::string name;
+    std::unique_ptr<FolderQuery> query;
+    std::set<DocumentId> members;
+  };
+
+  Database* const db_;
+  TextStore* const text_;
+  MetaStore* const meta_;
+
+  HeapTable* folders_table_ = nullptr;
+  HeapTable* placements_table_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, StaticFolderInfo> static_folders_;
+  std::map<std::pair<uint64_t, uint64_t>, RecordId> placements_;
+  std::map<uint64_t, DynamicFolder> dynamic_folders_;
+  std::atomic<uint64_t> next_folder_id_{1};
+  FolderManagerStats stats_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_FOLDERS_FOLDERS_H_

@@ -1,0 +1,82 @@
+#ifndef TENDAX_LINEAGE_LINEAGE_H_
+#define TENDAX_LINEAGE_LINEAGE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Where a stretch of characters came from.
+enum class SourceKind : uint8_t {
+  kTyped = 1,     // authored in place
+  kInternal = 2,  // pasted from another TeNDaX document
+  kExternal = 3,  // pasted from outside (file, web, ...)
+};
+
+const char* SourceKindName(SourceKind kind);
+
+/// A maximal run of consecutive characters sharing one provenance.
+struct LineageSegment {
+  size_t pos = 0;
+  size_t len = 0;
+  SourceKind kind = SourceKind::kTyped;
+  DocumentId src_doc;        // kInternal
+  std::string src_external;  // kExternal
+  UserId author;
+  std::string text;
+};
+
+/// The document-space provenance graph: an edge (src -> dst, n) means n
+/// characters in dst were copied from src. External sources are labeled
+/// nodes of their own.
+struct LineageGraph {
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> internal_edges;
+  std::map<std::pair<std::string, uint64_t>, uint64_t> external_edges;
+  std::set<uint64_t> docs;
+
+  uint64_t EdgeCount() const {
+    return internal_edges.size() + external_edges.size();
+  }
+};
+
+/// Data-lineage queries over the per-character copy-paste references
+/// (paper Sec. 3 bullet 4 / Fig. 1): provenance of a range, the provenance
+/// graph of the whole document space, citation counts, and the Fig. 1
+/// visualization as DOT and ASCII.
+class LineageAnalyzer {
+ public:
+  explicit LineageAnalyzer(TextStore* text);
+
+  /// Groups [pos, pos+len) of `doc` into maximal same-provenance segments.
+  Result<std::vector<LineageSegment>> ForRange(DocumentId doc, size_t pos,
+                                               size_t len);
+  Result<std::vector<LineageSegment>> ForDocument(DocumentId doc);
+
+  /// Builds the provenance graph over every live character of every
+  /// document (full scan; cache at the caller if needed).
+  Result<LineageGraph> BuildGraph();
+
+  /// Number of distinct documents containing characters copied from `doc` —
+  /// the "most cited" ranking signal.
+  Result<uint64_t> CitationCount(DocumentId doc);
+
+  /// Graphviz DOT rendering of the graph (the Fig. 1 artifact).
+  std::string RenderDot(const LineageGraph& graph);
+  /// Terminal rendering: one line per edge, with character counts.
+  std::string RenderAscii(const LineageGraph& graph);
+  /// Per-segment provenance view of one document (Fig. 1's detail pane).
+  Result<std::string> RenderDocumentLineage(DocumentId doc);
+
+ private:
+  TextStore* const text_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_LINEAGE_LINEAGE_H_

@@ -1,0 +1,316 @@
+#include "meta/meta_store.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+namespace {
+
+Schema AuditSchema() {
+  return Schema({{"seq", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"user_id", ColumnType::kUint64},
+                 {"kind", ColumnType::kUint64},
+                 {"at", ColumnType::kUint64},
+                 {"detail", ColumnType::kString}});
+}
+
+Schema PropsSchema() {
+  return Schema({{"doc_id", ColumnType::kUint64},
+                 {"key", ColumnType::kString},
+                 {"value", ColumnType::kString}});
+}
+
+AuditEntry EntryFromRecord(const Record& rec) {
+  AuditEntry e;
+  e.seq = rec.GetUint(0);
+  e.doc = DocumentId(rec.GetUint(1));
+  e.user = UserId(rec.GetUint(2));
+  e.kind = static_cast<AuditKind>(rec.GetUint(3));
+  e.at = rec.GetUint(4);
+  e.detail = rec.GetString(5);
+  return e;
+}
+
+}  // namespace
+
+const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kCreate:
+      return "create";
+    case AuditKind::kEdit:
+      return "edit";
+    case AuditKind::kRead:
+      return "read";
+    case AuditKind::kLayout:
+      return "layout";
+    case AuditKind::kStructure:
+      return "structure";
+    case AuditKind::kSecurity:
+      return "security";
+    case AuditKind::kWorkflow:
+      return "workflow";
+    case AuditKind::kRename:
+      return "rename";
+    case AuditKind::kStateChange:
+      return "state";
+  }
+  return "?";
+}
+
+MetaStore::MetaStore(Database* db) : db_(db) {}
+
+Status MetaStore::Init() {
+  auto audit = db_->EnsureTable("tendax_audit", AuditSchema());
+  if (!audit.ok()) return audit.status();
+  audit_table_ = *audit;
+  auto props = db_->EnsureTable("tendax_props", PropsSchema());
+  if (!props.ok()) return props.status();
+  props_table_ = *props;
+
+  // Rebuild aggregates from the persisted trail.
+  uint64_t max_seq = 0;
+  TENDAX_RETURN_IF_ERROR(
+      audit_table_->Scan([&](RecordId, const Record& rec) {
+        AuditEntry e = EntryFromRecord(rec);
+        max_seq = std::max(max_seq, e.seq);
+        ApplyToAggregates(e);
+        return true;
+      }));
+  next_seq_ = max_seq + 1;
+  TENDAX_RETURN_IF_ERROR(
+      props_table_->Scan([&](RecordId rid, const Record& rec) {
+        auto key = std::make_pair(rec.GetUint(0), rec.GetString(1));
+        props_[key] = rec.GetString(2);
+        prop_rids_[key] = rid;
+        return true;
+      }));
+
+  // Automatic capture: every committed transaction's change events become
+  // audit entries (the paper's "meta data gathered automatically").
+  db_->txns()->AddCommitListener(
+      [this](TxnId, UserId user, const ChangeBatch& batch) {
+        for (const ChangeEvent& ev : batch) {
+          auto kind = KindForEvent(ev.kind);
+          if (!kind.has_value()) continue;
+          (void)Append(ev.user.valid() ? ev.user : user, ev.doc, *kind,
+                       ev.detail, ev.at);
+        }
+      });
+  return Status::OK();
+}
+
+std::optional<AuditKind> MetaStore::KindForEvent(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kDocumentCreated:
+      return AuditKind::kCreate;
+    case ChangeKind::kTextInserted:
+    case ChangeKind::kTextDeleted:
+    case ChangeKind::kUndoApplied:
+    case ChangeKind::kRedoApplied:
+      return AuditKind::kEdit;
+    case ChangeKind::kLayoutChanged:
+      return AuditKind::kLayout;
+    case ChangeKind::kStructureChanged:
+    case ChangeKind::kNoteAdded:
+    case ChangeKind::kObjectInserted:
+      return AuditKind::kStructure;
+    case ChangeKind::kSecurityChanged:
+      return AuditKind::kSecurity;
+    case ChangeKind::kWorkflowChanged:
+      return AuditKind::kWorkflow;
+    case ChangeKind::kDocumentRenamed:
+      return AuditKind::kRename;
+    case ChangeKind::kDocumentStateChanged:
+      return AuditKind::kStateChange;
+    default:
+      return std::nullopt;
+  }
+}
+
+Status MetaStore::Append(UserId user, DocumentId doc, AuditKind kind,
+                         const std::string& detail, Timestamp at) {
+  if (!doc.valid()) return Status::OK();
+  AuditEntry entry;
+  entry.seq = next_seq_.fetch_add(1);
+  entry.doc = doc;
+  entry.user = user;
+  entry.kind = kind;
+  entry.at = at != 0 ? at : db_->clock()->NowMicros();
+  entry.detail = detail;
+
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) {
+    return audit_table_
+        ->Insert(txn, Record({entry.seq, doc.value, user.value,
+                              uint64_t{static_cast<uint64_t>(kind)},
+                              uint64_t{entry.at}, detail}))
+        .status();
+  });
+  if (!st.ok()) return st;
+
+  ApplyToAggregates(entry);
+  std::vector<AuditListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners = listeners_;
+  }
+  for (const auto& listener : listeners) listener(entry);
+  return Status::OK();
+}
+
+void MetaStore::ApplyToAggregates(const AuditEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DocumentMeta& meta = meta_[entry.doc.value];
+  meta.doc = entry.doc;
+  UserTouch& touch = meta.by_user[entry.user];
+  if (entry.kind == AuditKind::kRead) {
+    meta.readers.insert(entry.user);
+    ++meta.total_reads;
+    ++touch.reads;
+    touch.last_read = std::max(touch.last_read, entry.at);
+    meta.last_read_at = std::max(meta.last_read_at, entry.at);
+  } else {
+    meta.authors.insert(entry.user);
+    ++meta.total_edits;
+    ++touch.edits;
+    touch.last_edit = std::max(touch.last_edit, entry.at);
+    if (entry.at >= meta.last_edit_at) {
+      meta.last_edit_at = entry.at;
+      meta.last_edit_by = entry.user;
+    }
+  }
+}
+
+Status MetaStore::RecordRead(UserId user, DocumentId doc) {
+  return Append(user, doc, AuditKind::kRead, "", 0);
+}
+
+DocumentMeta MetaStore::Meta(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = meta_.find(doc.value);
+  if (it == meta_.end()) {
+    DocumentMeta empty;
+    empty.doc = doc;
+    return empty;
+  }
+  return it->second;
+}
+
+std::vector<DocumentId> MetaStore::ReadBy(UserId user,
+                                          Timestamp since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DocumentId> out;
+  for (const auto& [doc, meta] : meta_) {
+    auto it = meta.by_user.find(user);
+    if (it != meta.by_user.end() && it->second.last_read >= since) {
+      out.push_back(DocumentId(doc));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DocumentId> MetaStore::EditedBy(UserId user,
+                                            Timestamp since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DocumentId> out;
+  for (const auto& [doc, meta] : meta_) {
+    auto it = meta.by_user.find(user);
+    if (it != meta.by_user.end() && it->second.last_edit >= since) {
+      out.push_back(DocumentId(doc));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DocumentId> MetaStore::TouchedDocuments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DocumentId> out;
+  out.reserve(meta_.size());
+  for (const auto& [doc, meta] : meta_) out.push_back(DocumentId(doc));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status MetaStore::VisitAudit(
+    const std::function<bool(const AuditEntry&)>& fn) const {
+  std::vector<AuditEntry> entries;
+  TENDAX_RETURN_IF_ERROR(
+      audit_table_->Scan([&](RecordId, const Record& rec) {
+        entries.push_back(EntryFromRecord(rec));
+        return true;
+      }));
+  std::sort(entries.begin(), entries.end(),
+            [](const AuditEntry& a, const AuditEntry& b) {
+              return a.seq < b.seq;
+            });
+  for (const AuditEntry& e : entries) {
+    if (!fn(e)) break;
+  }
+  return Status::OK();
+}
+
+Status MetaStore::SetProperty(UserId user, DocumentId doc,
+                              const std::string& key,
+                              const std::string& value) {
+  auto map_key = std::make_pair(doc.value, key);
+  RecordId existing;
+  bool update = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = prop_rids_.find(map_key);
+    if (it != prop_rids_.end()) {
+      existing = it->second;
+      update = true;
+    }
+  }
+  Record rec({doc.value, key, value});
+  RecordId new_rid;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    if (update) {
+      auto rid = props_table_->Update(txn, existing, rec);
+      if (!rid.ok()) return rid.status();
+      new_rid = *rid;
+    } else {
+      auto rid = props_table_->Insert(txn, rec);
+      if (!rid.ok()) return rid.status();
+      new_rid = *rid;
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  props_[map_key] = value;
+  prop_rids_[map_key] = new_rid;
+  return Status::OK();
+}
+
+Result<std::string> MetaStore::GetProperty(DocumentId doc,
+                                           const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = props_.find(std::make_pair(doc.value, key));
+  if (it == props_.end()) {
+    return Status::NotFound("no property '" + key + "' on " + doc.ToString());
+  }
+  return it->second;
+}
+
+std::map<std::string, std::string> MetaStore::Properties(
+    DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> out;
+  auto lo = props_.lower_bound(std::make_pair(doc.value, std::string()));
+  for (auto it = lo; it != props_.end() && it->first.first == doc.value;
+       ++it) {
+    out[it->first.second] = it->second;
+  }
+  return out;
+}
+
+void MetaStore::AddAuditListener(AuditListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace tendax

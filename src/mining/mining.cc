@@ -1,0 +1,305 @@
+#include "mining/mining.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "search/search_engine.h"  // Tokenize
+#include "util/random.h"
+
+namespace tendax {
+
+const char* MiningAxisName(MiningAxis axis) {
+  switch (axis) {
+    case MiningAxis::kSimilarityX:
+      return "similarity-x";
+    case MiningAxis::kSimilarityY:
+      return "similarity-y";
+    case MiningAxis::kSize:
+      return "size";
+    case MiningAxis::kAge:
+      return "age";
+    case MiningAxis::kAuthors:
+      return "authors";
+    case MiningAxis::kReads:
+      return "reads";
+    case MiningAxis::kCitations:
+      return "citations";
+  }
+  return "?";
+}
+
+TextMiner::TextMiner(TextStore* text) : text_(text) {}
+
+Status TextMiner::BuildVectors() {
+  vectors_.clear();
+  norms_.clear();
+  std::vector<DocumentId> docs = text_->ListDocuments();
+  // Document frequencies.
+  std::unordered_map<std::string, uint64_t> df;
+  std::unordered_map<uint64_t, std::map<std::string, uint64_t>> tf;
+  for (DocumentId doc : docs) {
+    auto content = text_->Text(doc);
+    if (!content.ok()) return content.status();
+    auto& counts = tf[doc.value];
+    for (const std::string& term : Tokenize(*content)) {
+      ++counts[term];
+    }
+    for (const auto& [term, count] : counts) ++df[term];
+  }
+  const double n = static_cast<double>(docs.size());
+  for (DocumentId doc : docs) {
+    auto& vec = vectors_[doc.value];
+    const auto& counts = tf[doc.value];
+    uint64_t total = 0;
+    for (const auto& [term, count] : counts) total += count;
+    double norm_sq = 0;
+    for (const auto& [term, count] : counts) {
+      double weight = (static_cast<double>(count) / std::max<uint64_t>(1, total)) *
+                      std::log(1.0 + n / static_cast<double>(df[term]));
+      vec[term] = weight;
+      norm_sq += weight * weight;
+    }
+    norms_[doc.value] = std::sqrt(norm_sq);
+  }
+  return Status::OK();
+}
+
+Result<double> TextMiner::Similarity(DocumentId a, DocumentId b) const {
+  auto va = vectors_.find(a.value);
+  auto vb = vectors_.find(b.value);
+  if (va == vectors_.end() || vb == vectors_.end()) {
+    return Status::FailedPrecondition("vectors not built for documents");
+  }
+  double na = norms_.at(a.value), nb = norms_.at(b.value);
+  if (na == 0 || nb == 0) return 0.0;
+  // Iterate the smaller vector.
+  const auto& small = va->second.size() <= vb->second.size() ? va->second
+                                                             : vb->second;
+  const auto& large = va->second.size() <= vb->second.size() ? vb->second
+                                                             : va->second;
+  double dot = 0;
+  for (const auto& [term, w] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += w * it->second;
+  }
+  return dot / (na * nb);
+}
+
+Result<std::vector<std::pair<std::string, double>>> TextMiner::Keywords(
+    DocumentId doc, size_t k) const {
+  auto it = vectors_.find(doc.value);
+  if (it == vectors_.end()) {
+    return Status::FailedPrecondition("vectors not built for document");
+  }
+  std::vector<std::pair<std::string, double>> terms(it->second.begin(),
+                                                    it->second.end());
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (terms.size() > k) terms.resize(k);
+  return terms;
+}
+
+Result<std::vector<std::pair<DocumentId, double>>> TextMiner::Nearest(
+    DocumentId doc, size_t k) const {
+  if (!vectors_.count(doc.value)) {
+    return Status::FailedPrecondition("vectors not built for document");
+  }
+  std::vector<std::pair<DocumentId, double>> out;
+  for (const auto& [other, vec] : vectors_) {
+    if (other == doc.value) continue;
+    auto sim = Similarity(doc, DocumentId(other));
+    if (!sim.ok()) return sim.status();
+    out.emplace_back(DocumentId(other), *sim);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+VisualMiner::VisualMiner(TextStore* text, MetaStore* meta,
+                         LineageAnalyzer* lineage, Clock* clock)
+    : text_(text), meta_(meta), lineage_(lineage), clock_(clock) {}
+
+Result<std::vector<DocPoint>> VisualMiner::Project(int iterations) {
+  std::vector<DocumentId> docs = text_->ListDocuments();
+  const size_t n = docs.size();
+  std::vector<DocPoint> points(n);
+
+  TextMiner miner(text_);
+  TENDAX_RETURN_IF_ERROR(miner.BuildVectors());
+
+  // Citation counts from one graph build (cheaper than per-doc queries).
+  auto graph = lineage_->BuildGraph();
+  if (!graph.ok()) return graph.status();
+  std::unordered_map<uint64_t, std::set<uint64_t>> citing;
+  for (const auto& [edge, count] : graph->internal_edges) {
+    citing[edge.first].insert(edge.second);
+  }
+
+  Timestamp now = clock_->NowMicros();
+  Random rng(0x7E4DA8);  // fixed seed -> deterministic layout
+  for (size_t i = 0; i < n; ++i) {
+    points[i].doc = docs[i];
+    auto info = text_->GetDocumentInfo(docs[i]);
+    if (info.ok()) {
+      points[i].name = info->name;
+      points[i].size = info->length;
+      points[i].age_micros = now > info->created ? now - info->created : 0;
+    }
+    auto meta = meta_->Meta(docs[i]);
+    points[i].author_count = meta.authors.size();
+    points[i].read_count = meta.total_reads;
+    points[i].citation_count = citing[docs[i].value].size();
+    points[i].x = rng.NextDouble();
+    points[i].y = rng.NextDouble();
+  }
+  if (n <= 1) return points;
+
+  // Pairwise similarities once.
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      auto s = miner.Similarity(docs[i], docs[j]);
+      if (!s.ok()) return s.status();
+      sim[i][j] = sim[j][i] = *s;
+    }
+  }
+
+  // Force layout: similar documents attract (target distance 1 - sim),
+  // dissimilar ones repel. Deterministic spring relaxation.
+  for (int step = 0; step < iterations; ++step) {
+    double rate = 0.1 * (1.0 - static_cast<double>(step) / iterations);
+    for (size_t i = 0; i < n; ++i) {
+      double fx = 0, fy = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double dx = points[j].x - points[i].x;
+        double dy = points[j].y - points[i].y;
+        double dist = std::sqrt(dx * dx + dy * dy) + 1e-9;
+        double target = 1.0 - sim[i][j];  // similar -> close
+        double force = (dist - target) / dist;
+        fx += force * dx;
+        fy += force * dy;
+      }
+      points[i].x += rate * fx / static_cast<double>(n);
+      points[i].y += rate * fy / static_cast<double>(n);
+    }
+  }
+  // Normalize into [0, 1].
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const DocPoint& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  double span_x = std::max(1e-9, max_x - min_x);
+  double span_y = std::max(1e-9, max_y - min_y);
+  for (DocPoint& p : points) {
+    p.x = (p.x - min_x) / span_x;
+    p.y = (p.y - min_y) / span_y;
+  }
+  return points;
+}
+
+double VisualMiner::AxisValue(const DocPoint& p, MiningAxis axis) {
+  switch (axis) {
+    case MiningAxis::kSimilarityX:
+      return p.x;
+    case MiningAxis::kSimilarityY:
+      return p.y;
+    case MiningAxis::kSize:
+      return static_cast<double>(p.size);
+    case MiningAxis::kAge:
+      return static_cast<double>(p.age_micros);
+    case MiningAxis::kAuthors:
+      return static_cast<double>(p.author_count);
+    case MiningAxis::kReads:
+      return static_cast<double>(p.read_count);
+    case MiningAxis::kCitations:
+      return static_cast<double>(p.citation_count);
+  }
+  return 0;
+}
+
+std::string VisualMiner::RenderSvg(const std::vector<DocPoint>& points,
+                                   MiningAxis x_axis, MiningAxis y_axis,
+                                   int width, int height) {
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const DocPoint& p : points) {
+    min_x = std::min(min_x, AxisValue(p, x_axis));
+    max_x = std::max(max_x, AxisValue(p, x_axis));
+    min_y = std::min(min_y, AxisValue(p, y_axis));
+    max_y = std::max(max_y, AxisValue(p, y_axis));
+  }
+  double span_x = std::max(1e-9, max_x - min_x);
+  double span_y = std::max(1e-9, max_y - min_y);
+
+  std::string svg =
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+      std::to_string(width) + "\" height=\"" + std::to_string(height) +
+      "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg += "<text x=\"8\" y=\"16\" font-size=\"12\">TeNDaX visual mining: " +
+         std::string(MiningAxisName(x_axis)) + " vs " +
+         std::string(MiningAxisName(y_axis)) + " (" +
+         std::to_string(points.size()) + " documents)</text>\n";
+  for (const DocPoint& p : points) {
+    double nx = (AxisValue(p, x_axis) - min_x) / span_x;
+    double ny = (AxisValue(p, y_axis) - min_y) / span_y;
+    int cx = 20 + static_cast<int>(nx * (width - 40));
+    int cy = height - 20 - static_cast<int>(ny * (height - 40));
+    // Radius encodes size; opacity encodes reads.
+    double r = 3.0 + std::min(9.0, std::sqrt(static_cast<double>(p.size)) / 4);
+    svg += "<circle cx=\"" + std::to_string(cx) + "\" cy=\"" +
+           std::to_string(cy) + "\" r=\"" + std::to_string(r) +
+           "\" fill=\"steelblue\" fill-opacity=\"0.6\"><title>" + p.name +
+           " (size=" + std::to_string(p.size) +
+           ", reads=" + std::to_string(p.read_count) +
+           ", cites=" + std::to_string(p.citation_count) +
+           ")</title></circle>\n";
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string VisualMiner::RenderAscii(const std::vector<DocPoint>& points,
+                                     MiningAxis x_axis, MiningAxis y_axis,
+                                     int cols, int rows) {
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const DocPoint& p : points) {
+    min_x = std::min(min_x, AxisValue(p, x_axis));
+    max_x = std::max(max_x, AxisValue(p, x_axis));
+    min_y = std::min(min_y, AxisValue(p, y_axis));
+    max_y = std::max(max_y, AxisValue(p, y_axis));
+  }
+  double span_x = std::max(1e-9, max_x - min_x);
+  double span_y = std::max(1e-9, max_y - min_y);
+
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  for (const DocPoint& p : points) {
+    double nx = (AxisValue(p, x_axis) - min_x) / span_x;
+    double ny = (AxisValue(p, y_axis) - min_y) / span_y;
+    int c = std::min(cols - 1, static_cast<int>(nx * cols));
+    int r = std::min(rows - 1, static_cast<int>((1.0 - ny) * rows));
+    char& cell = grid[r][c];
+    if (cell == ' ') {
+      cell = 'o';
+    } else if (cell == 'o') {
+      cell = 'O';
+    } else {
+      cell = '@';  // 3+ documents share the cell
+    }
+  }
+  std::string out = "visual mining (" + std::string(MiningAxisName(x_axis)) +
+                    " vs " + MiningAxisName(y_axis) + ", " +
+                    std::to_string(points.size()) + " docs)\n";
+  out += "+" + std::string(cols, '-') + "+\n";
+  for (const std::string& row : grid) {
+    out += "|" + row + "|\n";
+  }
+  out += "+" + std::string(cols, '-') + "+\n";
+  return out;
+}
+
+}  // namespace tendax

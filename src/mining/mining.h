@@ -1,0 +1,106 @@
+#ifndef TENDAX_MINING_MINING_H_
+#define TENDAX_MINING_MINING_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lineage/lineage.h"
+#include "meta/meta_store.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// A document's position in the 2-D visual-mining projection plus the
+/// metadata dimensions the view can encode (size, age, authors — paper
+/// Sec. 3 bullet 5 / Fig. 2).
+struct DocPoint {
+  DocumentId doc;
+  std::string name;
+  double x = 0, y = 0;        // similarity layout coordinates in [0, 1]
+  uint64_t size = 0;          // live characters
+  uint64_t age_micros = 0;    // now - created_at
+  size_t author_count = 0;
+  uint64_t read_count = 0;
+  uint64_t citation_count = 0;
+};
+
+/// Axes selectable in the scatter view (dimension navigation).
+enum class MiningAxis : uint8_t {
+  kSimilarityX = 0,
+  kSimilarityY = 1,
+  kSize = 2,
+  kAge = 3,
+  kAuthors = 4,
+  kReads = 5,
+  kCitations = 6,
+};
+
+const char* MiningAxisName(MiningAxis axis);
+
+/// Text mining over the stored corpus: tf-idf vectors, pairwise cosine
+/// similarity, and per-document keyword extraction.
+class TextMiner {
+ public:
+  explicit TextMiner(TextStore* text);
+
+  /// (Re)computes tf-idf vectors for every document.
+  Status BuildVectors();
+
+  /// Cosine similarity of two documents' tf-idf vectors in [0, 1].
+  Result<double> Similarity(DocumentId a, DocumentId b) const;
+
+  /// Top-k highest tf-idf terms of a document.
+  Result<std::vector<std::pair<std::string, double>>> Keywords(
+      DocumentId doc, size_t k = 5) const;
+
+  /// Most similar other documents.
+  Result<std::vector<std::pair<DocumentId, double>>> Nearest(
+      DocumentId doc, size_t k = 5) const;
+
+  size_t VectorCount() const { return vectors_.size(); }
+
+ private:
+  TextStore* const text_;
+  std::unordered_map<uint64_t, std::map<std::string, double>> vectors_;
+  std::unordered_map<uint64_t, double> norms_;
+};
+
+/// The visual-mining view: projects the whole document space to 2-D with a
+/// deterministic force layout over pairwise similarity, decorates each
+/// point with metadata dimensions, and renders Fig. 2 as SVG or ASCII.
+class VisualMiner {
+ public:
+  VisualMiner(TextStore* text, MetaStore* meta, LineageAnalyzer* lineage,
+              Clock* clock);
+
+  /// Computes the projection (`iterations` force steps; deterministic).
+  Result<std::vector<DocPoint>> Project(int iterations = 50);
+
+  /// Scatter of `points` on the chosen axes as an SVG document.
+  std::string RenderSvg(const std::vector<DocPoint>& points,
+                        MiningAxis x_axis = MiningAxis::kSimilarityX,
+                        MiningAxis y_axis = MiningAxis::kSimilarityY,
+                        int width = 640, int height = 480);
+
+  /// Terminal scatter (rows x cols character grid).
+  std::string RenderAscii(const std::vector<DocPoint>& points,
+                          MiningAxis x_axis = MiningAxis::kSimilarityX,
+                          MiningAxis y_axis = MiningAxis::kSimilarityY,
+                          int cols = 64, int rows = 20);
+
+ private:
+  static double AxisValue(const DocPoint& p, MiningAxis axis);
+
+  TextStore* const text_;
+  MetaStore* const meta_;
+  LineageAnalyzer* const lineage_;
+  Clock* const clock_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_MINING_MINING_H_

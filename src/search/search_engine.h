@@ -1,0 +1,121 @@
+#ifndef TENDAX_SEARCH_SEARCH_ENGINE_H_
+#define TENDAX_SEARCH_SEARCH_ENGINE_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "document/document_model.h"
+#include "lineage/lineage.h"
+#include "meta/meta_store.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// How result lists are ordered — the paper's ranking options
+/// ("most cited", "newest", …).
+enum class Ranking : uint8_t {
+  kRelevance = 1,  // tf-idf
+  kNewest = 2,     // last edit time
+  kMostCited = 3,  // lineage in-degree
+  kMostRead = 4,   // audit read count
+};
+
+const char* RankingName(Ranking ranking);
+
+struct SearchResult {
+  DocumentId doc;
+  double score = 0;
+  std::string name;
+  std::string snippet;
+};
+
+/// Optional metadata filters applied before ranking.
+struct SearchFilter {
+  std::optional<UserId> author;       // must be among the doc's authors
+  std::optional<std::string> state;   // document lifecycle state
+  Timestamp edited_since = 0;         // last edit >= this
+  std::optional<std::string> element_type;  // term must fall inside such an
+                                            // element (structure search)
+};
+
+/// Lowercases and splits on non-alphanumerics.
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// Content / structure / metadata search with pluggable ranking over an
+/// incrementally maintained in-memory inverted index (derived data, rebuilt
+/// at startup; kept fresh by re-indexing documents as their committed edits
+/// arrive on the event bus).
+class SearchEngine {
+ public:
+  SearchEngine(Database* db, TextStore* text, MetaStore* meta,
+               DocumentModel* docs, LineageAnalyzer* lineage);
+
+  /// Builds the index over existing documents and subscribes to commits.
+  Status Init();
+
+  /// Index maintenance policy. Lazy (default): committed edits only mark
+  /// the document dirty (O(1) per keystroke) and re-indexing happens at
+  /// query time. Eager: every committed edit re-tokenizes the document —
+  /// fresher index, but adds O(doc) to each editing transaction's commit
+  /// path (the ablation measured in bench_search).
+  void SetEagerIndexing(bool eager) { eager_ = eager; }
+
+  /// Multi-term AND query (terms are tokenized from `query`).
+  Result<std::vector<SearchResult>> Search(
+      const std::string& query, Ranking ranking = Ranking::kRelevance,
+      const SearchFilter& filter = {}, size_t limit = 10);
+
+  /// Exact phrase query (verified against document text).
+  Result<std::vector<SearchResult>> SearchPhrase(
+      const std::string& phrase, Ranking ranking = Ranking::kRelevance,
+      size_t limit = 10);
+
+  /// Re-indexes one document now (also used internally on change events).
+  Status IndexDocument(DocumentId doc);
+
+  size_t IndexedTerms() const;
+  size_t IndexedDocuments() const;
+  size_t DirtyDocuments() const;
+
+ private:
+  struct DocPostings {
+    uint64_t term_count = 0;                      // total tokens
+    std::unordered_map<std::string, std::vector<size_t>> positions;
+  };
+
+  /// Re-indexes every document marked dirty since the last query.
+  Status FlushDirty();
+
+  Result<double> RankScore(DocumentId doc, Ranking ranking,
+                           const std::vector<std::string>& terms);
+  Status ApplyFilter(const SearchFilter& filter,
+                     const std::vector<std::string>& terms,
+                     std::set<uint64_t>* candidates);
+  std::string Snippet(DocumentId doc, const std::string& term);
+  double TfIdf(const std::vector<std::string>& terms, uint64_t doc) const;
+
+  Database* const db_;
+  TextStore* const text_;
+  MetaStore* const meta_;
+  DocumentModel* const docs_;
+  LineageAnalyzer* const lineage_;
+
+  mutable std::mutex mu_;
+  // term -> set of docs; doc -> postings.
+  std::unordered_map<std::string, std::set<uint64_t>> term_docs_;
+  std::unordered_map<uint64_t, DocPostings> doc_postings_;
+  std::unordered_map<uint64_t, Version> indexed_version_;
+  std::set<uint64_t> dirty_docs_;
+  std::atomic<bool> eager_{false};
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_SEARCH_SEARCH_ENGINE_H_

@@ -1,0 +1,407 @@
+#include "security/access_control.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+namespace {
+
+Schema UsersSchema() {
+  return Schema({{"user_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString}});
+}
+
+Schema RolesSchema() {
+  return Schema({{"role_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString}});
+}
+
+Schema MembersSchema() {
+  return Schema({{"role_id", ColumnType::kUint64},
+                 {"user_id", ColumnType::kUint64}});
+}
+
+Schema AclSchema() {
+  return Schema({{"ace_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"is_role", ColumnType::kBool},
+                 {"subject", ColumnType::kUint64},
+                 {"right", ColumnType::kUint64},
+                 {"allow", ColumnType::kBool},
+                 {"scope_start", ColumnType::kUint64},
+                 {"scope_end", ColumnType::kUint64},
+                 {"granted_by", ColumnType::kUint64},
+                 {"at", ColumnType::kUint64}});
+}
+
+}  // namespace
+
+const char* RightName(Right right) {
+  switch (right) {
+    case Right::kRead:
+      return "read";
+    case Right::kWrite:
+      return "write";
+    case Right::kLayout:
+      return "layout";
+    case Right::kStructure:
+      return "structure";
+    case Right::kGrant:
+      return "grant";
+    case Right::kWorkflow:
+      return "workflow";
+  }
+  return "?";
+}
+
+AccessControl::AccessControl(Database* db, TextStore* text, bool default_open)
+    : db_(db), text_(text), default_open_(default_open) {}
+
+Status AccessControl::Init() {
+  auto users = db_->EnsureTable("tendax_users", UsersSchema());
+  if (!users.ok()) return users.status();
+  users_table_ = *users;
+  auto roles = db_->EnsureTable("tendax_roles", RolesSchema());
+  if (!roles.ok()) return roles.status();
+  roles_table_ = *roles;
+  auto members = db_->EnsureTable("tendax_role_members", MembersSchema());
+  if (!members.ok()) return members.status();
+  members_table_ = *members;
+  auto acl = db_->EnsureTable("tendax_acl", AclSchema());
+  if (!acl.ok()) return acl.status();
+  acl_table_ = *acl;
+
+  uint64_t max_user = 0, max_role = 0, max_ace = 0;
+  TENDAX_RETURN_IF_ERROR(
+      users_table_->Scan([&](RecordId, const Record& rec) {
+        users_[rec.GetUint(0)] = rec.GetString(1);
+        max_user = std::max(max_user, rec.GetUint(0));
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      roles_table_->Scan([&](RecordId, const Record& rec) {
+        roles_[rec.GetUint(0)] = rec.GetString(1);
+        max_role = std::max(max_role, rec.GetUint(0));
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      members_table_->Scan([&](RecordId, const Record& rec) {
+        members_[rec.GetUint(0)].insert(rec.GetUint(1));
+        roles_of_[rec.GetUint(1)].insert(rec.GetUint(0));
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      acl_table_->Scan([&](RecordId, const Record& rec) {
+        AccessEntry e;
+        e.ace_id = rec.GetUint(0);
+        e.doc = DocumentId(rec.GetUint(1));
+        e.is_role = rec.GetBool(2);
+        e.subject = rec.GetUint(3);
+        e.right = static_cast<Right>(rec.GetUint(4));
+        e.allow = rec.GetBool(5);
+        e.scope_start = rec.GetUint(6);
+        e.scope_end = rec.GetUint(7);
+        e.granted_by = UserId(rec.GetUint(8));
+        e.at = rec.GetUint(9);
+        acl_[e.doc.value].push_back(e);
+        max_ace = std::max(max_ace, e.ace_id);
+        return true;
+      }));
+  next_user_id_ = max_user + 1;
+  next_role_id_ = max_role + 1;
+  next_ace_id_ = max_ace + 1;
+  return Status::OK();
+}
+
+Result<UserId> AccessControl::CreateUser(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, n] : users_) {
+      if (n == name) return Status::AlreadyExists("user '" + name + "'");
+    }
+  }
+  UserId id(next_user_id_.fetch_add(1));
+  Status st = db_->txns()->RunInTxn(id, [&](Transaction* txn) {
+    return users_table_->Insert(txn, Record({id.value, name})).status();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  users_[id.value] = name;
+  return id;
+}
+
+Result<RoleId> AccessControl::CreateRole(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, n] : roles_) {
+      if (n == name) return Status::AlreadyExists("role '" + name + "'");
+    }
+  }
+  RoleId id(next_role_id_.fetch_add(1));
+  Status st = db_->txns()->RunInTxn(UserId(0), [&](Transaction* txn) {
+    return roles_table_->Insert(txn, Record({id.value, name})).status();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  roles_[id.value] = name;
+  return id;
+}
+
+Status AccessControl::AssignRole(UserId user, RoleId role) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!users_.count(user.value)) return Status::NotFound("unknown user");
+    if (!roles_.count(role.value)) return Status::NotFound("unknown role");
+  }
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) {
+    return members_table_->Insert(txn, Record({role.value, user.value}))
+        .status();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  members_[role.value].insert(user.value);
+  roles_of_[user.value].insert(role.value);
+  return Status::OK();
+}
+
+Status AccessControl::RevokeRole(UserId user, RoleId role) {
+  RecordId target;
+  bool found = false;
+  TENDAX_RETURN_IF_ERROR(
+      members_table_->Scan([&](RecordId rid, const Record& rec) {
+        if (rec.GetUint(0) == role.value && rec.GetUint(1) == user.value) {
+          target = rid;
+          found = true;
+          return false;
+        }
+        return true;
+      }));
+  if (!found) return Status::NotFound("membership not found");
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) {
+    return members_table_->Delete(txn, target);
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  members_[role.value].erase(user.value);
+  roles_of_[user.value].erase(role.value);
+  return Status::OK();
+}
+
+Result<std::string> AccessControl::UserName(UserId user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user.value);
+  if (it == users_.end()) return Status::NotFound("unknown user");
+  return it->second;
+}
+
+Result<UserId> AccessControl::FindUser(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, n] : users_) {
+    if (n == name) return UserId(id);
+  }
+  return Status::NotFound("no user named '" + name + "'");
+}
+
+Result<RoleId> AccessControl::FindRole(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, n] : roles_) {
+    if (n == name) return RoleId(id);
+  }
+  return Status::NotFound("no role named '" + name + "'");
+}
+
+std::set<RoleId> AccessControl::RolesOf(UserId user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<RoleId> out;
+  auto it = roles_of_.find(user.value);
+  if (it != roles_of_.end()) {
+    for (uint64_t r : it->second) out.insert(RoleId(r));
+  }
+  return out;
+}
+
+std::vector<UserId> AccessControl::UsersInRole(RoleId role) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<UserId> out;
+  auto it = members_.find(role.value);
+  if (it != members_.end()) {
+    for (uint64_t u : it->second) out.push_back(UserId(u));
+  }
+  return out;
+}
+
+Status AccessControl::PersistEntry(UserId grantor, const AccessEntry& entry) {
+  // Only holders of the grant right may change rights.
+  auto allowed = Check(grantor, entry.doc, Right::kGrant);
+  if (!allowed.ok()) return allowed.status();
+  if (!*allowed) {
+    return Status::PermissionDenied(
+        "user " + grantor.ToString() + " may not change rights on " +
+        entry.doc.ToString());
+  }
+  Status st = db_->txns()->RunInTxn(grantor, [&](Transaction* txn) -> Status {
+    auto rid = acl_table_->Insert(
+        txn, Record({entry.ace_id, entry.doc.value, entry.is_role,
+                     entry.subject, uint64_t{static_cast<uint64_t>(entry.right)},
+                     entry.allow, entry.scope_start, entry.scope_end,
+                     grantor.value, uint64_t{entry.at}}));
+    if (!rid.ok()) return rid.status();
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kSecurityChanged;
+    ev.doc = entry.doc;
+    ev.user = grantor;
+    ev.at = entry.at;
+    ev.detail = std::string(RightName(entry.right)) +
+                (entry.allow ? "+granted" : "+denied");
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  acl_[entry.doc.value].push_back(entry);
+  return Status::OK();
+}
+
+Status AccessControl::GrantUser(UserId grantor, DocumentId doc,
+                                UserId subject, Right right, bool allow) {
+  AccessEntry e;
+  e.ace_id = next_ace_id_.fetch_add(1);
+  e.doc = doc;
+  e.is_role = false;
+  e.subject = subject.value;
+  e.right = right;
+  e.allow = allow;
+  e.granted_by = grantor;
+  e.at = db_->clock()->NowMicros();
+  return PersistEntry(grantor, e);
+}
+
+Status AccessControl::GrantRole(UserId grantor, DocumentId doc,
+                                RoleId subject, Right right, bool allow) {
+  AccessEntry e;
+  e.ace_id = next_ace_id_.fetch_add(1);
+  e.doc = doc;
+  e.is_role = true;
+  e.subject = subject.value;
+  e.right = right;
+  e.allow = allow;
+  e.granted_by = grantor;
+  e.at = db_->clock()->NowMicros();
+  return PersistEntry(grantor, e);
+}
+
+Status AccessControl::GrantUserRange(UserId grantor, DocumentId doc,
+                                     UserId subject, Right right, size_t pos,
+                                     size_t len, bool allow) {
+  if (len == 0) return Status::InvalidArgument("empty range");
+  auto info = text_->RangeInfo(doc, pos, len);
+  if (!info.ok()) return info.status();
+  AccessEntry e;
+  e.ace_id = next_ace_id_.fetch_add(1);
+  e.doc = doc;
+  e.is_role = false;
+  e.subject = subject.value;
+  e.right = right;
+  e.allow = allow;
+  e.scope_start = info->front().id.value;
+  e.scope_end = info->back().id.value;
+  e.granted_by = grantor;
+  e.at = db_->clock()->NowMicros();
+  return PersistEntry(grantor, e);
+}
+
+bool AccessControl::SubjectMatches(const AccessEntry& entry, UserId user,
+                                   const std::set<RoleId>& roles) const {
+  if (!entry.is_role) return entry.subject == user.value;
+  return roles.count(RoleId(entry.subject)) > 0;
+}
+
+bool AccessControl::ScopeCovers(const AccessEntry& entry, DocumentId doc,
+                                uint64_t char_id) const {
+  if (entry.scope_start == 0) return true;  // document-wide
+  if (char_id == 0) return false;           // doc-level check vs range entry
+  // Resolve the range through current document order.
+  auto text = text_;
+  auto doc_info = text->GetDocumentInfo(doc);
+  if (!doc_info.ok()) return false;
+  // Position of the scope anchors and the target character.
+  auto find_pos = [&](uint64_t id) -> std::optional<size_t> {
+    auto length = text->Length(doc);
+    if (!length.ok()) return std::nullopt;
+    // Walk via RangeInfo in chunks to find the id (anchors are usually
+    // close together; documents in ACL checks are modest).
+    auto infos = text->RangeInfo(doc, 0, *length);
+    if (!infos.ok()) return std::nullopt;
+    for (size_t i = 0; i < infos->size(); ++i) {
+      if ((*infos)[i].id.value == id) return i;
+    }
+    return std::nullopt;
+  };
+  auto s = find_pos(entry.scope_start);
+  auto e = find_pos(entry.scope_end);
+  auto c = find_pos(char_id);
+  if (!s || !c) return false;
+  size_t end = e ? *e : *s;
+  return *c >= *s && *c <= end;
+}
+
+Result<bool> AccessControl::Check(UserId user, DocumentId doc,
+                                  Right right) const {
+  return CheckAt(user, doc, right, SIZE_MAX);
+}
+
+Result<bool> AccessControl::CheckAt(UserId user, DocumentId doc, Right right,
+                                    size_t pos) const {
+  auto info = text_->GetDocumentInfo(doc);
+  if (!info.ok()) return info.status();
+  if (info->creator == user) return true;  // creators keep all rights
+
+  uint64_t char_id = 0;
+  if (pos != SIZE_MAX) {
+    auto at = text_->CharAt(doc, pos);
+    if (at.ok()) char_id = at->id.value;
+  }
+
+  std::set<RoleId> roles = RolesOf(user);
+  std::vector<AccessEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = acl_.find(doc.value);
+    if (it != acl_.end()) entries = it->second;
+  }
+  bool granted = false;
+  bool any_entry_for_right = false;
+  for (const AccessEntry& e : entries) {
+    if (e.right != right) continue;
+    if (e.allow) any_entry_for_right = true;  // grants close the world
+    if (!SubjectMatches(e, user, roles)) continue;
+    if (!ScopeCovers(e, doc, char_id)) continue;
+    if (!e.allow) return false;  // explicit deny wins
+    granted = true;
+  }
+  if (granted) return true;
+  // Once a document carries explicit entries for a right, those entries are
+  // authoritative (closed world); otherwise the store default applies.
+  if (any_entry_for_right) return false;
+  return default_open_;
+}
+
+Status AccessControl::Require(UserId user, DocumentId doc,
+                              Right right) const {
+  auto ok = Check(user, doc, right);
+  if (!ok.ok()) return ok.status();
+  if (!*ok) {
+    return Status::PermissionDenied("user " + user.ToString() + " lacks " +
+                                    RightName(right) + " on " +
+                                    doc.ToString());
+  }
+  return Status::OK();
+}
+
+std::vector<AccessEntry> AccessControl::EntriesFor(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = acl_.find(doc.value);
+  return it == acl_.end() ? std::vector<AccessEntry>() : it->second;
+}
+
+}  // namespace tendax

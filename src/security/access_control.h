@@ -1,0 +1,121 @@
+#ifndef TENDAX_SECURITY_ACCESS_CONTROL_H_
+#define TENDAX_SECURITY_ACCESS_CONTROL_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Rights a principal can hold on a document (or a character range of one).
+enum class Right : uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kLayout = 3,
+  kStructure = 4,
+  kGrant = 5,     // may change access rights
+  kWorkflow = 6,  // may define/route business processes
+};
+
+const char* RightName(Right right);
+
+/// One access-control entry. `scope_start == 0` means document-wide;
+/// otherwise the entry covers the character-id range [scope_start,
+/// scope_end] in document order (the paper's character-level security).
+struct AccessEntry {
+  uint64_t ace_id = 0;
+  DocumentId doc;
+  bool is_role = false;
+  uint64_t subject = 0;  // UserId or RoleId value
+  Right right = Right::kRead;
+  bool allow = true;     // explicit deny wins over grants
+  uint64_t scope_start = 0;
+  uint64_t scope_end = 0;
+  UserId granted_by;
+  Timestamp at = 0;
+};
+
+/// Users, roles, role membership and document/range ACL enforcement.
+///
+/// Resolution: an explicit deny matching the user (directly or via a role)
+/// beats any grant; otherwise any matching grant allows; otherwise the
+/// document's default applies (creator: everything; others: the store-wide
+/// `default_open` policy, which mirrors the demo's open LAN-party setup).
+class AccessControl {
+ public:
+  AccessControl(Database* db, TextStore* text, bool default_open = true);
+
+  Status Init();
+
+  // --- principals ---
+  Result<UserId> CreateUser(const std::string& name);
+  Result<RoleId> CreateRole(const std::string& name);
+  Status AssignRole(UserId user, RoleId role);
+  Status RevokeRole(UserId user, RoleId role);
+  Result<std::string> UserName(UserId user) const;
+  Result<UserId> FindUser(const std::string& name) const;
+  Result<RoleId> FindRole(const std::string& name) const;
+  std::set<RoleId> RolesOf(UserId user) const;
+  std::vector<UserId> UsersInRole(RoleId role) const;
+
+  // --- grants ---
+  Status GrantUser(UserId grantor, DocumentId doc, UserId subject,
+                   Right right, bool allow = true);
+  Status GrantRole(UserId grantor, DocumentId doc, RoleId subject,
+                   Right right, bool allow = true);
+  /// Character-range entry: covers the live range [pos, pos+len) as of now,
+  /// anchored to character ids so it survives surrounding edits.
+  Status GrantUserRange(UserId grantor, DocumentId doc, UserId subject,
+                        Right right, size_t pos, size_t len,
+                        bool allow = true);
+
+  /// Full check at document scope.
+  Result<bool> Check(UserId user, DocumentId doc, Right right) const;
+  /// Check at a character position (range entries considered).
+  Result<bool> CheckAt(UserId user, DocumentId doc, Right right,
+                       size_t pos) const;
+  /// Convenience: returns PermissionDenied unless allowed.
+  Status Require(UserId user, DocumentId doc, Right right) const;
+
+  std::vector<AccessEntry> EntriesFor(DocumentId doc) const;
+
+ private:
+  Status PersistEntry(UserId grantor, const AccessEntry& entry);
+  bool SubjectMatches(const AccessEntry& entry, UserId user,
+                      const std::set<RoleId>& roles) const;
+  /// Does `entry`'s scope cover the character with id `char_id` (resolved
+  /// through the document's current order)? Document-wide entries always do.
+  bool ScopeCovers(const AccessEntry& entry, DocumentId doc,
+                   uint64_t char_id) const;
+
+  Database* const db_;
+  TextStore* const text_;
+  const bool default_open_;
+
+  HeapTable* users_table_ = nullptr;
+  HeapTable* roles_table_ = nullptr;
+  HeapTable* members_table_ = nullptr;
+  HeapTable* acl_table_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::string> users_;
+  std::unordered_map<uint64_t, std::string> roles_;
+  std::map<uint64_t, std::set<uint64_t>> members_;       // role -> users
+  std::map<uint64_t, std::set<uint64_t>> roles_of_;      // user -> roles
+  std::map<uint64_t, std::vector<AccessEntry>> acl_;     // doc -> entries
+  std::atomic<uint64_t> next_user_id_{1};
+  std::atomic<uint64_t> next_role_id_{1};
+  std::atomic<uint64_t> next_ace_id_{1};
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_SECURITY_ACCESS_CONTROL_H_

@@ -1,0 +1,132 @@
+#ifndef TENDAX_STORAGE_BUFFER_POOL_H_
+#define TENDAX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "storage/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tendax {
+
+/// Counters exposed for the substrate benchmarks (experiment E9).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Fixed-capacity page cache with LRU replacement and WAL coupling: a dirty
+/// page is written back only after the WAL is durable up to the page's LSN
+/// (the write-ahead rule). All methods are thread-safe; returned Page
+/// pointers stay valid while the page is pinned.
+class BufferPool {
+ public:
+  /// `wal` may be null for WAL-less databases (volatile catalogs, tests).
+  BufferPool(size_t capacity, DiskManager* disk, Wal* wal = nullptr);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the page pinned; call Unpin when done.
+  Result<Page*> FetchPage(PageId id);
+
+  /// Allocates a new page on disk and returns it pinned.
+  Result<Page*> NewPage();
+
+  /// Releases one pin; `dirty` marks the page as modified.
+  void Unpin(Page* page, bool dirty);
+
+  /// Writes the page back if dirty (page may stay cached).
+  Status FlushPage(PageId id);
+
+  /// Writes back every dirty page. Does not evict.
+  Status FlushAll();
+
+  /// Drops every cached page without writing anything back — simulates a
+  /// crash for recovery tests. All pins must have been released.
+  void DropAllForCrashTest();
+
+  /// Allocates pages until `id` exists on disk. Recovery uses this when a
+  /// page allocation was lost in a crash (file growth is not fsync'd).
+  Status EnsureAllocatedUpTo(PageId id);
+
+  size_t capacity() const { return capacity_; }
+  BufferPoolStats stats() const;
+
+ private:
+  // Requires mu_ held. Finds a reusable frame, evicting if necessary.
+  Result<Page*> GetFreeFrame();
+  // Requires mu_ held.
+  Status WriteBack(Page* page);
+  // Requires mu_ held. Moves `id` to the MRU position.
+  void Touch(PageId id);
+
+  const size_t capacity_;
+  DiskManager* const disk_;
+  Wal* const wal_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, Page*> page_table_;
+  std::list<PageId> lru_;  // front = LRU, back = MRU
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
+  std::vector<Page*> free_frames_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: unpins on destruction. Mark dirty via `MarkDirty()`.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  ~PageGuard() { Release(); }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      page_ = other.page_;
+      dirty_ = other.dirty_;
+      other.pool_ = nullptr;
+      other.page_ = nullptr;
+      other.dirty_ = false;
+    }
+    return *this;
+  }
+
+  Page* get() { return page_; }
+  Page* operator->() { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->Unpin(page_, dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_STORAGE_BUFFER_POOL_H_

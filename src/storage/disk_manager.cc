@@ -1,0 +1,122 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tendax {
+
+Result<PageId> InMemoryDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto page = std::make_unique<char[]>(kPageSize);
+  memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " beyond allocated pages");
+  }
+  memcpy(out, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " beyond allocated pages");
+  }
+  memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+uint32_t InMemoryDiskManager::NumPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(pages_.size());
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path + ": " + strerror(errno));
+  }
+  if (st.st_size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("database file size not page-aligned: " + path);
+  }
+  auto num_pages = static_cast<uint32_t>(st.st_size / kPageSize);
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(fd, num_pages));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId id = num_pages_;
+  char zeros[kPageSize] = {0};
+  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite (allocate): " +
+                           std::string(strerror(errno)));
+  }
+  ++num_pages_;
+  return id;
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " beyond allocated pages");
+  }
+  ssize_t n = ::pread(fd_, out, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= num_pages_) {
+    return Status::OutOfRange("page id " + std::to_string(id) +
+                              " beyond allocated pages");
+  }
+  ssize_t n = ::pwrite(fd_, data, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+uint32_t FileDiskManager::NumPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pages_;
+}
+
+Status FileDiskManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace tendax

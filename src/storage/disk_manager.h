@@ -1,0 +1,74 @@
+#ifndef TENDAX_STORAGE_DISK_MANAGER_H_
+#define TENDAX_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace tendax {
+
+/// Abstraction over the page store backing a database: allocates page
+/// numbers and reads/writes whole pages. Implementations must be
+/// thread-safe.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a fresh (zeroed) page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+  /// Reads page `id` into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId id, char* out) = 0;
+  /// Writes kPageSize bytes from `data` to page `id`.
+  virtual Status WritePage(PageId id, const char* data) = 0;
+  /// Number of pages ever allocated.
+  virtual uint32_t NumPages() const = 0;
+  /// Forces written pages to durable storage.
+  virtual Status Sync() = 0;
+};
+
+/// Heap-backed page store for tests and volatile databases.
+class InMemoryDiskManager : public DiskManager {
+ public:
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  uint32_t NumPages() const override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// File-backed page store. The file grows as pages are allocated; page `i`
+/// lives at byte offset `i * kPageSize`.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (creating if necessary) the database file at `path`.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+  ~FileDiskManager() override;
+
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  uint32_t NumPages() const override;
+  Status Sync() override;
+
+ private:
+  FileDiskManager(int fd, uint32_t num_pages)
+      : fd_(fd), num_pages_(num_pages) {}
+
+  mutable std::mutex mu_;
+  int fd_;
+  uint32_t num_pages_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_STORAGE_DISK_MANAGER_H_

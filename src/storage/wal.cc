@@ -1,0 +1,244 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace tendax {
+
+namespace {
+
+uint32_t Fnv1a(const char* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, lsn);
+  PutVarint64(dst, prev_lsn);
+  PutVarint64(dst, txn.value);
+  dst->push_back(static_cast<char>(type));
+  if (type == LogType::kUpdate || type == LogType::kCompensation) {
+    dst->push_back(static_cast<char>(op));
+    PutVarint64(dst, table_id);
+    PutVarint64(dst, rid);
+    PutLengthPrefixed(dst, before);
+    PutLengthPrefixed(dst, after);
+    PutVarint64(dst, undo_next_lsn);
+  }
+}
+
+bool LogRecord::DecodeFrom(Slice input, LogRecord* out) {
+  uint64_t lsn, prev, txn;
+  if (!GetVarint64(&input, &lsn)) return false;
+  if (!GetVarint64(&input, &prev)) return false;
+  if (!GetVarint64(&input, &txn)) return false;
+  if (input.empty()) return false;
+  auto type = static_cast<LogType>(input[0]);
+  input.remove_prefix(1);
+  out->lsn = lsn;
+  out->prev_lsn = prev;
+  out->txn = TxnId(txn);
+  out->type = type;
+  if (type == LogType::kUpdate || type == LogType::kCompensation) {
+    if (input.empty()) return false;
+    out->op = static_cast<UpdateOp>(input[0]);
+    input.remove_prefix(1);
+    Slice before, after;
+    if (!GetVarint64(&input, &out->table_id)) return false;
+    if (!GetVarint64(&input, &out->rid)) return false;
+    if (!GetLengthPrefixed(&input, &before)) return false;
+    if (!GetLengthPrefixed(&input, &after)) return false;
+    if (!GetVarint64(&input, &out->undo_next_lsn)) return false;
+    out->before = before.ToString();
+    out->after = after.ToString();
+  }
+  return true;
+}
+
+Status InMemoryLogStorage::Append(const Slice& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.append(data.data(), data.size());
+  return Status::OK();
+}
+
+Status InMemoryLogStorage::ReadAll(std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out = buffer_;
+  return Status::OK();
+}
+
+Status InMemoryLogStorage::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.clear();
+  return Status::OK();
+}
+
+void InMemoryLogStorage::CorruptTail(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n < buffer_.size()) buffer_.resize(n);
+}
+
+Result<std::unique_ptr<FileLogStorage>> FileLogStorage::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<FileLogStorage>(new FileLogStorage(fd, path));
+}
+
+FileLogStorage::~FileLogStorage() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileLogStorage::Append(const Slice& data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write log: " + std::string(strerror(errno)));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileLogStorage::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync log: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileLogStorage::ReadAll(std::string* out) {
+  out->clear();
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError("lseek log: " + std::string(strerror(errno)));
+  }
+  out->resize(static_cast<size_t>(size));
+  size_t got = 0;
+  while (got < out->size()) {
+    ssize_t n = ::pread(fd_, out->data() + got, out->size() - got,
+                        static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread log: " + std::string(strerror(errno)));
+    }
+    if (n == 0) break;
+    got += static_cast<size_t>(n);
+  }
+  out->resize(got);
+  return Status::OK();
+}
+
+Status FileLogStorage::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("ftruncate log: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Wal::Wal(std::shared_ptr<LogStorage> storage) : storage_(std::move(storage)) {
+  // Continue LSN numbering after any records already in the log.
+  std::string buffer;
+  if (storage_->ReadAll(&buffer).ok()) {
+    std::vector<LogRecord> records;
+    next_lsn_ = DecodeLogBuffer(buffer, &records);
+    flushed_lsn_ = next_lsn_ - 1;
+  }
+}
+
+Result<Lsn> Wal::Append(LogRecord* rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec->lsn = next_lsn_++;
+  std::string payload;
+  rec->EncodeTo(&payload);
+  PutFixed32(&pending_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&pending_, Fnv1a(payload.data(), payload.size()));
+  pending_.append(payload);
+  return rec->lsn;
+}
+
+Status Wal::Flush(Lsn up_to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (up_to <= flushed_lsn_) return Status::OK();
+  // Group commit: flush everything buffered.
+  if (!pending_.empty()) {
+    TENDAX_RETURN_IF_ERROR(storage_->Append(pending_));
+    pending_.clear();
+  }
+  TENDAX_RETURN_IF_ERROR(storage_->Sync());
+  flushed_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+Status Wal::FlushAll() {
+  Lsn last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = next_lsn_ - 1;
+  }
+  return Flush(last);
+}
+
+Lsn Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Lsn Wal::flushed_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_lsn_;
+}
+
+Status Wal::ReadAll(std::vector<LogRecord>* out) {
+  TENDAX_RETURN_IF_ERROR(FlushAll());
+  std::string buffer;
+  TENDAX_RETURN_IF_ERROR(storage_->ReadAll(&buffer));
+  DecodeLogBuffer(buffer, out);
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  TENDAX_RETURN_IF_ERROR(storage_->Truncate());
+  flushed_lsn_ = next_lsn_ - 1;
+  return Status::OK();
+}
+
+Lsn Wal::DecodeLogBuffer(const std::string& buffer,
+                         std::vector<LogRecord>* out) {
+  Slice input(buffer);
+  Lsn next = 1;
+  while (input.size() >= 8) {
+    uint32_t len = DecodeFixed32(input.data());
+    uint32_t crc = DecodeFixed32(input.data() + 4);
+    if (input.size() < 8 + static_cast<size_t>(len)) break;  // torn tail
+    Slice payload(input.data() + 8, len);
+    if (Fnv1a(payload.data(), payload.size()) != crc) break;  // corrupt tail
+    LogRecord rec;
+    if (!LogRecord::DecodeFrom(payload, &rec)) break;
+    next = rec.lsn + 1;
+    out->push_back(std::move(rec));
+    input.remove_prefix(8 + len);
+  }
+  return next;
+}
+
+}  // namespace tendax

@@ -1,0 +1,161 @@
+#ifndef TENDAX_STORAGE_WAL_H_
+#define TENDAX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/result.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace tendax {
+
+/// Log sequence number. LSN 0 is "none"; real LSNs start at 1 and increase
+/// by one per appended record.
+using Lsn = uint64_t;
+constexpr Lsn kInvalidLsn = 0;
+
+/// Kind of a WAL record.
+enum class LogType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kUpdate = 4,        // a logical record-level change (insert/update/delete)
+  kCompensation = 5,  // CLR written while undoing an update
+  kCheckpoint = 6,    // quiescent checkpoint marker
+};
+
+/// Sub-kind for kUpdate / kCompensation records.
+enum class UpdateOp : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+};
+
+/// A single WAL record. Updates are logged logically at record granularity:
+/// the (table, rid) addressed plus before/after images. Replay is
+/// deterministic because the rid chosen at run time is recorded, and
+/// idempotent because pages carry the LSN of the last applied record.
+struct LogRecord {
+  Lsn lsn = kInvalidLsn;
+  Lsn prev_lsn = kInvalidLsn;  // previous record of the same transaction
+  TxnId txn;
+  LogType type = LogType::kBegin;
+
+  // kUpdate / kCompensation only:
+  UpdateOp op = UpdateOp::kInsert;
+  uint64_t table_id = 0;
+  uint64_t rid = 0;          // packed RecordId (page << 16 | slot)
+  std::string before;        // pre-image (empty for insert)
+  std::string after;         // post-image (empty for delete)
+  Lsn undo_next_lsn = kInvalidLsn;  // kCompensation: next record to undo
+
+  /// Serializes this record (without framing) into `dst`.
+  void EncodeTo(std::string* dst) const;
+  /// Parses a record from `input`; returns false on malformed input.
+  static bool DecodeFrom(Slice input, LogRecord* out);
+};
+
+/// Byte sink holding the serialized log. Implementations must make Append
+/// atomic with respect to concurrent calls from Wal (Wal serializes
+/// internally, so plain implementations suffice).
+class LogStorage {
+ public:
+  virtual ~LogStorage() = default;
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Sync() = 0;
+  /// Reads the entire log into `out`.
+  virtual Status ReadAll(std::string* out) = 0;
+  /// Discards all content.
+  virtual Status Truncate() = 0;
+};
+
+/// In-memory log storage; survives "crashes" simulated by discarding the
+/// buffer pool, which is exactly what the recovery tests exercise.
+class InMemoryLogStorage : public LogStorage {
+ public:
+  Status Append(const Slice& data) override;
+  Status Sync() override { return Status::OK(); }
+  Status ReadAll(std::string* out) override;
+  Status Truncate() override;
+
+  /// Chops the log to its first `n` bytes, simulating a torn tail write.
+  void CorruptTail(size_t n);
+
+ private:
+  std::mutex mu_;
+  std::string buffer_;
+};
+
+/// Append-only file log storage.
+class FileLogStorage : public LogStorage {
+ public:
+  static Result<std::unique_ptr<FileLogStorage>> Open(
+      const std::string& path);
+  ~FileLogStorage() override;
+
+  Status Append(const Slice& data) override;
+  Status Sync() override;
+  Status ReadAll(std::string* out) override;
+  Status Truncate() override;
+
+ private:
+  explicit FileLogStorage(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  int fd_;
+  std::string path_;
+};
+
+/// The write-ahead log. Thread-safe. Appends buffer in memory; Flush()
+/// makes everything up to a given LSN durable. Framing per record:
+/// fixed32 payload length, fixed32 FNV-1a checksum, payload. A torn tail
+/// (truncated or corrupt final record) is tolerated on read.
+class Wal {
+ public:
+  /// Storage is shared so that a test can keep a handle, simulate a crash
+  /// by dropping the Wal (losing `pending_`), and reopen a new Wal over the
+  /// same bytes.
+  explicit Wal(std::shared_ptr<LogStorage> storage);
+
+  /// Assigns the next LSN to `rec`, serializes and buffers it. Returns the
+  /// assigned LSN.
+  Result<Lsn> Append(LogRecord* rec);
+
+  /// Ensures all records with lsn <= `up_to` are durable.
+  Status Flush(Lsn up_to);
+  /// Ensures every appended record is durable.
+  Status FlushAll();
+
+  Lsn next_lsn() const;
+  Lsn flushed_lsn() const;
+
+  /// Decodes every durable record plus any still-buffered ones, in order.
+  /// Stops silently at the first torn/corrupt record (crash tail).
+  Status ReadAll(std::vector<LogRecord>* out);
+
+  /// Discards the entire log (only valid at a quiescent checkpoint) and
+  /// continues LSN numbering.
+  Status Reset();
+
+  LogStorage* storage() { return storage_.get(); }
+
+  /// Decodes a serialized log (as produced by LogStorage::ReadAll) without
+  /// a Wal instance; used by recovery. Returns the next LSN to issue.
+  static Lsn DecodeLogBuffer(const std::string& buffer,
+                             std::vector<LogRecord>* out);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<LogStorage> storage_;
+  std::string pending_;  // serialized but not yet flushed to storage
+  Lsn next_lsn_ = 1;
+  Lsn flushed_lsn_ = 0;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_STORAGE_WAL_H_

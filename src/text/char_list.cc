@@ -1,0 +1,122 @@
+#include "text/char_list.h"
+
+#include "text/utf8.h"
+#include "util/logging.h"
+
+namespace tendax {
+
+std::pair<size_t, size_t> CharList::Locate(size_t pos) const {
+  TENDAX_CHECK(pos <= size_);
+  size_t remaining = pos;
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    size_t n = blocks_[b].chars.size();
+    if (remaining < n) return {b, remaining};
+    // pos == size() lands at the end of the last block.
+    if (remaining == n && b + 1 == blocks_.size()) return {b, n};
+    remaining -= n;
+  }
+  return {0, 0};  // empty list
+}
+
+const CachedChar& CharList::At(size_t pos) const {
+  TENDAX_CHECK(pos < size_);
+  auto [b, off] = Locate(pos);
+  return blocks_[b].chars[off];
+}
+
+void CharList::Insert(size_t pos, CachedChar c) {
+  if (blocks_.empty()) blocks_.emplace_back();
+  auto [b, off] = Locate(pos);
+  auto& chars = blocks_[b].chars;
+  chars.insert(chars.begin() + off, c);
+  ++size_;
+  SplitIfNeeded(b);
+}
+
+void CharList::InsertRun(size_t pos, const std::vector<CachedChar>& run) {
+  if (run.empty()) return;
+  if (blocks_.empty()) blocks_.emplace_back();
+  auto [b, off] = Locate(pos);
+  auto& chars = blocks_[b].chars;
+  chars.insert(chars.begin() + off, run.begin(), run.end());
+  size_ += run.size();
+  SplitIfNeeded(b);
+}
+
+void CharList::Erase(size_t pos) { EraseRange(pos, 1); }
+
+void CharList::EraseRange(size_t pos, size_t len) {
+  TENDAX_CHECK(pos + len <= size_);
+  size_t remaining = len;
+  while (remaining > 0) {
+    auto [b, off] = Locate(pos);
+    auto& chars = blocks_[b].chars;
+    size_t take = std::min(remaining, chars.size() - off);
+    chars.erase(chars.begin() + off, chars.begin() + off + take);
+    size_ -= take;
+    remaining -= take;
+    if (chars.empty() && blocks_.size() > 1) {
+      blocks_.erase(blocks_.begin() + b);
+    }
+  }
+}
+
+std::optional<size_t> CharList::FindById(uint64_t id) const {
+  size_t base = 0;
+  for (const Block& block : blocks_) {
+    for (size_t i = 0; i < block.chars.size(); ++i) {
+      if (block.chars[i].id == id) return base + i;
+    }
+    base += block.chars.size();
+  }
+  return std::nullopt;
+}
+
+std::string CharList::TextRange(size_t pos, size_t len) const {
+  TENDAX_CHECK(pos + len <= size_);
+  std::string out;
+  out.reserve(len);
+  auto [b, off] = Locate(pos);
+  size_t remaining = len;
+  while (remaining > 0 && b < blocks_.size()) {
+    const auto& chars = blocks_[b].chars;
+    size_t take = std::min(remaining, chars.size() - off);
+    for (size_t i = off; i < off + take; ++i) {
+      AppendUtf8(&out, chars[i].cp);
+    }
+    remaining -= take;
+    off = 0;
+    ++b;
+  }
+  return out;
+}
+
+std::vector<CachedChar> CharList::Snapshot() const {
+  std::vector<CachedChar> out;
+  out.reserve(size_);
+  for (const Block& block : blocks_) {
+    out.insert(out.end(), block.chars.begin(), block.chars.end());
+  }
+  return out;
+}
+
+void CharList::Clear() {
+  blocks_.clear();
+  size_ = 0;
+}
+
+void CharList::SplitIfNeeded(size_t block_idx) {
+  auto& chars = blocks_[block_idx].chars;
+  while (chars.size() > 2 * kBlockSize) {
+    Block right;
+    right.chars.assign(chars.begin() + kBlockSize, chars.end());
+    chars.resize(kBlockSize);
+    blocks_.insert(blocks_.begin() + block_idx + 1, std::move(right));
+    block_idx += 1;
+    // `chars` reference is invalidated by the insert; re-fetch the block we
+    // just created in case it too is oversized (large InsertRun).
+    return SplitIfNeeded(block_idx);
+  }
+}
+
+}  // namespace tendax

@@ -1,0 +1,78 @@
+#ifndef TENDAX_TEXT_CHAR_LIST_H_
+#define TENDAX_TEXT_CHAR_LIST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace tendax {
+
+/// One live character as cached by an open document: its database identity
+/// and its code point (everything else lives in the character's record).
+struct CachedChar {
+  uint64_t id = 0;   // CharId value
+  uint32_t cp = 0;   // Unicode code point
+};
+
+/// Order-statistic sequence of live characters for one open document: maps
+/// positions to characters in O(#blocks) and supports inserts/erases that
+/// only shuffle one small block. This is a cache over the linked character
+/// records in the database (rebuilt on open), never the source of truth.
+class CharList {
+ public:
+  /// Target block capacity; blocks split at 2x this size.
+  static constexpr size_t kBlockSize = 1024;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Character at `pos` (0-based over live characters). Precondition:
+  /// pos < size().
+  const CachedChar& At(size_t pos) const;
+
+  /// Inserts `c` so that it ends up at position `pos` (pos <= size()).
+  void Insert(size_t pos, CachedChar c);
+
+  /// Inserts a run of characters starting at `pos`.
+  void InsertRun(size_t pos, const std::vector<CachedChar>& run);
+
+  /// Removes the character at `pos`.
+  void Erase(size_t pos);
+
+  /// Removes `len` characters starting at `pos`.
+  void EraseRange(size_t pos, size_t len);
+
+  /// Position of the character with database id `id`, if present. O(n).
+  std::optional<size_t> FindById(uint64_t id) const;
+
+  /// Concatenated UTF-8 text of positions [pos, pos+len).
+  std::string TextRange(size_t pos, size_t len) const;
+
+  /// Entire document text.
+  std::string Text() const { return TextRange(0, size_); }
+
+  /// All characters in order (for tests and workload capture).
+  std::vector<CachedChar> Snapshot() const;
+
+  void Clear();
+
+ private:
+  struct Block {
+    std::vector<CachedChar> chars;
+  };
+
+  /// Locates the block containing `pos`; returns block index and offset.
+  /// For pos == size(), returns the last block with offset == block size.
+  std::pair<size_t, size_t> Locate(size_t pos) const;
+  void SplitIfNeeded(size_t block_idx);
+
+  std::vector<Block> blocks_;
+  size_t size_ = 0;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TEXT_CHAR_LIST_H_

@@ -1,0 +1,108 @@
+#include "text/diff.h"
+
+#include "text/utf8.h"
+
+namespace tendax {
+
+VersionDiff::VersionDiff(TextStore* text) : text_(text) {}
+
+namespace {
+
+enum class Presence : uint8_t { kNeither, kOnlyFrom, kOnlyTo, kBoth };
+
+Presence Classify(const CharInfo& info, Version from, Version to) {
+  auto alive_at = [&](Version v) {
+    return info.inserted_version <= v &&
+           (info.deleted_version == 0 || info.deleted_version > v);
+  };
+  bool in_from = alive_at(from);
+  bool in_to = alive_at(to);
+  if (in_from && in_to) return Presence::kBoth;
+  if (in_from) return Presence::kOnlyFrom;
+  if (in_to) return Presence::kOnlyTo;
+  return Presence::kNeither;
+}
+
+}  // namespace
+
+Result<std::vector<DiffHunk>> VersionDiff::Between(DocumentId doc,
+                                                   Version from, Version to) {
+  if (from > to) {
+    return Status::InvalidArgument("diff requires from <= to");
+  }
+  auto chain = text_->FullChain(doc);
+  if (!chain.ok()) return chain.status();
+
+  std::vector<DiffHunk> hunks;
+  for (const CharInfo& info : *chain) {
+    DiffHunk::Kind kind;
+    UserId author;
+    switch (Classify(info, from, to)) {
+      case Presence::kNeither:
+        continue;  // outside both versions (older purge or newer insert)
+      case Presence::kBoth:
+        kind = DiffHunk::Kind::kEqual;
+        break;
+      case Presence::kOnlyTo:
+        kind = DiffHunk::Kind::kInserted;
+        author = info.author;
+        break;
+      case Presence::kOnlyFrom:
+        kind = DiffHunk::Kind::kDeleted;
+        author = info.deleted_by;
+        break;
+    }
+    if (!hunks.empty() && hunks.back().kind == kind &&
+        hunks.back().author == author) {
+      AppendUtf8(&hunks.back().text, info.cp);
+      continue;
+    }
+    DiffHunk hunk;
+    hunk.kind = kind;
+    hunk.author = author;
+    hunk.first_char = info.id;
+    AppendUtf8(&hunk.text, info.cp);
+    hunks.push_back(std::move(hunk));
+  }
+  return hunks;
+}
+
+Result<std::string> VersionDiff::Render(DocumentId doc, Version from,
+                                        Version to) {
+  auto hunks = Between(doc, from, to);
+  if (!hunks.ok()) return hunks.status();
+  std::string out = "diff of " + doc.ToString() + " v" +
+                    std::to_string(from) + " -> v" + std::to_string(to) +
+                    "\n";
+  for (const DiffHunk& hunk : *hunks) {
+    const char* prefix = "  ";
+    if (hunk.kind == DiffHunk::Kind::kInserted) prefix = "+ ";
+    if (hunk.kind == DiffHunk::Kind::kDeleted) prefix = "- ";
+    std::string text = hunk.text;
+    for (char& c : text) {
+      if (c == '\n') c = ' ';
+    }
+    out += prefix;
+    out += text;
+    if (hunk.kind != DiffHunk::Kind::kEqual && hunk.author.valid()) {
+      out += "   (user " + std::to_string(hunk.author.value) + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<std::map<UserId, uint64_t>> VersionDiff::Contributions(DocumentId doc,
+                                                              Version from,
+                                                              Version to) {
+  auto hunks = Between(doc, from, to);
+  if (!hunks.ok()) return hunks.status();
+  std::map<UserId, uint64_t> out;
+  for (const DiffHunk& hunk : *hunks) {
+    if (hunk.kind != DiffHunk::Kind::kInserted) continue;
+    out[hunk.author] += DecodeUtf8(hunk.text).size();
+  }
+  return out;
+}
+
+}  // namespace tendax

@@ -1,0 +1,50 @@
+#ifndef TENDAX_TEXT_DIFF_H_
+#define TENDAX_TEXT_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// One hunk of a version-to-version diff.
+struct DiffHunk {
+  enum class Kind : uint8_t { kEqual = 0, kInserted = 1, kDeleted = 2 };
+  Kind kind = Kind::kEqual;
+  std::string text;
+  UserId author;      // who inserted/deleted (kEqual: invalid)
+  CharId first_char;  // first character of the hunk
+};
+
+/// Version history utilities built on character identity: because every
+/// character record carries its insertion and deletion version, the diff
+/// between any two versions is *exact* and costs one chain walk — no LCS
+/// approximation, no ambiguity about moved text.
+class VersionDiff {
+ public:
+  explicit VersionDiff(TextStore* text);
+
+  /// Hunks transforming `doc`@from into `doc`@to (from <= to). Characters
+  /// live in both versions are kEqual; inserted in (from, to] are
+  /// kInserted; deleted in (from, to] are kDeleted.
+  Result<std::vector<DiffHunk>> Between(DocumentId doc, Version from,
+                                        Version to);
+
+  /// Unified-diff-flavoured rendering: "  text", "+ text", "- text" lines.
+  Result<std::string> Render(DocumentId doc, Version from, Version to);
+
+  /// Per-author insertion counts between two versions ("who wrote what").
+  Result<std::map<UserId, uint64_t>> Contributions(DocumentId doc,
+                                                   Version from, Version to);
+
+ private:
+  TextStore* const text_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TEXT_DIFF_H_

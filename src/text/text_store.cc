@@ -1,0 +1,796 @@
+#include "text/text_store.h"
+
+#include "text/utf8.h"
+#include "util/logging.h"
+
+namespace tendax {
+
+namespace {
+
+// Column positions in the characters table.
+enum CharCol : size_t {
+  kCcId = 0,
+  kCcDoc,
+  kCcCp,
+  kCcPrev,
+  kCcNext,
+  kCcAuthor,
+  kCcCreated,
+  kCcInsVer,
+  kCcDelVer,
+  kCcDeletedBy,
+  kCcSrcDoc,
+  kCcSrcChar,
+  kCcSrcExt,
+};
+
+// Column positions in the documents table.
+enum DocCol : size_t {
+  kDcId = 0,
+  kDcName,
+  kDcCreator,
+  kDcCreated,
+  kDcState,
+  kDcVersion,
+  kDcHead,
+  kDcTail,
+  kDcLive,
+};
+
+Schema CharsSchema() {
+  return Schema({{"char_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"codepoint", ColumnType::kUint64},
+                 {"prev", ColumnType::kUint64},
+                 {"next", ColumnType::kUint64},
+                 {"author", ColumnType::kUint64},
+                 {"created_at", ColumnType::kUint64},
+                 {"inserted_version", ColumnType::kUint64},
+                 {"deleted_version", ColumnType::kUint64},
+                 {"deleted_by", ColumnType::kUint64},
+                 {"src_doc", ColumnType::kUint64},
+                 {"src_char", ColumnType::kUint64},
+                 {"src_external", ColumnType::kString}});
+}
+
+Schema DocsSchema() {
+  return Schema({{"doc_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString},
+                 {"creator", ColumnType::kUint64},
+                 {"created_at", ColumnType::kUint64},
+                 {"state", ColumnType::kString},
+                 {"version", ColumnType::kUint64},
+                 {"head", ColumnType::kUint64},
+                 {"tail", ColumnType::kUint64},
+                 {"live_count", ColumnType::kUint64}});
+}
+
+CharInfo CharInfoFromRecord(const Record& rec) {
+  CharInfo info;
+  info.id = CharId(rec.GetUint(kCcId));
+  info.doc = DocumentId(rec.GetUint(kCcDoc));
+  info.cp = static_cast<uint32_t>(rec.GetUint(kCcCp));
+  info.author = UserId(rec.GetUint(kCcAuthor));
+  info.created = rec.GetUint(kCcCreated);
+  info.inserted_version = rec.GetUint(kCcInsVer);
+  info.deleted_version = rec.GetUint(kCcDelVer);
+  info.deleted_by = UserId(rec.GetUint(kCcDeletedBy));
+  info.src_doc = DocumentId(rec.GetUint(kCcSrcDoc));
+  info.src_char = CharId(rec.GetUint(kCcSrcChar));
+  info.src_external = rec.GetString(kCcSrcExt);
+  return info;
+}
+
+}  // namespace
+
+TextStore::TextStore(Database* db) : db_(db) {}
+
+Status TextStore::Init() {
+  auto chars = db_->EnsureTable("tendax_chars", CharsSchema());
+  if (!chars.ok()) return chars.status();
+  chars_table_ = *chars;
+  auto docs = db_->EnsureTable("tendax_docs", DocsSchema());
+  if (!docs.ok()) return docs.status();
+  docs_table_ = *docs;
+
+  auto char_index = db_->CreateIndex("tendax_char_rid");
+  if (!char_index.ok()) return char_index.status();
+  char_index_ = *char_index;
+  auto doc_index = db_->CreateIndex("tendax_doc_rid");
+  if (!doc_index.ok()) return doc_index.status();
+  doc_index_ = *doc_index;
+
+  // Rebuild derived state (indexes are not persisted).
+  uint64_t max_char = 0, max_doc = 0;
+  Status index_status = Status::OK();
+  TENDAX_RETURN_IF_ERROR(
+      chars_table_->Scan([&](RecordId rid, const Record& rec) {
+        uint64_t id = rec.GetUint(kCcId);
+        max_char = std::max(max_char, id);
+        Status st = char_index_->Insert(id, rid.Pack());
+        if (!st.ok()) {
+          index_status = st;
+          return false;
+        }
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(index_status);
+  TENDAX_RETURN_IF_ERROR(
+      docs_table_->Scan([&](RecordId rid, const Record& rec) {
+        uint64_t id = rec.GetUint(kDcId);
+        max_doc = std::max(max_doc, id);
+        Status st = doc_index_->Insert(id, rid.Pack());
+        if (!st.ok()) {
+          index_status = st;
+          return false;
+        }
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(index_status);
+  next_char_id_ = max_char + 1;
+  next_doc_id_ = max_doc + 1;
+  return Status::OK();
+}
+
+Result<DocumentId> TextStore::CreateDocument(UserId user,
+                                             const std::string& name) {
+  DocumentId doc(next_doc_id_.fetch_add(1));
+  Timestamp now = db_->clock()->NowMicros();
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
+        LockMode::kX));
+    Record rec({doc.value, name, user.value, uint64_t{now},
+                std::string("draft"), uint64_t{0}, uint64_t{0}, uint64_t{0},
+                uint64_t{0}});
+    auto rid = docs_table_->Insert(txn, rec);
+    if (!rid.ok()) return rid.status();
+    TENDAX_RETURN_IF_ERROR(doc_index_->Insert(doc.value, rid->Pack()));
+    {
+      BPlusTree* index = doc_index_;
+      uint64_t id = doc.value, packed = rid->Pack();
+      txn->AddRollbackAction(
+          [index, id, packed] { (void)index->Delete(id, packed); });
+    }
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kDocumentCreated;
+    ev.doc = doc;
+    ev.user = user;
+    ev.at = now;
+    ev.detail = name;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return doc;
+}
+
+Result<std::shared_ptr<TextStore::DocHandle>> TextStore::Handle(
+    DocumentId doc) {
+  std::shared_ptr<DocHandle> handle;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    auto& slot = handles_[doc.value];
+    if (!slot) slot = std::make_shared<DocHandle>();
+    handle = slot;
+  }
+  std::lock_guard<std::mutex> lock(handle->mu);
+  if (!handle->loaded) {
+    TENDAX_RETURN_IF_ERROR(LoadHandle(handle.get(), doc));
+  }
+  return handle;
+}
+
+Status TextStore::LoadHandle(DocHandle* handle, DocumentId doc) {
+  auto rid_packed = doc_index_->GetFirst(doc.value);
+  if (!rid_packed.ok()) {
+    return Status::NotFound("document " + doc.ToString() + " does not exist");
+  }
+  RecordId doc_rid = RecordId::Unpack(*rid_packed);
+  auto rec = docs_table_->Get(doc_rid);
+  if (!rec.ok()) return rec.status();
+
+  handle->doc_rid = doc_rid;
+  handle->id = doc;
+  handle->name = rec->GetString(kDcName);
+  handle->creator = UserId(rec->GetUint(kDcCreator));
+  handle->created = rec->GetUint(kDcCreated);
+  handle->state = rec->GetString(kDcState);
+  handle->version = rec->GetUint(kDcVersion);
+  handle->head = rec->GetUint(kDcHead);
+  handle->tail = rec->GetUint(kDcTail);
+  handle->list.Clear();
+  handle->char_rids.clear();
+
+  // Walk the linked character records (including tombstones) to rebuild the
+  // live-character order cache.
+  std::vector<CachedChar> live;
+  uint64_t current = handle->head;
+  while (current != 0) {
+    auto packed = char_index_->GetFirst(current);
+    if (!packed.ok()) {
+      return Status::Corruption("char chain references unknown char " +
+                                std::to_string(current));
+    }
+    RecordId rid = RecordId::Unpack(*packed);
+    auto crec = chars_table_->Get(rid);
+    if (!crec.ok()) return crec.status();
+    handle->char_rids[current] = rid;
+    if (crec->GetUint(kCcDelVer) == 0) {
+      live.push_back(CachedChar{current,
+                                static_cast<uint32_t>(crec->GetUint(kCcCp))});
+    }
+    current = crec->GetUint(kCcNext);
+  }
+  handle->list.Clear();
+  handle->list.InsertRun(0, live);
+  handle->loaded = true;
+  return Status::OK();
+}
+
+void TextStore::InvalidateHandle(DocumentId doc) {
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  handles_.erase(doc.value);
+}
+
+Result<Record> TextStore::ReadCharRecord(DocHandle* handle,
+                                         uint64_t char_id) {
+  auto it = handle->char_rids.find(char_id);
+  if (it == handle->char_rids.end()) {
+    return Status::NotFound("char " + std::to_string(char_id) +
+                            " not in document");
+  }
+  return chars_table_->Get(it->second);
+}
+
+Status TextStore::UpdateCharRecord(Transaction* txn, DocHandle* handle,
+                                   uint64_t char_id, const Record& record) {
+  auto it = handle->char_rids.find(char_id);
+  if (it == handle->char_rids.end()) {
+    return Status::NotFound("char " + std::to_string(char_id) +
+                            " not in document");
+  }
+  RecordId old_rid = it->second;
+  auto new_rid = chars_table_->Update(txn, old_rid, record);
+  if (!new_rid.ok()) return new_rid.status();
+  if (new_rid->Pack() != old_rid.Pack()) {
+    it->second = *new_rid;
+    TENDAX_RETURN_IF_ERROR(char_index_->Delete(char_id, old_rid.Pack()));
+    TENDAX_RETURN_IF_ERROR(char_index_->Insert(char_id, new_rid->Pack()));
+    BPlusTree* index = char_index_;
+    uint64_t moved_to = new_rid->Pack(), moved_from = old_rid.Pack();
+    txn->AddRollbackAction([index, char_id, moved_to, moved_from] {
+      (void)index->Delete(char_id, moved_to);
+      (void)index->Insert(char_id, moved_from);
+    });
+  }
+  return Status::OK();
+}
+
+Status TextStore::WriteDocRecord(Transaction* txn, DocHandle* handle) {
+  Record rec({handle->id.value, handle->name, handle->creator.value,
+              uint64_t{handle->created}, handle->state,
+              uint64_t{handle->version}, uint64_t{handle->head},
+              uint64_t{handle->tail}, uint64_t{handle->list.size()}});
+  auto new_rid = docs_table_->Update(txn, handle->doc_rid, rec);
+  if (!new_rid.ok()) return new_rid.status();
+  if (new_rid->Pack() != handle->doc_rid.Pack()) {
+    uint64_t moved_from = handle->doc_rid.Pack(), moved_to = new_rid->Pack();
+    TENDAX_RETURN_IF_ERROR(doc_index_->Delete(handle->id.value, moved_from));
+    TENDAX_RETURN_IF_ERROR(doc_index_->Insert(handle->id.value, moved_to));
+    handle->doc_rid = *new_rid;
+    BPlusTree* index = doc_index_;
+    uint64_t doc_id = handle->id.value;
+    txn->AddRollbackAction([index, doc_id, moved_to, moved_from] {
+      (void)index->Delete(doc_id, moved_to);
+      (void)index->Insert(doc_id, moved_from);
+    });
+  }
+  return Status::OK();
+}
+
+Result<EditResult> TextStore::RunEdit(UserId user, DocumentId doc,
+                                      ChangeKind kind, const EditBody& body) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+
+  EditResult result;
+  bool cache_mutated = false;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
+        LockMode::kX));
+    std::lock_guard<std::mutex> lock(h->mu);
+    if (!h->loaded) {
+      TENDAX_RETURN_IF_ERROR(LoadHandle(h, doc));
+    }
+    result = EditResult{};
+    Version new_version = h->version + 1;
+    result.version = new_version;
+    cache_mutated = true;  // the body may mutate the cache at any point
+    Status body_status = body(txn, h, &result);
+    if (!body_status.ok()) {
+      // The DB side is rolled back by the abort; the cache may have been
+      // mutated by the body — drop it so it reloads from the database.
+      h->loaded = false;
+      return body_status;
+    }
+    h->version = new_version;
+    TENDAX_RETURN_IF_ERROR(WriteDocRecord(txn, h));
+
+    ChangeEvent ev;
+    ev.kind = kind;
+    ev.doc = doc;
+    ev.user = user;
+    ev.version = new_version;
+    ev.at = db_->clock()->NowMicros();
+    if (!result.chars.empty()) ev.anchor = result.chars.front();
+    ev.count = result.chars.size();
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) {
+    if (cache_mutated) InvalidateHandle(doc);
+    return st;
+  }
+  return result;
+}
+
+Status TextStore::InsertCharsAt(Transaction* txn, DocHandle* handle,
+                                UserId user, size_t pos,
+                                const std::vector<PasteChar>& chars,
+                                Version new_version, EditResult* result) {
+  if (pos > handle->list.size()) {
+    return Status::OutOfRange("insert position " + std::to_string(pos) +
+                              " beyond document length " +
+                              std::to_string(handle->list.size()));
+  }
+  if (chars.empty()) return Status::OK();
+  const Timestamp now = db_->clock()->NowMicros();
+
+  // Physical neighbors: insert directly after the live char at pos-1 (or at
+  // the physical head for pos == 0).
+  uint64_t left_id = pos > 0 ? handle->list.At(pos - 1).id : 0;
+  uint64_t right_id;
+  Record left_rec;
+  if (left_id != 0) {
+    auto rec = ReadCharRecord(handle, left_id);
+    if (!rec.ok()) return rec.status();
+    left_rec = *rec;
+    right_id = left_rec.GetUint(kCcNext);
+  } else {
+    right_id = handle->head;
+  }
+
+  // Allocate ids and insert the new char records, chained together.
+  std::vector<uint64_t> ids(chars.size());
+  for (size_t i = 0; i < chars.size(); ++i) {
+    ids[i] = next_char_id_.fetch_add(1);
+  }
+  std::vector<CachedChar> cached;
+  cached.reserve(chars.size());
+  for (size_t i = 0; i < chars.size(); ++i) {
+    uint64_t prev = i == 0 ? left_id : ids[i - 1];
+    uint64_t next = i + 1 < chars.size() ? ids[i + 1] : right_id;
+    Record rec({ids[i], handle->id.value, uint64_t{chars[i].cp}, prev, next,
+                user.value, uint64_t{now}, uint64_t{new_version}, uint64_t{0},
+                uint64_t{0}, chars[i].src_doc.value, chars[i].src_char.value,
+                chars[i].src_external});
+    auto rid = chars_table_->Insert(txn, rec);
+    if (!rid.ok()) return rid.status();
+    handle->char_rids[ids[i]] = *rid;
+    TENDAX_RETURN_IF_ERROR(char_index_->Insert(ids[i], rid->Pack()));
+    {
+      BPlusTree* index = char_index_;
+      uint64_t id = ids[i], packed = rid->Pack();
+      txn->AddRollbackAction(
+          [index, id, packed] { (void)index->Delete(id, packed); });
+    }
+    cached.push_back(CachedChar{ids[i], chars[i].cp});
+    result->chars.push_back(CharId(ids[i]));
+  }
+
+  // Fix the neighbors' links (and the document head/tail).
+  if (left_id != 0) {
+    left_rec.value(kCcNext) = ids.front();
+    TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, handle, left_id, left_rec));
+  } else {
+    handle->head = ids.front();
+  }
+  if (right_id != 0) {
+    auto rec = ReadCharRecord(handle, right_id);
+    if (!rec.ok()) return rec.status();
+    rec->value(kCcPrev) = ids.back();
+    TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, handle, right_id, *rec));
+  } else {
+    handle->tail = ids.back();
+  }
+
+  handle->list.InsertRun(pos, cached);
+  return Status::OK();
+}
+
+Result<EditResult> TextStore::InsertText(UserId user, DocumentId doc,
+                                         size_t pos, const std::string& utf8,
+                                         const std::string& external_source) {
+  std::vector<uint32_t> cps = DecodeUtf8(utf8);
+  std::vector<PasteChar> chars(cps.size());
+  for (size_t i = 0; i < cps.size(); ++i) {
+    chars[i].cp = cps[i];
+    chars[i].src_external = external_source;
+  }
+  auto result = RunEdit(
+      user, doc, ChangeKind::kTextInserted,
+      [&](Transaction* txn, DocHandle* h, EditResult* out) {
+        return InsertCharsAt(txn, h, user, pos, chars, out->version, out);
+      });
+  return result;
+}
+
+Result<std::vector<PasteChar>> TextStore::Copy(UserId user, DocumentId doc,
+                                               size_t pos, size_t len) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+
+  std::vector<PasteChar> out;
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    // Shared lock: copying reads a stable snapshot of the source range.
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
+        LockMode::kS));
+    std::lock_guard<std::mutex> lock(h->mu);
+    if (!h->loaded) TENDAX_RETURN_IF_ERROR(LoadHandle(h, doc));
+    if (pos + len > h->list.size()) {
+      return Status::OutOfRange("copy range beyond document length");
+    }
+    out.clear();
+    out.reserve(len);
+    for (size_t i = pos; i < pos + len; ++i) {
+      const CachedChar& c = h->list.At(i);
+      auto rec = ReadCharRecord(h, c.id);
+      if (!rec.ok()) return rec.status();
+      PasteChar pc;
+      pc.cp = c.cp;
+      // Provenance points at the *original* character: if this char was
+      // itself pasted, keep its source; otherwise this char is the source.
+      uint64_t src_doc = rec->GetUint(kCcSrcDoc);
+      uint64_t src_char = rec->GetUint(kCcSrcChar);
+      if (src_doc != 0) {
+        pc.src_doc = DocumentId(src_doc);
+        pc.src_char = CharId(src_char);
+      } else {
+        pc.src_doc = doc;
+        pc.src_char = CharId(c.id);
+      }
+      pc.src_external = rec->GetString(kCcSrcExt);
+      out.push_back(std::move(pc));
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<EditResult> TextStore::Paste(UserId user, DocumentId doc, size_t pos,
+                                    const std::vector<PasteChar>& chars) {
+  return RunEdit(user, doc, ChangeKind::kTextInserted,
+                 [&](Transaction* txn, DocHandle* h, EditResult* out) {
+                   return InsertCharsAt(txn, h, user, pos, chars,
+                                        out->version, out);
+                 });
+}
+
+Result<EditResult> TextStore::DeleteRange(UserId user, DocumentId doc,
+                                          size_t pos, size_t len) {
+  return RunEdit(
+      user, doc, ChangeKind::kTextDeleted,
+      [&](Transaction* txn, DocHandle* h, EditResult* out) -> Status {
+        if (pos + len > h->list.size()) {
+          return Status::OutOfRange("delete range beyond document length");
+        }
+        for (size_t i = pos; i < pos + len; ++i) {
+          const CachedChar& c = h->list.At(i);
+          auto rec = ReadCharRecord(h, c.id);
+          if (!rec.ok()) return rec.status();
+          rec->value(kCcDelVer) = uint64_t{out->version};
+          rec->value(kCcDeletedBy) = user.value;
+          TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, h, c.id, *rec));
+          out->chars.push_back(CharId(c.id));
+        }
+        h->list.EraseRange(pos, len);
+        return Status::OK();
+      });
+}
+
+Result<EditResult> TextStore::DeleteChars(UserId user, DocumentId doc,
+                                          const std::vector<CharId>& ids) {
+  return RunEdit(
+      user, doc, ChangeKind::kTextDeleted,
+      [&](Transaction* txn, DocHandle* h, EditResult* out) -> Status {
+        for (CharId id : ids) {
+          auto rec = ReadCharRecord(h, id.value);
+          if (!rec.ok()) return rec.status();
+          if (rec->GetUint(kCcDelVer) != 0) continue;  // already gone
+          rec->value(kCcDelVer) = uint64_t{out->version};
+          rec->value(kCcDeletedBy) = user.value;
+          TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, h, id.value, *rec));
+          auto pos = h->list.FindById(id.value);
+          if (pos.has_value()) h->list.Erase(*pos);
+          out->chars.push_back(id);
+        }
+        return Status::OK();
+      });
+}
+
+Result<EditResult> TextStore::ResurrectChars(UserId user, DocumentId doc,
+                                             const std::vector<CharId>& ids) {
+  return RunEdit(
+      user, doc, ChangeKind::kTextInserted,
+      [&](Transaction* txn, DocHandle* h, EditResult* out) -> Status {
+        for (CharId id : ids) {
+          auto rec = ReadCharRecord(h, id.value);
+          if (!rec.ok()) return rec.status();
+          if (rec->GetUint(kCcDelVer) == 0) continue;  // already live
+          rec->value(kCcDelVer) = uint64_t{0};
+          rec->value(kCcDeletedBy) = uint64_t{0};
+          TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, h, id.value, *rec));
+          out->chars.push_back(id);
+        }
+        // Positions of revived characters derive from the chain; rebuild
+        // the order cache from the database (rare operation: undo only).
+        Status reload = LoadHandle(h, doc);
+        if (!reload.ok()) {
+          h->loaded = false;
+          return reload;
+        }
+        return Status::OK();
+      });
+}
+
+Result<std::string> TextStore::Text(DocumentId doc) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  std::lock_guard<std::mutex> lock((*handle)->mu);
+  return (*handle)->list.Text();
+}
+
+Result<std::string> TextStore::TextRange(DocumentId doc, size_t pos,
+                                         size_t len) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  std::lock_guard<std::mutex> lock((*handle)->mu);
+  if (pos + len > (*handle)->list.size()) {
+    return Status::OutOfRange("text range beyond document length");
+  }
+  return (*handle)->list.TextRange(pos, len);
+}
+
+Result<std::string> TextStore::TextAtVersion(DocumentId doc,
+                                             Version version) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+  std::lock_guard<std::mutex> lock(h->mu);
+  std::string out;
+  uint64_t current = h->head;
+  while (current != 0) {
+    auto rec = ReadCharRecord(h, current);
+    if (!rec.ok()) return rec.status();
+    Version ins = rec->GetUint(kCcInsVer);
+    Version del = rec->GetUint(kCcDelVer);
+    if (ins <= version && (del == 0 || del > version)) {
+      AppendUtf8(&out, static_cast<uint32_t>(rec->GetUint(kCcCp)));
+    }
+    current = rec->GetUint(kCcNext);
+  }
+  return out;
+}
+
+Result<uint64_t> TextStore::Length(DocumentId doc) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  std::lock_guard<std::mutex> lock((*handle)->mu);
+  return static_cast<uint64_t>((*handle)->list.size());
+}
+
+Result<Version> TextStore::CurrentVersion(DocumentId doc) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  std::lock_guard<std::mutex> lock((*handle)->mu);
+  return (*handle)->version;
+}
+
+Result<CharInfo> TextStore::CharAt(DocumentId doc, size_t pos) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+  std::lock_guard<std::mutex> lock(h->mu);
+  if (pos >= h->list.size()) {
+    return Status::OutOfRange("position beyond document length");
+  }
+  auto rec = ReadCharRecord(h, h->list.At(pos).id);
+  if (!rec.ok()) return rec.status();
+  return CharInfoFromRecord(*rec);
+}
+
+Result<CharInfo> TextStore::GetChar(DocumentId doc, CharId id) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+  std::lock_guard<std::mutex> lock(h->mu);
+  auto rec = ReadCharRecord(h, id.value);
+  if (!rec.ok()) return rec.status();
+  return CharInfoFromRecord(*rec);
+}
+
+Result<std::vector<CharInfo>> TextStore::RangeInfo(DocumentId doc, size_t pos,
+                                                   size_t len) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+  std::lock_guard<std::mutex> lock(h->mu);
+  if (pos + len > h->list.size()) {
+    return Status::OutOfRange("range beyond document length");
+  }
+  std::vector<CharInfo> out;
+  out.reserve(len);
+  for (size_t i = pos; i < pos + len; ++i) {
+    auto rec = ReadCharRecord(h, h->list.At(i).id);
+    if (!rec.ok()) return rec.status();
+    out.push_back(CharInfoFromRecord(*rec));
+  }
+  return out;
+}
+
+Result<std::vector<CharInfo>> TextStore::FullChain(DocumentId doc) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+  std::lock_guard<std::mutex> lock(h->mu);
+  std::vector<CharInfo> out;
+  uint64_t current = h->head;
+  while (current != 0) {
+    auto rec = ReadCharRecord(h, current);
+    if (!rec.ok()) return rec.status();
+    out.push_back(CharInfoFromRecord(*rec));
+    current = rec->GetUint(kCcNext);
+  }
+  return out;
+}
+
+Result<uint64_t> TextStore::PurgeHistory(UserId user, DocumentId doc,
+                                         Version before) {
+  uint64_t purged = 0;
+  auto result = RunEdit(
+      user, doc, ChangeKind::kMetadataChanged,
+      [&](Transaction* txn, DocHandle* h, EditResult*) -> Status {
+        // Snapshot the chain: id, next, deletion version.
+        struct Node {
+          uint64_t id;
+          uint64_t next;
+          Version del_ver;
+        };
+        std::vector<Node> chain;
+        uint64_t current = h->head;
+        while (current != 0) {
+          auto rec = ReadCharRecord(h, current);
+          if (!rec.ok()) return rec.status();
+          chain.push_back(Node{current, rec->GetUint(kCcNext),
+                               rec->GetUint(kCcDelVer)});
+          current = rec->GetUint(kCcNext);
+        }
+        auto purgeable = [&](const Node& n) {
+          return n.del_ver != 0 && n.del_ver <= before;
+        };
+        // Relink the survivors sequentially around the purged runs.
+        std::vector<uint64_t> survivors;
+        survivors.reserve(chain.size());
+        for (const Node& node : chain) {
+          if (!purgeable(node)) survivors.push_back(node.id);
+        }
+        for (size_t i = 0; i < survivors.size(); ++i) {
+          uint64_t prev = i > 0 ? survivors[i - 1] : 0;
+          uint64_t next = i + 1 < survivors.size() ? survivors[i + 1] : 0;
+          auto rec = ReadCharRecord(h, survivors[i]);
+          if (!rec.ok()) return rec.status();
+          if (rec->GetUint(kCcPrev) != prev ||
+              rec->GetUint(kCcNext) != next) {
+            rec->value(kCcPrev) = prev;
+            rec->value(kCcNext) = next;
+            TENDAX_RETURN_IF_ERROR(
+                UpdateCharRecord(txn, h, survivors[i], *rec));
+          }
+        }
+        h->head = survivors.empty() ? 0 : survivors.front();
+        h->tail = survivors.empty() ? 0 : survivors.back();
+
+        // Physically delete the purged records.
+        for (const Node& node : chain) {
+          if (!purgeable(node)) continue;
+          auto it = h->char_rids.find(node.id);
+          if (it == h->char_rids.end()) continue;
+          TENDAX_RETURN_IF_ERROR(chars_table_->Delete(txn, it->second));
+          TENDAX_RETURN_IF_ERROR(
+              char_index_->Delete(node.id, it->second.Pack()));
+          {
+            BPlusTree* index = char_index_;
+            uint64_t id = node.id, packed = it->second.Pack();
+            txn->AddRollbackAction([index, id, packed] {
+              (void)index->Insert(id, packed);
+            });
+          }
+          h->char_rids.erase(it);
+          ++purged;
+        }
+        return Status::OK();
+      });
+  if (!result.ok()) return result.status();
+  return purged;
+}
+
+Result<DocumentInfo> TextStore::GetDocumentInfo(DocumentId doc) {
+  auto handle = Handle(doc);
+  if (!handle.ok()) return handle.status();
+  DocHandle* h = handle->get();
+  std::lock_guard<std::mutex> lock(h->mu);
+  DocumentInfo info;
+  info.id = h->id;
+  info.name = h->name;
+  info.creator = h->creator;
+  info.created = h->created;
+  info.state = h->state;
+  info.version = h->version;
+  info.length = h->list.size();
+  return info;
+}
+
+Result<DocumentId> TextStore::FindDocumentByName(const std::string& name) {
+  DocumentId found;
+  TENDAX_RETURN_IF_ERROR(docs_table_->Scan([&](RecordId, const Record& rec) {
+    if (rec.GetString(kDcName) == name) {
+      found = DocumentId(rec.GetUint(kDcId));
+      return false;
+    }
+    return true;
+  }));
+  if (!found.valid()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  return found;
+}
+
+std::vector<DocumentId> TextStore::ListDocuments() {
+  std::vector<DocumentId> out;
+  (void)docs_table_->Scan([&](RecordId, const Record& rec) {
+    out.push_back(DocumentId(rec.GetUint(kDcId)));
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status TextStore::RenameDocument(UserId user, DocumentId doc,
+                                 const std::string& name) {
+  auto result = RunEdit(user, doc, ChangeKind::kDocumentRenamed,
+                        [&](Transaction*, DocHandle* h, EditResult* out) {
+                          h->name = name;
+                          out->chars.clear();
+                          return Status::OK();
+                        });
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Status TextStore::SetDocumentState(UserId user, DocumentId doc,
+                                   const std::string& state) {
+  auto result = RunEdit(user, doc, ChangeKind::kDocumentStateChanged,
+                        [&](Transaction*, DocHandle* h, EditResult* out) {
+                          h->state = state;
+                          out->chars.clear();
+                          return Status::OK();
+                        });
+  return result.ok() ? Status::OK() : result.status();
+}
+
+}  // namespace tendax

@@ -1,0 +1,211 @@
+#ifndef TENDAX_TEXT_TEXT_STORE_H_
+#define TENDAX_TEXT_TEXT_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/database.h"
+#include "text/char_list.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Full metadata of one stored character — the paper's character-level
+/// "creation process" metadata (Sec. 2): author, roles (via author), time,
+/// copy-paste reference, version interval.
+struct CharInfo {
+  CharId id;
+  DocumentId doc;
+  uint32_t cp = 0;
+  UserId author;
+  Timestamp created = 0;
+  Version inserted_version = 0;
+  Version deleted_version = 0;  // 0 = live
+  UserId deleted_by;
+  DocumentId src_doc;           // copy-paste provenance (invalid = typed)
+  CharId src_char;
+  std::string src_external;     // non-TeNDaX source label, if any
+};
+
+/// Document-level header as stored in the documents table.
+struct DocumentInfo {
+  DocumentId id;
+  std::string name;
+  UserId creator;
+  Timestamp created = 0;
+  std::string state;       // free-form lifecycle state, e.g. "draft"
+  Version version = 0;     // bumped by every committed editing transaction
+  uint64_t length = 0;     // live characters
+};
+
+/// Outcome of one editing transaction.
+struct EditResult {
+  Version version = 0;              // document version the edit created
+  std::vector<CharId> chars;        // affected characters, in order
+};
+
+/// One character captured by Copy, carrying the provenance that Paste will
+/// record: the source character is the *original* (transitive source if the
+/// copied character was itself pasted), per the paper's data-lineage design.
+struct PasteChar {
+  uint32_t cp = 0;
+  DocumentId src_doc;
+  CharId src_char;
+  std::string src_external;
+};
+
+/// TeNDaX's Text Native Database eXtension: text stored as one record per
+/// character, doubly linked inside the database; every edit operation runs
+/// as a real-time database transaction (insert/delete/copy/paste each
+/// commit before they are visible anywhere).
+///
+/// Characters are tombstoned, never physically removed, which yields
+/// time-travel reads (`TextAtVersion`) and cheap global undo. Per-document
+/// order is cached in memory for open documents (a `CharList`) and rebuilt
+/// from the linked records at open — the database stays the only source of
+/// truth.
+///
+/// Concurrency: every editing call takes an exclusive transaction-scoped
+/// lock on the document (plus shared locks on copy sources), so concurrent
+/// edits on one document serialize per keystroke — the paper's
+/// database-centric alternative to operational transformation.
+class TextStore {
+ public:
+  explicit TextStore(Database* db);
+
+  /// Creates tables/indexes and rebuilds derived state (id counters and the
+  /// char-id -> rid index) from storage. Call once after Database::Open.
+  Status Init();
+
+  // --- document lifecycle ---
+
+  Result<DocumentId> CreateDocument(UserId user, const std::string& name);
+  Result<DocumentInfo> GetDocumentInfo(DocumentId doc);
+  Result<DocumentId> FindDocumentByName(const std::string& name);
+  std::vector<DocumentId> ListDocuments();
+  Status RenameDocument(UserId user, DocumentId doc, const std::string& name);
+  Status SetDocumentState(UserId user, DocumentId doc,
+                          const std::string& state);
+
+  // --- editing (each call is one committed transaction) ---
+
+  /// Inserts typed text at `pos` (0-based over live characters). A non-empty
+  /// `external_source` records provenance from outside TeNDaX (file import,
+  /// web paste) on every inserted character.
+  Result<EditResult> InsertText(UserId user, DocumentId doc, size_t pos,
+                                const std::string& utf8,
+                                const std::string& external_source = "");
+
+  /// Captures [pos, pos+len) with provenance for a later Paste.
+  Result<std::vector<PasteChar>> Copy(UserId user, DocumentId doc, size_t pos,
+                                      size_t len);
+
+  /// Inserts previously copied characters, recording each one's copy-paste
+  /// reference.
+  Result<EditResult> Paste(UserId user, DocumentId doc, size_t pos,
+                           const std::vector<PasteChar>& chars);
+
+  /// Tombstones [pos, pos+len).
+  Result<EditResult> DeleteRange(UserId user, DocumentId doc, size_t pos,
+                                 size_t len);
+
+  /// Tombstones specific characters (undo support). Characters already
+  /// deleted are skipped.
+  Result<EditResult> DeleteChars(UserId user, DocumentId doc,
+                                 const std::vector<CharId>& ids);
+
+  /// Brings tombstoned characters back to life at their original list
+  /// position (undo of a delete).
+  Result<EditResult> ResurrectChars(UserId user, DocumentId doc,
+                                    const std::vector<CharId>& ids);
+
+  // --- reads ---
+
+  Result<std::string> Text(DocumentId doc);
+  Result<std::string> TextRange(DocumentId doc, size_t pos, size_t len);
+  /// Reconstructs the text as of `version` by walking the full character
+  /// chain including tombstones.
+  Result<std::string> TextAtVersion(DocumentId doc, Version version);
+  Result<uint64_t> Length(DocumentId doc);
+  Result<Version> CurrentVersion(DocumentId doc);
+  Result<CharInfo> CharAt(DocumentId doc, size_t pos);
+  Result<CharInfo> GetChar(DocumentId doc, CharId id);
+  /// Character metadata for [pos, pos+len) — feeds lineage and mining.
+  Result<std::vector<CharInfo>> RangeInfo(DocumentId doc, size_t pos,
+                                          size_t len);
+
+  /// Every character record of the document in chain order, *including*
+  /// tombstones — the raw material for version diffs and history purging.
+  Result<std::vector<CharInfo>> FullChain(DocumentId doc);
+
+  /// Physically deletes tombstones whose deletion version is <= `before`,
+  /// unlinking them from the chain in one transaction. This irreversibly
+  /// truncates history: TextAtVersion for versions where those characters
+  /// were alive no longer reproduces them, and undo of the covered deletes
+  /// becomes impossible. Returns the number of records purged (the
+  /// storage-reclamation ablation of DESIGN.md).
+  Result<uint64_t> PurgeHistory(UserId user, DocumentId doc, Version before);
+
+  /// Drops the in-memory cache for `doc` (it reloads on next access).
+  void InvalidateHandle(DocumentId doc);
+
+  Database* db() { return db_; }
+
+ private:
+  struct DocHandle {
+    std::mutex mu;
+    bool loaded = false;
+    RecordId doc_rid;
+    DocumentId id;
+    std::string name;
+    UserId creator;
+    Timestamp created = 0;
+    std::string state;
+    Version version = 0;
+    uint64_t head = 0;  // physical first char id (may be a tombstone)
+    uint64_t tail = 0;
+    CharList list;                                   // live chars in order
+    std::unordered_map<uint64_t, RecordId> char_rids;  // all chars
+  };
+
+  using EditBody =
+      std::function<Status(Transaction*, DocHandle*, EditResult*)>;
+
+  Result<std::shared_ptr<DocHandle>> Handle(DocumentId doc);
+  Status LoadHandle(DocHandle* handle, DocumentId doc);
+  /// Runs `body` inside a transaction holding the document's X lock, with
+  /// the handle's mutex held; bumps the document version and emits `event`.
+  Result<EditResult> RunEdit(UserId user, DocumentId doc, ChangeKind kind,
+                             const EditBody& body);
+
+  Result<Record> ReadCharRecord(DocHandle* handle, uint64_t char_id);
+  Status UpdateCharRecord(Transaction* txn, DocHandle* handle,
+                          uint64_t char_id, const Record& record);
+  Status WriteDocRecord(Transaction* txn, DocHandle* handle);
+  /// Core insertion: links `chars` after the live character at pos-1.
+  Status InsertCharsAt(Transaction* txn, DocHandle* handle, UserId user,
+                       size_t pos, const std::vector<PasteChar>& chars,
+                       Version new_version, EditResult* result);
+
+  Database* const db_;
+  HeapTable* chars_table_ = nullptr;
+  HeapTable* docs_table_ = nullptr;
+  BPlusTree* char_index_ = nullptr;  // char_id -> rid
+  BPlusTree* doc_index_ = nullptr;   // doc_id -> rid
+
+  std::mutex handles_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<DocHandle>> handles_;
+
+  std::atomic<uint64_t> next_char_id_{1};
+  std::atomic<uint64_t> next_doc_id_{1};
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TEXT_TEXT_STORE_H_

@@ -1,0 +1,109 @@
+#ifndef TENDAX_TXN_LOCK_MANAGER_H_
+#define TENDAX_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/status.h"
+
+namespace tendax {
+
+/// Hierarchical lock modes (no SIX; an IX+S holder upgrades to X).
+enum class LockMode : uint8_t { kIS = 0, kIX = 1, kS = 2, kX = 3 };
+
+const char* LockModeName(LockMode mode);
+
+/// True if a holder in `held` permits another transaction in `requested`.
+bool LockCompatible(LockMode held, LockMode requested);
+
+/// True if holding `held` already grants everything `requested` would.
+bool LockCovers(LockMode held, LockMode requested);
+
+/// Least mode granting both `a` and `b` (used for upgrades).
+LockMode LockSupremum(LockMode a, LockMode b);
+
+/// Kinds of lockable resources in the TeNDaX hierarchy. A transaction takes
+/// intention locks on the document before locking a finer region inside it.
+enum class ResourceKind : uint8_t {
+  kDocument = 1,   // whole document
+  kRegion = 2,     // character region inside a document (keyed by anchor)
+  kCatalog = 3,    // schema-level operations
+  kFolder = 4,
+  kProcess = 5,
+};
+
+/// Packs a resource kind and entity id into the flat lock key space.
+constexpr uint64_t MakeResource(ResourceKind kind, uint64_t id) {
+  return (static_cast<uint64_t>(kind) << 56) | (id & 0x00FF'FFFF'FFFF'FFFFULL);
+}
+
+struct LockManagerStats {
+  uint64_t acquisitions = 0;
+  uint64_t waits = 0;
+  uint64_t deadlocks = 0;
+  uint64_t timeouts = 0;
+};
+
+/// Strict two-phase lock manager with wait-for-graph deadlock detection.
+/// On deadlock the *requesting* transaction is the victim and receives
+/// Status::Deadlock; callers abort it and may retry. A wait that exceeds
+/// `timeout` returns Status::Conflict.
+class LockManager {
+ public:
+  explicit LockManager(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000))
+      : timeout_(timeout) {}
+
+  /// Acquires (or upgrades to) `mode` on `resource` for `txn`. Blocks while
+  /// incompatible locks are held by other transactions.
+  Status Acquire(TxnId txn, uint64_t resource, LockMode mode);
+
+  /// Releases every lock held by `txn` and wakes waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// Number of distinct resources currently locked (for tests).
+  size_t LockedResourceCount() const;
+
+  LockManagerStats stats() const;
+
+ private:
+  struct Grant {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct ResourceState {
+    std::vector<Grant> grants;
+    int waiters = 0;
+  };
+
+  // Requires mu_ held: is `mode` grantable to `txn` on `state` right now?
+  static bool Grantable(const ResourceState& state, TxnId txn, LockMode mode);
+
+  // Requires mu_ held: would granting create a wait; returns blockers.
+  static std::vector<TxnId> Blockers(const ResourceState& state, TxnId txn,
+                                     LockMode mode);
+
+  // Requires mu_ held: does adding edges waiter->blockers close a cycle?
+  bool WouldDeadlock(TxnId waiter, const std::vector<TxnId>& blockers) const;
+
+  const std::chrono::milliseconds timeout_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, ResourceState> resources_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> held_by_txn_;
+  // wait-for graph: txn -> set of txns it is waiting on
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> wait_for_;
+  LockManagerStats stats_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,83 @@
+#ifndef TENDAX_TXN_TRANSACTION_H_
+#define TENDAX_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/wal.h"
+#include "txn/events.h"
+#include "util/ids.h"
+
+namespace tendax {
+
+enum class TxnState : uint8_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+
+/// One entry of a transaction's write set; enough to undo the change
+/// logically (and to find the WAL record chain).
+struct WriteEntry {
+  UpdateOp op;
+  uint64_t table_id;
+  uint64_t rid;
+  std::string before;
+  std::string after;
+  Lsn lsn;
+};
+
+/// A database transaction. In TeNDaX every editing action — a keystroke, a
+/// paste, a layout change, a workflow step — runs inside one of these, which
+/// is what makes collaborative editing "real-time transactions".
+///
+/// A Transaction object is used by one thread at a time (the owning editor
+/// session); the managers it touches are themselves thread-safe.
+class Transaction {
+ public:
+  Transaction(TxnId id, UserId user, Timestamp start)
+      : id_(id), user_(user), start_time_(start) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  UserId user() const { return user_; }
+  TxnState state() const { return state_; }
+  Timestamp start_time() const { return start_time_; }
+
+  Lsn prev_lsn() const { return prev_lsn_; }
+  void set_prev_lsn(Lsn lsn) { prev_lsn_ = lsn; }
+
+  const std::vector<WriteEntry>& write_set() const { return write_set_; }
+  void AddWrite(WriteEntry entry) { write_set_.push_back(std::move(entry)); }
+
+  const ChangeBatch& events() const { return events_; }
+  void AddEvent(ChangeEvent event) { events_.push_back(std::move(event)); }
+
+  /// Registers compensation for a non-logged side effect (e.g. an in-memory
+  /// index entry). Actions run in reverse order if the transaction aborts;
+  /// they are discarded on commit.
+  void AddRollbackAction(std::function<void()> fn) {
+    rollback_actions_.push_back(std::move(fn));
+  }
+  const std::vector<std::function<void()>>& rollback_actions() const {
+    return rollback_actions_;
+  }
+
+  bool read_only() const { return write_set_.empty(); }
+
+ private:
+  friend class TxnManager;
+
+  const TxnId id_;
+  const UserId user_;
+  const Timestamp start_time_;
+  TxnState state_ = TxnState::kActive;
+  Lsn prev_lsn_ = kInvalidLsn;
+  std::vector<WriteEntry> write_set_;
+  ChangeBatch events_;
+  std::vector<std::function<void()>> rollback_actions_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TXN_TRANSACTION_H_

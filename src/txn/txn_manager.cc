@@ -1,0 +1,192 @@
+#include "txn/txn_manager.h"
+
+#include "util/logging.h"
+
+namespace tendax {
+
+TxnManager::TxnManager(Wal* wal, LockManager* locks, Clock* clock,
+                       bool sync_commit)
+    : wal_(wal), locks_(locks), clock_(clock), sync_commit_(sync_commit) {}
+
+Transaction* TxnManager::Begin(UserId user) {
+  TxnId id(next_txn_id_.fetch_add(1, std::memory_order_relaxed));
+  auto txn = std::make_unique<Transaction>(id, user, clock_->NowMicros());
+  Transaction* raw = txn.get();
+  if (wal_ != nullptr) {
+    LogRecord rec;
+    rec.type = LogType::kBegin;
+    rec.txn = id;
+    auto lsn = wal_->Append(&rec);
+    if (lsn.ok()) raw->set_prev_lsn(*lsn);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_[id.value] = std::move(txn);
+    ++stats_.begun;
+  }
+  return raw;
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  TENDAX_CHECK(txn->state() == TxnState::kActive);
+  if (wal_ != nullptr && !txn->read_only()) {
+    LogRecord rec;
+    rec.type = LogType::kCommit;
+    rec.txn = txn->id();
+    rec.prev_lsn = txn->prev_lsn();
+    auto lsn = wal_->Append(&rec);
+    if (!lsn.ok()) return lsn.status();
+    if (sync_commit_) {
+      TENDAX_RETURN_IF_ERROR(wal_->Flush(*lsn));
+    }
+  }
+  // Copy what listeners need before the transaction object is destroyed.
+  TxnId id = txn->id();
+  UserId user = txn->user();
+  ChangeBatch events = txn->events();
+
+  Finalize(txn, TxnState::kCommitted);
+
+  std::vector<CommitListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.committed;
+    listeners = listeners_;
+  }
+  for (const auto& listener : listeners) {
+    listener(id, user, events);
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  TENDAX_CHECK(txn->state() == TxnState::kActive);
+  // Undo the write set in reverse order, logging a compensation record per
+  // undone change so that a crash mid-abort recovers correctly.
+  const auto& writes = txn->write_set();
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+    UpdateOp inverse;
+    const std::string* image;
+    switch (it->op) {
+      case UpdateOp::kInsert:
+        inverse = UpdateOp::kDelete;
+        image = &it->before;  // empty
+        break;
+      case UpdateOp::kDelete:
+        inverse = UpdateOp::kInsert;
+        image = &it->before;
+        break;
+      case UpdateOp::kUpdate:
+        inverse = UpdateOp::kUpdate;
+        image = &it->before;
+        break;
+      default:
+        return Status::Internal("unknown op in write set");
+    }
+    Lsn clr_lsn = kInvalidLsn;
+    if (wal_ != nullptr) {
+      LogRecord clr;
+      clr.type = LogType::kCompensation;
+      clr.txn = txn->id();
+      clr.prev_lsn = txn->prev_lsn();
+      clr.op = inverse;
+      clr.table_id = it->table_id;
+      clr.rid = it->rid;
+      clr.after = *image;
+      clr.undo_next_lsn = it->lsn;
+      auto lsn = wal_->Append(&clr);
+      if (!lsn.ok()) return lsn.status();
+      clr_lsn = *lsn;
+      txn->set_prev_lsn(clr_lsn);
+    }
+    if (applier_ != nullptr) {
+      TENDAX_RETURN_IF_ERROR(
+          applier_->ApplyChange(it->table_id, inverse, it->rid, *image,
+                                clr_lsn));
+    }
+  }
+  if (wal_ != nullptr && !txn->read_only()) {
+    LogRecord rec;
+    rec.type = LogType::kAbort;
+    rec.txn = txn->id();
+    rec.prev_lsn = txn->prev_lsn();
+    auto lsn = wal_->Append(&rec);
+    if (!lsn.ok()) return lsn.status();
+  }
+  // Undo non-logged side effects (index entries etc.) in reverse order.
+  const auto& actions = txn->rollback_actions();
+  for (auto it = actions.rbegin(); it != actions.rend(); ++it) {
+    (*it)();
+  }
+  Finalize(txn, TxnState::kAborted);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.aborted;
+  }
+  return Status::OK();
+}
+
+Status TxnManager::RunInTxn(UserId user,
+                            const std::function<Status(Transaction*)>& body,
+                            int max_retries) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    Transaction* txn = Begin(user);
+    Status st = body(txn);
+    if (st.ok()) {
+      return Commit(txn);
+    }
+    TENDAX_RETURN_IF_ERROR(Abort(txn));
+    if (!st.IsRetryable()) return st;
+    last = st;
+  }
+  return last;
+}
+
+void TxnManager::AddCommitListener(CommitListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+Result<Lsn> TxnManager::LogUpdate(Transaction* txn, UpdateOp op,
+                                  uint64_t table_id, uint64_t rid,
+                                  std::string before, std::string after) {
+  Lsn lsn = kInvalidLsn;
+  if (wal_ != nullptr) {
+    LogRecord rec;
+    rec.type = LogType::kUpdate;
+    rec.txn = txn->id();
+    rec.prev_lsn = txn->prev_lsn();
+    rec.op = op;
+    rec.table_id = table_id;
+    rec.rid = rid;
+    rec.before = before;
+    rec.after = after;
+    auto res = wal_->Append(&rec);
+    if (!res.ok()) return res.status();
+    lsn = *res;
+    txn->set_prev_lsn(lsn);
+  }
+  txn->AddWrite(WriteEntry{op, table_id, rid, std::move(before),
+                           std::move(after), lsn});
+  return lsn;
+}
+
+size_t TxnManager::ActiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+TxnManagerStats TxnManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TxnManager::Finalize(Transaction* txn, TxnState state) {
+  txn->state_ = state;
+  locks_->ReleaseAll(txn->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(txn->id().value);  // destroys *txn
+}
+
+}  // namespace tendax

@@ -1,0 +1,14 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace tendax {
+
+Timestamp SystemClock::NowMicros() const {
+  return static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace tendax

@@ -1,0 +1,54 @@
+#ifndef TENDAX_UTIL_CLOCK_H_
+#define TENDAX_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/ids.h"
+
+namespace tendax {
+
+/// Time source abstraction. Creation-time metadata (a TeNDaX cornerstone)
+/// is stamped through a `Clock` so that tests and benchmarks can inject a
+/// deterministic `ManualClock` while production uses `SystemClock`.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Microseconds since the Unix epoch.
+  virtual Timestamp NowMicros() const = 0;
+};
+
+/// Wall-clock time from the OS.
+class SystemClock : public Clock {
+ public:
+  Timestamp NowMicros() const override;
+};
+
+/// A settable, monotonically advancing clock for tests and deterministic
+/// benchmarks. Every read advances time by `tick_micros` so that successive
+/// events get distinct, ordered timestamps.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Timestamp start_micros = 1'000'000,
+                       Timestamp tick_micros = 1)
+      : now_(start_micros), tick_(tick_micros) {}
+
+  Timestamp NowMicros() const override {
+    return now_.fetch_add(tick_, std::memory_order_relaxed);
+  }
+
+  /// Jumps the clock forward by `micros`.
+  void Advance(Timestamp micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  void Set(Timestamp micros) { now_.store(micros, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<Timestamp> now_;
+  Timestamp tick_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_UTIL_CLOCK_H_

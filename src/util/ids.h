@@ -1,0 +1,75 @@
+#ifndef TENDAX_UTIL_IDS_H_
+#define TENDAX_UTIL_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tendax {
+
+/// Strongly-typed 64-bit identifier. Each entity kind instantiates its own
+/// tag so that e.g. a `UserId` cannot be passed where a `DocumentId` is
+/// expected. Value 0 is reserved as "invalid/none".
+template <typename Tag>
+struct StrongId {
+  uint64_t value = 0;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(uint64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != 0; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  std::string ToString() const {
+    return std::string(Tag::kPrefix) + std::to_string(value);
+  }
+};
+
+struct DocumentIdTag { static constexpr const char* kPrefix = "doc:"; };
+struct CharIdTag { static constexpr const char* kPrefix = "ch:"; };
+struct TxnIdTag { static constexpr const char* kPrefix = "txn:"; };
+struct UserIdTag { static constexpr const char* kPrefix = "user:"; };
+struct RoleIdTag { static constexpr const char* kPrefix = "role:"; };
+struct SessionIdTag { static constexpr const char* kPrefix = "sess:"; };
+struct ElementIdTag { static constexpr const char* kPrefix = "elem:"; };
+struct TaskIdTag { static constexpr const char* kPrefix = "task:"; };
+struct ProcessIdTag { static constexpr const char* kPrefix = "proc:"; };
+struct FolderIdTag { static constexpr const char* kPrefix = "fold:"; };
+struct NoteIdTag { static constexpr const char* kPrefix = "note:"; };
+struct ObjectIdTag { static constexpr const char* kPrefix = "obj:"; };
+struct TableIdTag { static constexpr const char* kPrefix = "tab:"; };
+struct IndexIdTag { static constexpr const char* kPrefix = "idx:"; };
+
+using DocumentId = StrongId<DocumentIdTag>;
+using CharId = StrongId<CharIdTag>;
+using TxnId = StrongId<TxnIdTag>;
+using UserId = StrongId<UserIdTag>;
+using RoleId = StrongId<RoleIdTag>;
+using SessionId = StrongId<SessionIdTag>;
+using ElementId = StrongId<ElementIdTag>;
+using TaskId = StrongId<TaskIdTag>;
+using ProcessId = StrongId<ProcessIdTag>;
+using FolderId = StrongId<FolderIdTag>;
+using NoteId = StrongId<NoteIdTag>;
+using ObjectId = StrongId<ObjectIdTag>;
+using TableId = StrongId<TableIdTag>;
+using IndexId = StrongId<IndexIdTag>;
+
+/// Monotonic version number of a document's edit history (one per committed
+/// editing transaction).
+using Version = uint64_t;
+constexpr Version kVersionMax = UINT64_MAX;
+
+/// Microseconds since the Unix epoch.
+using Timestamp = uint64_t;
+
+}  // namespace tendax
+
+template <typename Tag>
+struct std::hash<tendax::StrongId<Tag>> {
+  size_t operator()(const tendax::StrongId<Tag>& id) const noexcept {
+    return std::hash<uint64_t>()(id.value);
+  }
+};
+
+#endif  // TENDAX_UTIL_IDS_H_

@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <atomic>
+
+namespace tendax {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", LevelName(level), file, line,
+               msg.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace tendax

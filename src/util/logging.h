@@ -1,0 +1,60 @@
+#ifndef TENDAX_UTIL_LOGGING_H_
+#define TENDAX_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tendax {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn so
+/// tests and benches stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream-style message collector used by the TENDAX_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define TENDAX_LOG(level)                                                  \
+  if (::tendax::LogLevel::level < ::tendax::GetLogLevel()) {               \
+  } else                                                                   \
+    ::tendax::internal_logging::LogMessage(::tendax::LogLevel::level,      \
+                                           __FILE__, __LINE__)             \
+        .stream()
+
+/// Fatal invariant check; aborts with a message when `cond` is false.
+/// Used only for programming errors, never for data-dependent failures.
+#define TENDAX_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TENDAX_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+}  // namespace tendax
+
+#endif  // TENDAX_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+#ifndef TENDAX_UTIL_RANDOM_H_
+#define TENDAX_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tendax {
+
+/// Small, fast, seedable PRNG (xorshift64*). Used by workload generators and
+/// property tests; deterministic for a given seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1DULL) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Picks a value skewed toward small numbers: uniform in
+  /// [0, 2^Uniform(max_log+1)).
+  uint64_t Skewed(int max_log) {
+    return Uniform(uint64_t{1} << Uniform(static_cast<uint64_t>(max_log) + 1));
+  }
+
+  /// Random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len) {
+    int len = min_len + static_cast<int>(Uniform(max_len - min_len + 1));
+    std::string w(len, 'a');
+    for (auto& c : w) c = static_cast<char>('a' + Uniform(26));
+    return w;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_UTIL_RANDOM_H_

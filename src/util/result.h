@@ -1,0 +1,87 @@
+#ifndef TENDAX_UTIL_RESULT_H_
+#define TENDAX_UTIL_RESULT_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tendax {
+
+/// A value-or-error type (StatusOr). A `Result<T>` holds either an OK status
+/// plus a `T`, or a non-OK status and no value. Accessing the value of a
+/// failed result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from an error status; asserts that it is not OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Implicit construction from a value (OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  // Dereferencing a failed Result is a programming error; abort loudly in
+  // every build mode rather than reading an empty optional.
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr, "FATAL: Result accessed with error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// binds the value to `lhs`.
+#define TENDAX_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto TENDAX_CONCAT_(res_, __LINE__) = (rexpr);     \
+  if (!TENDAX_CONCAT_(res_, __LINE__).ok())          \
+    return TENDAX_CONCAT_(res_, __LINE__).status();  \
+  lhs = std::move(TENDAX_CONCAT_(res_, __LINE__)).value()
+
+#define TENDAX_CONCAT_(a, b) TENDAX_CONCAT_IMPL_(a, b)
+#define TENDAX_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace tendax
+
+#endif  // TENDAX_UTIL_RESULT_H_

@@ -1,0 +1,134 @@
+#ifndef TENDAX_UTIL_STATUS_H_
+#define TENDAX_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tendax {
+
+/// Error category for a `Status`. Mirrors the taxonomy used by embedded
+/// storage engines (RocksDB/Arrow style): library code never throws; every
+/// fallible operation returns a `Status` or a `Result<T>`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kPermissionDenied = 4,
+  kConflict = 5,          // lock conflict; retryable
+  kDeadlock = 6,          // transaction chosen as deadlock victim
+  kAborted = 7,           // transaction aborted (explicitly or by the system)
+  kCorruption = 8,        // on-disk or in-log data failed validation
+  kIOError = 9,
+  kOutOfRange = 10,
+  kFailedPrecondition = 11,
+  kUnimplemented = 12,
+  kInternal = 13,
+};
+
+/// Human-readable name of a status code, e.g. "Conflict".
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic error carrier. An OK status is cheap (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsDeadlock() const { return code_ == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// True for failures a caller may resolve by retrying the transaction
+  /// (lock conflicts and deadlock victims).
+  bool IsRetryable() const { return IsConflict() || IsDeadlock(); }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+/// Propagates a non-OK status to the caller. Library-internal shorthand.
+#define TENDAX_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::tendax::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace tendax
+
+#endif  // TENDAX_UTIL_STATUS_H_

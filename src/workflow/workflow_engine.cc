@@ -1,0 +1,546 @@
+#include "workflow/workflow_engine.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+namespace {
+
+Schema ProcessesSchema() {
+  return Schema({{"proc_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString},
+                 {"creator", ColumnType::kUint64},
+                 {"created_at", ColumnType::kUint64},
+                 {"state", ColumnType::kString}});
+}
+
+Schema TasksSchema() {
+  return Schema({{"task_id", ColumnType::kUint64},
+                 {"proc_id", ColumnType::kUint64},
+                 {"doc_id", ColumnType::kUint64},
+                 {"name", ColumnType::kString},
+                 {"description", ColumnType::kString},
+                 {"assignee_is_role", ColumnType::kBool},
+                 {"assignee", ColumnType::kUint64},
+                 {"state", ColumnType::kUint64},
+                 {"ord", ColumnType::kUint64},
+                 {"anchor_start", ColumnType::kUint64},
+                 {"anchor_end", ColumnType::kUint64},
+                 {"created_by", ColumnType::kUint64},
+                 {"created_at", ColumnType::kUint64},
+                 {"completed_by", ColumnType::kUint64},
+                 {"completed_at", ColumnType::kUint64}});
+}
+
+Record TaskToRecord(const TaskInfo& t) {
+  return Record({t.id.value, t.process.value, t.doc.value, t.name,
+                 t.description, t.assignee.is_role, t.assignee.id,
+                 uint64_t{static_cast<uint64_t>(t.state)}, t.order,
+                 t.anchor_start.value, t.anchor_end.value, t.created_by.value,
+                 uint64_t{t.created_at}, t.completed_by.value,
+                 uint64_t{t.completed_at}});
+}
+
+TaskInfo TaskFromRecord(const Record& rec) {
+  TaskInfo t;
+  t.id = TaskId(rec.GetUint(0));
+  t.process = ProcessId(rec.GetUint(1));
+  t.doc = DocumentId(rec.GetUint(2));
+  t.name = rec.GetString(3);
+  t.description = rec.GetString(4);
+  t.assignee.is_role = rec.GetBool(5);
+  t.assignee.id = rec.GetUint(6);
+  t.state = static_cast<TaskState>(rec.GetUint(7));
+  t.order = rec.GetUint(8);
+  t.anchor_start = CharId(rec.GetUint(9));
+  t.anchor_end = CharId(rec.GetUint(10));
+  t.created_by = UserId(rec.GetUint(11));
+  t.created_at = rec.GetUint(12);
+  t.completed_by = UserId(rec.GetUint(13));
+  t.completed_at = rec.GetUint(14);
+  return t;
+}
+
+}  // namespace
+
+const char* TaskStateName(TaskState state) {
+  switch (state) {
+    case TaskState::kPending:
+      return "pending";
+    case TaskState::kReady:
+      return "ready";
+    case TaskState::kDone:
+      return "done";
+    case TaskState::kRejected:
+      return "rejected";
+    case TaskState::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+WorkflowEngine::WorkflowEngine(Database* db, TextStore* text,
+                               AccessControl* acl)
+    : db_(db), text_(text), acl_(acl) {}
+
+Status WorkflowEngine::Init() {
+  auto processes = db_->EnsureTable("tendax_processes", ProcessesSchema());
+  if (!processes.ok()) return processes.status();
+  processes_table_ = *processes;
+  auto tasks = db_->EnsureTable("tendax_tasks", TasksSchema());
+  if (!tasks.ok()) return tasks.status();
+  tasks_table_ = *tasks;
+
+  uint64_t max_proc = 0, max_task = 0;
+  TENDAX_RETURN_IF_ERROR(
+      processes_table_->Scan([&](RecordId rid, const Record& rec) {
+        ProcessInfo p;
+        p.id = ProcessId(rec.GetUint(0));
+        p.doc = DocumentId(rec.GetUint(1));
+        p.name = rec.GetString(2);
+        p.creator = UserId(rec.GetUint(3));
+        p.created_at = rec.GetUint(4);
+        p.state = rec.GetString(5);
+        max_proc = std::max(max_proc, p.id.value);
+        processes_[p.id.value] = p;
+        process_rids_[p.id.value] = rid;
+        return true;
+      }));
+  TENDAX_RETURN_IF_ERROR(
+      tasks_table_->Scan([&](RecordId rid, const Record& rec) {
+        TaskInfo t = TaskFromRecord(rec);
+        max_task = std::max(max_task, t.id.value);
+        tasks_by_process_[t.process.value].push_back(t.id.value);
+        if (t.state == TaskState::kReady) ready_tasks_.insert(t.id.value);
+        tasks_[t.id.value] = t;
+        task_rids_[t.id.value] = rid;
+        return true;
+      }));
+  next_process_id_ = max_proc + 1;
+  next_task_id_ = max_task + 1;
+  return Status::OK();
+}
+
+Status WorkflowEngine::PersistProcess(UserId user, const ProcessInfo& process,
+                                      bool is_new) {
+  RecordId rid;
+  if (!is_new) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rid = process_rids_.at(process.id.value);
+  }
+  Record rec({process.id.value, process.doc.value, process.name,
+              process.creator.value, uint64_t{process.created_at},
+              process.state});
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kProcess, process.id.value),
+        LockMode::kX));
+    if (is_new) {
+      auto r = processes_table_->Insert(txn, rec);
+      if (!r.ok()) return r.status();
+      rid = *r;
+    } else {
+      auto r = processes_table_->Update(txn, rid, rec);
+      if (!r.ok()) return r.status();
+      rid = *r;
+    }
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kWorkflowChanged;
+    ev.doc = process.doc;
+    ev.user = user;
+    ev.at = db_->clock()->NowMicros();
+    ev.detail = "process:" + process.name + ":" + process.state;
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  processes_[process.id.value] = process;
+  process_rids_[process.id.value] = rid;
+  return Status::OK();
+}
+
+Status WorkflowEngine::PersistTask(UserId user, const TaskInfo& task,
+                                   bool is_new) {
+  RecordId rid;
+  if (!is_new) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rid = task_rids_.at(task.id.value);
+  }
+  Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+        txn->id(), MakeResource(ResourceKind::kProcess, task.process.value),
+        LockMode::kX));
+    if (is_new) {
+      auto r = tasks_table_->Insert(txn, TaskToRecord(task));
+      if (!r.ok()) return r.status();
+      rid = *r;
+    } else {
+      auto r = tasks_table_->Update(txn, rid, TaskToRecord(task));
+      if (!r.ok()) return r.status();
+      rid = *r;
+    }
+    ChangeEvent ev;
+    ev.kind = ChangeKind::kWorkflowChanged;
+    ev.doc = task.doc;
+    ev.user = user;
+    ev.at = db_->clock()->NowMicros();
+    ev.detail = "task:" + task.name + ":" + TaskStateName(task.state);
+    txn->AddEvent(ev);
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_new) tasks_by_process_[task.process.value].push_back(task.id.value);
+  if (task.state == TaskState::kReady) {
+    ready_tasks_.insert(task.id.value);
+  } else {
+    ready_tasks_.erase(task.id.value);
+  }
+  tasks_[task.id.value] = task;
+  task_rids_[task.id.value] = rid;
+  return Status::OK();
+}
+
+Result<ProcessId> WorkflowEngine::DefineProcess(UserId user, DocumentId doc,
+                                                const std::string& name) {
+  TENDAX_RETURN_IF_ERROR(acl_->Require(user, doc, Right::kWorkflow));
+  ProcessInfo p;
+  p.id = ProcessId(next_process_id_.fetch_add(1));
+  p.doc = doc;
+  p.name = name;
+  p.creator = user;
+  p.created_at = db_->clock()->NowMicros();
+  p.state = "running";
+  TENDAX_RETURN_IF_ERROR(PersistProcess(user, p, /*is_new=*/true));
+  return p.id;
+}
+
+Result<TaskId> WorkflowEngine::AddTask(UserId user, ProcessId process,
+                                       const std::string& name,
+                                       const std::string& description,
+                                       Assignee assignee, size_t pos,
+                                       size_t len) {
+  ProcessInfo proc;
+  uint64_t max_order = 0;
+  bool any_open = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = processes_.find(process.value);
+    if (it == processes_.end()) return Status::NotFound("unknown process");
+    proc = it->second;
+    auto pit = tasks_by_process_.find(process.value);
+    if (pit != tasks_by_process_.end()) {
+      for (uint64_t task_id : pit->second) {
+        const TaskInfo& t = tasks_.at(task_id);
+        max_order = std::max(max_order, t.order + 1);
+        if (t.state == TaskState::kPending || t.state == TaskState::kReady) {
+          any_open = true;
+        }
+      }
+    }
+  }
+  TENDAX_RETURN_IF_ERROR(acl_->Require(user, proc.doc, Right::kWorkflow));
+
+  TaskInfo t;
+  t.id = TaskId(next_task_id_.fetch_add(1));
+  t.process = process;
+  t.doc = proc.doc;
+  t.name = name;
+  t.description = description;
+  t.assignee = assignee;
+  t.state = any_open ? TaskState::kPending : TaskState::kReady;
+  t.order = max_order;
+  t.created_by = user;
+  t.created_at = db_->clock()->NowMicros();
+  if (len > 0) {
+    auto info = text_->RangeInfo(proc.doc, pos, len);
+    if (!info.ok()) return info.status();
+    t.anchor_start = info->front().id;
+    t.anchor_end = info->back().id;
+  }
+  TENDAX_RETURN_IF_ERROR(PersistTask(user, t, /*is_new=*/true));
+  // A finished process picks back up when new work arrives at run time.
+  if (proc.state == "finished") {
+    proc.state = "running";
+    TENDAX_RETURN_IF_ERROR(PersistProcess(user, proc, false));
+  }
+  return t.id;
+}
+
+Result<TaskId> WorkflowEngine::InsertTaskAfter(UserId user, TaskId after,
+                                               const std::string& name,
+                                               const std::string& description,
+                                               Assignee assignee) {
+  TaskInfo anchor;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(after.value);
+    if (it == tasks_.end()) return Status::NotFound("unknown task");
+    anchor = it->second;
+  }
+  TENDAX_RETURN_IF_ERROR(acl_->Require(user, anchor.doc, Right::kWorkflow));
+
+  // Shift later tasks to open a slot (dynamic re-routing).
+  std::vector<TaskInfo> to_shift;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pit = tasks_by_process_.find(anchor.process.value);
+    if (pit != tasks_by_process_.end()) {
+      for (uint64_t task_id : pit->second) {
+        const TaskInfo& t = tasks_.at(task_id);
+        if (t.order > anchor.order) to_shift.push_back(t);
+      }
+    }
+  }
+  std::sort(to_shift.begin(), to_shift.end(),
+            [](const TaskInfo& a, const TaskInfo& b) {
+              return a.order > b.order;  // shift from the back
+            });
+  for (TaskInfo t : to_shift) {
+    t.order += 1;
+    TENDAX_RETURN_IF_ERROR(PersistTask(user, t, false));
+  }
+
+  TaskInfo t;
+  t.id = TaskId(next_task_id_.fetch_add(1));
+  t.process = anchor.process;
+  t.doc = anchor.doc;
+  t.name = name;
+  t.description = description;
+  t.assignee = assignee;
+  t.state = TaskState::kPending;
+  t.order = anchor.order + 1;
+  t.created_by = user;
+  t.created_at = db_->clock()->NowMicros();
+  TENDAX_RETURN_IF_ERROR(PersistTask(user, t, /*is_new=*/true));
+  TENDAX_RETURN_IF_ERROR(AdvanceRoute(user, anchor.process));
+  return t.id;
+}
+
+Status WorkflowEngine::Reassign(UserId user, TaskId task,
+                                Assignee new_assignee) {
+  TaskInfo t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(task.value);
+    if (it == tasks_.end()) return Status::NotFound("unknown task");
+    t = it->second;
+  }
+  TENDAX_RETURN_IF_ERROR(acl_->Require(user, t.doc, Right::kWorkflow));
+  if (t.state == TaskState::kDone) {
+    return Status::FailedPrecondition("task already done");
+  }
+  t.assignee = new_assignee;
+  return PersistTask(user, t, false);
+}
+
+Status WorkflowEngine::SkipTask(UserId user, TaskId task) {
+  TaskInfo t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(task.value);
+    if (it == tasks_.end()) return Status::NotFound("unknown task");
+    t = it->second;
+  }
+  TENDAX_RETURN_IF_ERROR(acl_->Require(user, t.doc, Right::kWorkflow));
+  if (t.state == TaskState::kDone) {
+    return Status::FailedPrecondition("task already done");
+  }
+  t.state = TaskState::kSkipped;
+  TENDAX_RETURN_IF_ERROR(PersistTask(user, t, false));
+  return AdvanceRoute(user, t.process);
+}
+
+bool WorkflowEngine::MayAct(UserId user, const TaskInfo& task) const {
+  if (!task.assignee.is_role) return task.assignee.id == user.value;
+  auto roles = acl_->RolesOf(user);
+  return roles.count(RoleId(task.assignee.id)) > 0;
+}
+
+Status WorkflowEngine::Complete(UserId user, TaskId task) {
+  TaskInfo t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(task.value);
+    if (it == tasks_.end()) return Status::NotFound("unknown task");
+    t = it->second;
+  }
+  if (t.state != TaskState::kReady) {
+    return Status::FailedPrecondition("task is not ready (" +
+                                      std::string(TaskStateName(t.state)) +
+                                      ")");
+  }
+  if (!MayAct(user, t)) {
+    return Status::PermissionDenied("task is not assigned to this user");
+  }
+  t.state = TaskState::kDone;
+  t.completed_by = user;
+  t.completed_at = db_->clock()->NowMicros();
+  TENDAX_RETURN_IF_ERROR(PersistTask(user, t, false));
+  return AdvanceRoute(user, t.process);
+}
+
+Status WorkflowEngine::Reject(UserId user, TaskId task,
+                              const std::string& reason) {
+  TaskInfo t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(task.value);
+    if (it == tasks_.end()) return Status::NotFound("unknown task");
+    t = it->second;
+  }
+  if (t.state != TaskState::kReady) {
+    return Status::FailedPrecondition("task is not ready");
+  }
+  if (!MayAct(user, t)) {
+    return Status::PermissionDenied("task is not assigned to this user");
+  }
+  t.state = TaskState::kRejected;
+  // Record the (latest) rejection reason without growing the description
+  // unboundedly across repeated reject/reroute cycles.
+  size_t old_note = t.description.find(" [rejected: ");
+  if (old_note != std::string::npos) t.description.resize(old_note);
+  t.description += " [rejected: " + reason + "]";
+  TENDAX_RETURN_IF_ERROR(PersistTask(user, t, false));
+
+  ProcessInfo proc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    proc = processes_.at(t.process.value);
+  }
+  proc.state = "rejected";
+  return PersistProcess(user, proc, false);
+}
+
+Status WorkflowEngine::Reroute(UserId user, TaskId task,
+                               std::optional<Assignee> new_assignee) {
+  TaskInfo t;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tasks_.find(task.value);
+    if (it == tasks_.end()) return Status::NotFound("unknown task");
+    t = it->second;
+  }
+  TENDAX_RETURN_IF_ERROR(acl_->Require(user, t.doc, Right::kWorkflow));
+  if (t.state != TaskState::kRejected) {
+    return Status::FailedPrecondition("only rejected tasks can be rerouted");
+  }
+  t.state = TaskState::kPending;
+  if (new_assignee.has_value()) t.assignee = *new_assignee;
+  TENDAX_RETURN_IF_ERROR(PersistTask(user, t, false));
+
+  ProcessInfo proc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    proc = processes_.at(t.process.value);
+  }
+  proc.state = "running";
+  TENDAX_RETURN_IF_ERROR(PersistProcess(user, proc, false));
+  return AdvanceRoute(user, t.process);
+}
+
+Status WorkflowEngine::AdvanceRoute(UserId user, ProcessId process) {
+  // Snapshot the route.
+  std::vector<TaskInfo> route;
+  ProcessInfo proc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = processes_.find(process.value);
+    if (it == processes_.end()) return Status::NotFound("unknown process");
+    proc = it->second;
+    auto pit = tasks_by_process_.find(process.value);
+    if (pit != tasks_by_process_.end()) {
+      for (uint64_t task_id : pit->second) route.push_back(tasks_.at(task_id));
+    }
+  }
+  std::sort(route.begin(), route.end(),
+            [](const TaskInfo& a, const TaskInfo& b) {
+              return a.order < b.order;
+            });
+
+  if (proc.state == "rejected") return Status::OK();  // stalled
+
+  // The first open task becomes ready; everything later stays pending.
+  bool blocked = false;
+  bool all_done = true;
+  for (TaskInfo& t : route) {
+    if (t.state == TaskState::kDone || t.state == TaskState::kSkipped) {
+      continue;
+    }
+    if (t.state == TaskState::kRejected) return Status::OK();
+    all_done = false;
+    TaskState want = blocked ? TaskState::kPending : TaskState::kReady;
+    blocked = true;
+    if (t.state != want) {
+      t.state = want;
+      TENDAX_RETURN_IF_ERROR(PersistTask(user, t, false));
+    }
+  }
+  std::string want_state = all_done ? "finished" : "running";
+  if (proc.state != want_state) {
+    proc.state = want_state;
+    TENDAX_RETURN_IF_ERROR(PersistProcess(user, proc, false));
+  }
+  return Status::OK();
+}
+
+Result<ProcessInfo> WorkflowEngine::GetProcess(ProcessId process) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = processes_.find(process.value);
+  if (it == processes_.end()) return Status::NotFound("unknown process");
+  return it->second;
+}
+
+Result<TaskInfo> WorkflowEngine::GetTask(TaskId task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tasks_.find(task.value);
+  if (it == tasks_.end()) return Status::NotFound("unknown task");
+  return it->second;
+}
+
+std::vector<TaskInfo> WorkflowEngine::Route(ProcessId process) const {
+  std::vector<TaskInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pit = tasks_by_process_.find(process.value);
+    if (pit != tasks_by_process_.end()) {
+      for (uint64_t task_id : pit->second) out.push_back(tasks_.at(task_id));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TaskInfo& a, const TaskInfo& b) {
+              return a.order < b.order;
+            });
+  return out;
+}
+
+std::vector<TaskInfo> WorkflowEngine::Worklist(UserId user) const {
+  std::vector<TaskInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t task_id : ready_tasks_) {
+      out.push_back(tasks_.at(task_id));
+    }
+  }
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const TaskInfo& t) { return !MayAct(user, t); }),
+            out.end());
+  std::sort(out.begin(), out.end(),
+            [](const TaskInfo& a, const TaskInfo& b) {
+              return a.created_at < b.created_at;
+            });
+  return out;
+}
+
+std::vector<ProcessInfo> WorkflowEngine::ProcessesIn(DocumentId doc) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProcessInfo> out;
+  for (const auto& [id, p] : processes_) {
+    if (p.doc == doc) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace tendax

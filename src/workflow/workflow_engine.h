@@ -1,0 +1,150 @@
+#ifndef TENDAX_WORKFLOW_WORKFLOW_ENGINE_H_
+#define TENDAX_WORKFLOW_WORKFLOW_ENGINE_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "security/access_control.h"
+#include "text/text_store.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace tendax {
+
+/// Lifecycle of a workflow task.
+enum class TaskState : uint8_t {
+  kPending = 1,   // waiting for predecessors
+  kReady = 2,     // all predecessors done; assignee may start
+  kDone = 3,
+  kRejected = 4,  // assignee bounced it back; process owner must re-route
+  kSkipped = 5,   // removed from the route at run time
+};
+
+const char* TaskStateName(TaskState state);
+
+/// Who a task is assigned to: a concrete user or anyone holding a role.
+struct Assignee {
+  bool is_role = false;
+  uint64_t id = 0;  // UserId or RoleId value
+
+  static Assignee User(UserId u) { return {false, u.value}; }
+  static Assignee Role(RoleId r) { return {true, r.value}; }
+};
+
+/// One task of an in-document process, optionally anchored to a character
+/// range ("translate this section", "verify this paragraph").
+struct TaskInfo {
+  TaskId id;
+  ProcessId process;
+  DocumentId doc;
+  std::string name;
+  std::string description;
+  Assignee assignee;
+  TaskState state = TaskState::kPending;
+  uint64_t order = 0;  // route position
+  CharId anchor_start;
+  CharId anchor_end;
+  UserId created_by;
+  Timestamp created_at = 0;
+  UserId completed_by;
+  Timestamp completed_at = 0;
+};
+
+/// A dynamic business process living inside a document (Sec. 3, bullet 2).
+struct ProcessInfo {
+  ProcessId id;
+  DocumentId doc;
+  std::string name;
+  UserId creator;
+  Timestamp created_at = 0;
+  std::string state;  // "running" | "finished" | "rejected"
+};
+
+/// Defines and executes ad-hoc workflows *within* documents: tasks are
+/// routed in sequence, assigned to users or roles, and — the paper's
+/// point — can be created, changed and re-routed dynamically at run time.
+/// Every state change is a committed transaction and lands in the audit
+/// trail via its change event.
+class WorkflowEngine {
+ public:
+  WorkflowEngine(Database* db, TextStore* text, AccessControl* acl);
+
+  Status Init();
+
+  // --- definition ---
+
+  Result<ProcessId> DefineProcess(UserId user, DocumentId doc,
+                                  const std::string& name);
+
+  /// Appends a task to the route. `pos/len` anchor it to a text range
+  /// (len 0 = whole document).
+  Result<TaskId> AddTask(UserId user, ProcessId process,
+                         const std::string& name,
+                         const std::string& description, Assignee assignee,
+                         size_t pos = 0, size_t len = 0);
+
+  // --- dynamic run-time changes ---
+
+  /// Inserts a new task right after `after` in the route (run-time change).
+  Result<TaskId> InsertTaskAfter(UserId user, TaskId after,
+                                 const std::string& name,
+                                 const std::string& description,
+                                 Assignee assignee);
+  Status Reassign(UserId user, TaskId task, Assignee new_assignee);
+  Status SkipTask(UserId user, TaskId task);
+
+  // --- execution ---
+
+  /// Marks `task` done; the next pending task in the route becomes ready.
+  Status Complete(UserId user, TaskId task);
+  /// Rejects the task; the process stalls until the owner re-routes.
+  Status Reject(UserId user, TaskId task, const std::string& reason);
+  /// Re-opens a rejected task (optionally reassigned) and resumes routing.
+  Status Reroute(UserId user, TaskId task,
+                 std::optional<Assignee> new_assignee);
+
+  // --- queries ---
+
+  Result<ProcessInfo> GetProcess(ProcessId process) const;
+  Result<TaskInfo> GetTask(TaskId task) const;
+  /// Tasks of a process in route order.
+  std::vector<TaskInfo> Route(ProcessId process) const;
+  /// Ready tasks the user may work on (direct or via roles).
+  std::vector<TaskInfo> Worklist(UserId user) const;
+  std::vector<ProcessInfo> ProcessesIn(DocumentId doc) const;
+
+ private:
+  Status PersistTask(UserId user, const TaskInfo& task, bool is_new);
+  Status PersistProcess(UserId user, const ProcessInfo& process, bool is_new);
+  /// Recomputes ready/pending states after a change; updates process state.
+  Status AdvanceRoute(UserId user, ProcessId process);
+  bool MayAct(UserId user, const TaskInfo& task) const;
+
+  Database* const db_;
+  TextStore* const text_;
+  AccessControl* const acl_;
+
+  HeapTable* processes_table_ = nullptr;
+  HeapTable* tasks_table_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, ProcessInfo> processes_;
+  std::map<uint64_t, TaskInfo> tasks_;
+  std::map<uint64_t, RecordId> process_rids_;
+  std::map<uint64_t, RecordId> task_rids_;
+  // Secondary in-memory indexes so per-process routing and worklists do
+  // not scan every task in the system.
+  std::map<uint64_t, std::vector<uint64_t>> tasks_by_process_;
+  std::set<uint64_t> ready_tasks_;
+  std::atomic<uint64_t> next_process_id_{1};
+  std::atomic<uint64_t> next_task_id_{1};
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_WORKFLOW_WORKFLOW_ENGINE_H_

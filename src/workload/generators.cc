@@ -1,0 +1,94 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tendax {
+
+TypingAction TypingTraceGenerator::Next(size_t doc_len) {
+  cursor_ = std::min(cursor_, doc_len);
+  TypingAction action;
+  // Occasionally jump the cursor (navigation).
+  if (rng_.OneIn(12) && doc_len > 0) {
+    cursor_ = rng_.Uniform(doc_len + 1);
+  }
+  if (doc_len > 0 && rng_.NextDouble() < delete_ratio_) {
+    action.kind = TypingAction::Kind::kDelete;
+    size_t max_len = std::min<size_t>(doc_len - std::min(cursor_, doc_len - 1),
+                                      1 + rng_.Uniform(8));
+    if (cursor_ >= doc_len) cursor_ = doc_len - 1;
+    action.pos = cursor_;
+    action.len = std::max<size_t>(1, std::min(max_len, doc_len - cursor_));
+    return action;
+  }
+  action.kind = TypingAction::Kind::kInsert;
+  action.pos = cursor_;
+  // A burst: a word, a space, sometimes punctuation/newline.
+  std::string burst = rng_.Word(2, 9);
+  if (rng_.OneIn(9)) {
+    burst += rng_.OneIn(4) ? ".\n" : ". ";
+  } else {
+    burst += " ";
+  }
+  action.text = burst;
+  cursor_ += burst.size();
+  return action;
+}
+
+CorpusGenerator::CorpusGenerator(uint64_t seed, size_t vocabulary)
+    : rng_(seed) {
+  vocabulary_.reserve(vocabulary);
+  for (size_t i = 0; i < vocabulary; ++i) {
+    vocabulary_.push_back(rng_.Word(3, 10));
+  }
+  // Zipf CDF with exponent ~1.
+  cumulative_.resize(vocabulary);
+  double total = 0;
+  for (size_t i = 0; i < vocabulary; ++i) {
+    total += 1.0 / static_cast<double>(i + 1);
+    cumulative_[i] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+const std::string& CorpusGenerator::Word() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  if (idx >= vocabulary_.size()) idx = vocabulary_.size() - 1;
+  return vocabulary_[idx];
+}
+
+std::string CorpusGenerator::Document(size_t words) {
+  std::string out;
+  size_t sentence_len = 0;
+  size_t paragraph_sentences = 0;
+  for (size_t i = 0; i < words; ++i) {
+    out += Word();
+    ++sentence_len;
+    if (sentence_len >= 6 + rng_.Uniform(10)) {
+      ++paragraph_sentences;
+      sentence_len = 0;
+      if (paragraph_sentences >= 3 + rng_.Uniform(4)) {
+        out += ".\n\n";
+        paragraph_sentences = 0;
+      } else {
+        out += ". ";
+      }
+    } else {
+      out += " ";
+    }
+  }
+  return out;
+}
+
+std::string CorpusGenerator::Title() {
+  std::string out = Word();
+  size_t extra = 1 + rng_.Uniform(3);
+  for (size_t i = 0; i < extra; ++i) {
+    out += "-" + Word();
+  }
+  return out;
+}
+
+}  // namespace tendax

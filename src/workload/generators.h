@@ -1,0 +1,61 @@
+#ifndef TENDAX_WORKLOAD_GENERATORS_H_
+#define TENDAX_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace tendax {
+
+/// One simulated editing gesture.
+struct TypingAction {
+  enum class Kind : uint8_t { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  size_t pos = 0;
+  std::string text;  // kInsert
+  size_t len = 0;    // kDelete
+};
+
+/// Synthetic stand-in for the human typists of the original demo: produces
+/// a stream of inserts/deletes with realistic locality (a cursor that
+/// mostly advances, occasionally jumps; short bursts of typing; ~1 delete
+/// per 8 inserts). Deterministic for a given seed.
+class TypingTraceGenerator {
+ public:
+  explicit TypingTraceGenerator(uint64_t seed, double delete_ratio = 0.12)
+      : rng_(seed), delete_ratio_(delete_ratio) {}
+
+  /// Next gesture for a document currently `doc_len` characters long.
+  TypingAction Next(size_t doc_len);
+
+ private:
+  Random rng_;
+  double delete_ratio_;
+  size_t cursor_ = 0;
+};
+
+/// Zipf-distributed vocabulary corpus generator: builds realistic document
+/// text so search/mining benches see natural term-frequency skew.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(uint64_t seed, size_t vocabulary = 2000);
+
+  /// A document of roughly `words` words in sentences and paragraphs.
+  std::string Document(size_t words);
+
+  /// A short title of 2-4 words.
+  std::string Title();
+
+  /// One vocabulary word, Zipf-sampled.
+  const std::string& Word();
+
+ private:
+  Random rng_;
+  std::vector<std::string> vocabulary_;
+  std::vector<double> cumulative_;  // Zipf CDF
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,165 @@
+// Unit and property tests for the page-based B+tree index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "db/bptree.h"
+#include "storage/disk_manager.h"
+#include "util/random.h"
+
+namespace tendax {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<InMemoryDiskManager>();
+    pool_ = std::make_unique<BufferPool>(256, disk_.get());
+    auto tree = BPlusTree::Create(1, "test_index", pool_.get());
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(*tree);
+  }
+
+  std::unique_ptr<InMemoryDiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BPlusTree> tree_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTreeBehaves) {
+  EXPECT_TRUE(tree_->GetFirst(1).status().IsNotFound());
+  EXPECT_FALSE(tree_->Contains(1, 1));
+  EXPECT_EQ(*tree_->Count(), 0u);
+  EXPECT_TRUE(tree_->Delete(1, 1).IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, InsertAndPointLookup) {
+  ASSERT_TRUE(tree_->Insert(10, 100).ok());
+  ASSERT_TRUE(tree_->Insert(20, 200).ok());
+  EXPECT_EQ(*tree_->GetFirst(10), 100u);
+  EXPECT_EQ(*tree_->GetFirst(20), 200u);
+  EXPECT_TRUE(tree_->GetFirst(15).status().IsNotFound());
+  EXPECT_TRUE(tree_->Contains(10, 100));
+  EXPECT_FALSE(tree_->Contains(10, 999));
+}
+
+TEST_F(BPlusTreeTest, DuplicatePairRejectedDuplicateKeyAllowed) {
+  ASSERT_TRUE(tree_->Insert(5, 1).ok());
+  EXPECT_TRUE(tree_->Insert(5, 1).IsAlreadyExists());
+  ASSERT_TRUE(tree_->Insert(5, 2).ok());
+  std::vector<uint64_t> vals;
+  ASSERT_TRUE(tree_->ScanRange(5, 5, [&](uint64_t, uint64_t v) {
+    vals.push_back(v);
+    return true;
+  }).ok());
+  EXPECT_EQ(vals, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_F(BPlusTreeTest, SplitsUnderSequentialLoad) {
+  constexpr uint64_t kN = 2000;  // forces multiple leaf + internal splits
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Insert(i, i * 7).ok()) << i;
+  }
+  EXPECT_EQ(*tree_->Count(), kN);
+  EXPECT_GT(tree_->stats().splits, 4u);
+  EXPECT_GE(tree_->stats().height, 2u);
+  for (uint64_t i = 0; i < kN; i += 97) {
+    EXPECT_EQ(*tree_->GetFirst(i), i * 7);
+  }
+}
+
+TEST_F(BPlusTreeTest, ReverseAndRandomInsertOrdersAgree) {
+  // Property: final scan order is independent of insertion order.
+  std::vector<uint64_t> keys(1500);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  Random rng(99);
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+  }
+  for (uint64_t k : keys) ASSERT_TRUE(tree_->Insert(k, k + 1).ok());
+  uint64_t expected = 0;
+  ASSERT_TRUE(tree_->ScanRange(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(k, expected);
+    EXPECT_EQ(v, k + 1);
+    ++expected;
+    return true;
+  }).ok());
+  EXPECT_EQ(expected, keys.size());
+}
+
+TEST_F(BPlusTreeTest, RangeScanBoundsInclusive) {
+  for (uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree_->Insert(i, i).ok());
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(tree_->ScanRange(10, 20, [&](uint64_t k, uint64_t) {
+    got.push_back(k);
+    return true;
+  }).ok());
+  ASSERT_EQ(got.size(), 11u);
+  EXPECT_EQ(got.front(), 10u);
+  EXPECT_EQ(got.back(), 20u);
+}
+
+TEST_F(BPlusTreeTest, ScanEarlyStop) {
+  for (uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree_->Insert(i, i).ok());
+  int visits = 0;
+  ASSERT_TRUE(tree_->ScanRange(0, UINT64_MAX, [&](uint64_t, uint64_t) {
+    return ++visits < 5;
+  }).ok());
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_F(BPlusTreeTest, DeleteRemovesOnlyTargetPair) {
+  ASSERT_TRUE(tree_->Insert(1, 10).ok());
+  ASSERT_TRUE(tree_->Insert(1, 11).ok());
+  ASSERT_TRUE(tree_->Delete(1, 10).ok());
+  EXPECT_FALSE(tree_->Contains(1, 10));
+  EXPECT_TRUE(tree_->Contains(1, 11));
+  EXPECT_TRUE(tree_->Delete(1, 10).IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, MixedWorkloadMatchesReferenceModel) {
+  // Property test: the tree behaves exactly like a std::set of pairs.
+  Random rng(7);
+  std::set<std::pair<uint64_t, uint64_t>> model;
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = rng.Uniform(500);
+    uint64_t val = rng.Uniform(8);
+    if (rng.OneIn(3) && !model.empty()) {
+      // Delete either an existing or a random pair.
+      std::pair<uint64_t, uint64_t> target{key, val};
+      bool exists = model.count(target) > 0;
+      Status st = tree_->Delete(key, val);
+      EXPECT_EQ(st.ok(), exists) << st.ToString();
+      model.erase(target);
+    } else {
+      bool fresh = model.emplace(key, val).second;
+      Status st = tree_->Insert(key, val);
+      EXPECT_EQ(st.ok(), fresh) << st.ToString();
+    }
+  }
+  // Full-order comparison.
+  auto it = model.begin();
+  uint64_t seen = 0;
+  ASSERT_TRUE(tree_->ScanRange(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    EXPECT_NE(it, model.end());
+    if (it == model.end()) return false;
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    ++seen;
+    return true;
+  }).ok());
+  EXPECT_EQ(seen, model.size());
+}
+
+TEST_F(BPlusTreeTest, LargeKeysNearLimits) {
+  std::vector<uint64_t> keys = {0, 1, UINT64_MAX - 1, UINT64_MAX,
+                                1ULL << 63, (1ULL << 63) - 1};
+  for (uint64_t k : keys) ASSERT_TRUE(tree_->Insert(k, k ^ 0xFF).ok());
+  for (uint64_t k : keys) EXPECT_EQ(*tree_->GetFirst(k), k ^ 0xFF);
+}
+
+}  // namespace
+}  // namespace tendax

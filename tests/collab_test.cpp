@@ -1,0 +1,212 @@
+// Tests for sessions, awareness, change propagation, editors, and
+// local/global undo/redo.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class CollabTest : public ServerTest {};
+
+TEST_F(CollabTest, SessionLifecycleAndAwareness) {
+  SessionManager* sm = server_->sessions();
+  auto s1 = sm->Connect(alice_, "editor-linux");
+  auto s2 = sm->Connect(bob_, "editor-macos");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(sm->OnlineSessions().size(), 2u);
+
+  DocumentId doc = MakeDoc(alice_, "shared", "hello");
+  ASSERT_TRUE(sm->OpenDocument(*s1, doc).ok());
+  ASSERT_TRUE(sm->OpenDocument(*s2, doc).ok());
+  auto viewing = sm->SessionsViewing(doc);
+  ASSERT_EQ(viewing.size(), 2u);
+
+  ASSERT_TRUE(sm->SetCursor(*s1, doc, 3).ok());
+  ASSERT_TRUE(sm->SetCursor(*s2, doc, 5).ok());
+  auto cursors = sm->CursorsFor(doc);
+  ASSERT_EQ(cursors.size(), 2u);
+
+  ASSERT_TRUE(sm->Disconnect(*s2).ok());
+  EXPECT_EQ(sm->OnlineSessions().size(), 1u);
+  EXPECT_TRUE(sm->SetCursor(*s2, doc, 0).IsNotFound());
+}
+
+TEST_F(CollabTest, OpeningADocumentRecordsARead) {
+  DocumentId doc = MakeDoc(alice_, "audited", "x");
+  auto session = server_->sessions()->Connect(bob_, "editor");
+  ASSERT_TRUE(server_->sessions()->OpenDocument(*session, doc).ok());
+  EXPECT_TRUE(server_->meta()->Meta(doc).readers.count(bob_));
+}
+
+TEST_F(CollabTest, CommittedEditsReachOtherSessions) {
+  DocumentId doc = MakeDoc(alice_, "live", "");
+  auto watcher = server_->AttachEditor(bob_, "watcher");
+  ASSERT_TRUE(watcher.ok());
+  ASSERT_TRUE((*watcher)->Open(doc).ok());
+  // Drain the read event backlog.
+  ASSERT_TRUE((*watcher)->PollEvents().ok());
+
+  auto typist = server_->AttachEditor(alice_, "typist");
+  ASSERT_TRUE((*typist)->Open(doc).ok());
+  ASSERT_TRUE((*typist)->Type(doc, 0, "hi there").ok());
+
+  auto events = (*watcher)->PollEvents();
+  ASSERT_TRUE(events.ok());
+  bool saw_insert = false;
+  for (const ChangeEvent& ev : *events) {
+    if (ev.kind == ChangeKind::kTextInserted && ev.doc == doc) {
+      saw_insert = true;
+      EXPECT_EQ(ev.user, alice_);
+      EXPECT_EQ(ev.count, 8u);
+    }
+  }
+  EXPECT_TRUE(saw_insert);
+  // The watcher sees the committed text immediately.
+  EXPECT_EQ(*(*watcher)->Text(doc), "hi there");
+}
+
+TEST_F(CollabTest, EventsNotDeliveredForUnopenedDocs) {
+  DocumentId doc = MakeDoc(alice_, "quiet", "");
+  auto watcher = server_->AttachEditor(bob_, "watcher");
+  // Never opens `doc`.
+  ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, "noise").ok());
+  auto events = (*watcher)->PollEvents();
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+}
+
+TEST_F(CollabTest, LocalUndoRedoRoundTrip) {
+  DocumentId doc = MakeDoc(alice_, "undoable", "");
+  auto editor = server_->AttachEditor(alice_, "editor");
+  ASSERT_TRUE((*editor)->Open(doc).ok());
+  ASSERT_TRUE((*editor)->Type(doc, 0, "hello").ok());
+  ASSERT_TRUE((*editor)->Type(doc, 5, " world").ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "hello world");
+
+  ASSERT_TRUE((*editor)->Undo(doc).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "hello");
+  ASSERT_TRUE((*editor)->Undo(doc).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "");
+  EXPECT_TRUE((*editor)->Undo(doc).IsNotFound());  // nothing left
+
+  ASSERT_TRUE((*editor)->Redo(doc).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "hello");
+  ASSERT_TRUE((*editor)->Redo(doc).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "hello world");
+  EXPECT_TRUE((*editor)->Redo(doc).IsNotFound());
+}
+
+TEST_F(CollabTest, UndoOfDeleteResurrects) {
+  DocumentId doc = MakeDoc(alice_, "resurrect", "");
+  auto editor = server_->AttachEditor(alice_, "editor");
+  ASSERT_TRUE((*editor)->Type(doc, 0, "keep this text").ok());
+  ASSERT_TRUE((*editor)->Erase(doc, 4, 5).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "keep text");
+  ASSERT_TRUE((*editor)->Undo(doc).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "keep this text");
+  ASSERT_TRUE((*editor)->Redo(doc).ok());
+  EXPECT_EQ(*(*editor)->Text(doc), "keep text");
+}
+
+TEST_F(CollabTest, LocalUndoOnlyTouchesOwnOps) {
+  DocumentId doc = MakeDoc(alice_, "mine-yours", "");
+  auto alice_ed = server_->AttachEditor(alice_, "a");
+  auto bob_ed = server_->AttachEditor(bob_, "b");
+  ASSERT_TRUE((*alice_ed)->Type(doc, 0, "alice ").ok());
+  ASSERT_TRUE((*bob_ed)->Type(doc, 6, "bob").ok());
+  // Alice's local undo removes her text, not bob's (which came later).
+  ASSERT_TRUE((*alice_ed)->Undo(doc).ok());
+  EXPECT_EQ(*(*alice_ed)->Text(doc), "bob");
+  // Bob still has his op to undo.
+  ASSERT_TRUE((*bob_ed)->Undo(doc).ok());
+  EXPECT_EQ(*(*bob_ed)->Text(doc), "");
+}
+
+TEST_F(CollabTest, GlobalUndoRevertsAnyones) {
+  DocumentId doc = MakeDoc(alice_, "global", "");
+  auto alice_ed = server_->AttachEditor(alice_, "a");
+  auto bob_ed = server_->AttachEditor(bob_, "b");
+  ASSERT_TRUE((*alice_ed)->Type(doc, 0, "first ").ok());
+  ASSERT_TRUE((*bob_ed)->Type(doc, 6, "second").ok());
+  // Alice globally undoes bob's edit.
+  ASSERT_TRUE((*alice_ed)->UndoAnyone(doc).ok());
+  EXPECT_EQ(*(*alice_ed)->Text(doc), "first ");
+  ASSERT_TRUE((*alice_ed)->RedoAnyone(doc).ok());
+  EXPECT_EQ(*(*alice_ed)->Text(doc), "first second");
+}
+
+TEST_F(CollabTest, UndoInterleavedWithLaterEditsIsSafe) {
+  DocumentId doc = MakeDoc(alice_, "interleaved", "");
+  auto alice_ed = server_->AttachEditor(alice_, "a");
+  auto bob_ed = server_->AttachEditor(bob_, "b");
+  ASSERT_TRUE((*alice_ed)->Type(doc, 0, "AAAA").ok());
+  ASSERT_TRUE((*bob_ed)->Type(doc, 2, "BB").ok());  // AA BB AA
+  EXPECT_EQ(*(*alice_ed)->Text(doc), "AABBAA");
+  // Undoing alice's earlier insert must remove exactly the A's.
+  ASSERT_TRUE((*alice_ed)->Undo(doc).ok());
+  EXPECT_EQ(*(*alice_ed)->Text(doc), "BB");
+  ASSERT_TRUE((*alice_ed)->Redo(doc).ok());
+  EXPECT_EQ(*(*alice_ed)->Text(doc), "AABBAA");
+}
+
+TEST_F(CollabTest, CopyPasteThroughEditors) {
+  DocumentId src = MakeDoc(alice_, "clip-src", "important phrase here");
+  DocumentId dst = MakeDoc(bob_, "clip-dst", "");
+  auto editor = server_->AttachEditor(bob_, "b");
+  ASSERT_TRUE((*editor)->Open(src).ok());
+  auto clip = (*editor)->CopyRange(src, 10, 6);
+  ASSERT_TRUE(clip.ok());
+  ASSERT_TRUE((*editor)->PasteAt(dst, 0, *clip).ok());
+  EXPECT_EQ(*(*editor)->Text(dst), "phrase");
+  // Paste is undoable like typing.
+  ASSERT_TRUE((*editor)->Undo(dst).ok());
+  EXPECT_EQ(*(*editor)->Text(dst), "");
+}
+
+TEST_F(CollabTest, OpHistoryTracksUndoState) {
+  DocumentId doc = MakeDoc(alice_, "history", "");
+  auto editor = server_->AttachEditor(alice_, "a");
+  ASSERT_TRUE((*editor)->Type(doc, 0, "x").ok());
+  ASSERT_TRUE((*editor)->Undo(doc).ok());
+  auto history = server_->undo()->History(doc);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history[0].undone);
+  EXPECT_EQ(history[0].kind, OpKind::kInsert);
+  EXPECT_EQ(history[0].text, "x");
+}
+
+TEST_F(CollabTest, ConcurrentEditorsConvergeThroughTheDatabase) {
+  DocumentId doc = MakeDoc(alice_, "lan-party", "");
+  constexpr int kEditors = 4;
+  constexpr int kEdits = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kEditors; ++t) {
+    threads.emplace_back([&, t] {
+      UserId user = t % 2 == 0 ? alice_ : bob_;
+      auto editor = server_->AttachEditor(user, "thread-" + std::to_string(t));
+      if (!editor.ok() || !(*editor)->Open(doc).ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kEdits; ++i) {
+        if (!(*editor)->Type(doc, 0, std::string(1, 'a' + t)).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(*server_->text()->Length(doc),
+            static_cast<uint64_t>(kEditors * kEdits));
+  EXPECT_GT(server_->sessions()->events_delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,347 @@
+// Tests for version diffs, contributions, history purging, the query
+// layer, page checksums, and document templates.
+
+#include <gtest/gtest.h>
+
+#include "db/query.h"
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class DiffTest : public ServerTest {};
+
+TEST_F(DiffTest, ExactHunksBetweenVersions) {
+  DocumentId doc = MakeDoc(alice_, "diffed", "hello world");   // v1
+  ASSERT_TRUE(server_->text()->DeleteRange(bob_, doc, 5, 6).ok());   // v2
+  ASSERT_TRUE(server_->text()->InsertText(bob_, doc, 5, ", db").ok());  // v3
+
+  auto hunks = server_->diff()->Between(doc, 1, 3);
+  ASSERT_TRUE(hunks.ok());
+  // "hello" equal, " world" deleted by bob, ", db" inserted by bob.
+  ASSERT_EQ(hunks->size(), 3u);
+  EXPECT_EQ((*hunks)[0].kind, DiffHunk::Kind::kEqual);
+  EXPECT_EQ((*hunks)[0].text, "hello");
+  // The insert physically lands right after "hello"; deletion follows.
+  bool saw_insert = false, saw_delete = false;
+  for (const DiffHunk& h : *hunks) {
+    if (h.kind == DiffHunk::Kind::kInserted) {
+      EXPECT_EQ(h.text, ", db");
+      EXPECT_EQ(h.author, bob_);
+      saw_insert = true;
+    }
+    if (h.kind == DiffHunk::Kind::kDeleted) {
+      EXPECT_EQ(h.text, " world");
+      EXPECT_EQ(h.author, bob_);
+      saw_delete = true;
+    }
+  }
+  EXPECT_TRUE(saw_insert);
+  EXPECT_TRUE(saw_delete);
+}
+
+TEST_F(DiffTest, IdenticalVersionsDiffToOneEqualHunk) {
+  DocumentId doc = MakeDoc(alice_, "same", "stable");
+  auto hunks = server_->diff()->Between(doc, 1, 1);
+  ASSERT_TRUE(hunks.ok());
+  ASSERT_EQ(hunks->size(), 1u);
+  EXPECT_EQ((*hunks)[0].kind, DiffHunk::Kind::kEqual);
+  EXPECT_TRUE(server_->diff()->Between(doc, 2, 1).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DiffTest, RenderAndContributions) {
+  DocumentId doc = MakeDoc(alice_, "contrib", "alice wrote this. ");
+  ASSERT_TRUE(
+      server_->text()->InsertText(bob_, doc, 18, "bob added that.").ok());
+  auto rendered = server_->diff()->Render(doc, 0, 2);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_NE(rendered->find("+ alice wrote this. "), std::string::npos);
+  EXPECT_NE(rendered->find("+ bob added that."), std::string::npos);
+
+  auto contributions = server_->diff()->Contributions(doc, 0, 2);
+  ASSERT_TRUE(contributions.ok());
+  EXPECT_EQ((*contributions)[alice_], 18u);
+  EXPECT_EQ((*contributions)[bob_], 15u);
+}
+
+TEST_F(DiffTest, DiffAcrossUndo) {
+  DocumentId doc = MakeDoc(alice_, "undone", "keep ");
+  auto editor = server_->AttachEditor(bob_, "e");
+  ASSERT_TRUE((*editor)->Type(doc, 5, "remove").ok());  // v2
+  ASSERT_TRUE((*editor)->Undo(doc).ok());               // v3 tombstones
+  auto hunks = server_->diff()->Between(doc, 2, 3);
+  ASSERT_TRUE(hunks.ok());
+  bool saw_delete = false;
+  for (const DiffHunk& h : *hunks) {
+    if (h.kind == DiffHunk::Kind::kDeleted) {
+      EXPECT_EQ(h.text, "remove");
+      saw_delete = true;
+    }
+  }
+  EXPECT_TRUE(saw_delete);
+}
+
+// ---------- history purging ----------
+
+class PurgeTest : public ServerTest {};
+
+TEST_F(PurgeTest, PurgeRemovesOldTombstonesOnly) {
+  DocumentId doc = MakeDoc(alice_, "purged", "abcdef");      // v1
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 1, 2).ok());  // v2
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 2, 1).ok());  // v3
+  // Chain: a [b c](v2) d [e](v3) f  -> live "adf"
+  ASSERT_EQ(*server_->text()->Text(doc), "adf");
+  ASSERT_EQ(server_->text()->FullChain(doc)->size(), 6u);
+
+  // Purge history up to v2: b and c go away physically; e stays.
+  auto purged = server_->text()->PurgeHistory(alice_, doc, 2);
+  ASSERT_TRUE(purged.ok()) << purged.status().ToString();
+  EXPECT_EQ(*purged, 2u);
+  EXPECT_EQ(*server_->text()->Text(doc), "adf");
+  EXPECT_EQ(server_->text()->FullChain(doc)->size(), 4u);
+
+  // Time travel above the purge horizon still works.
+  EXPECT_EQ(*server_->text()->TextAtVersion(doc, 3), "adf");
+  // Below it, history is (documented as) lossy: v1 can't see b, c anymore.
+  EXPECT_EQ(*server_->text()->TextAtVersion(doc, 1), "adef");
+
+  // The cache survives a cold reload (chain relinked correctly).
+  server_->text()->InvalidateHandle(doc);
+  EXPECT_EQ(*server_->text()->Text(doc), "adf");
+  EXPECT_EQ(server_->text()->FullChain(doc)->size(), 4u);
+}
+
+TEST_F(PurgeTest, PurgeEverythingFromEmptiedDocument) {
+  DocumentId doc = MakeDoc(alice_, "emptied", "all gone");
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 0, 8).ok());
+  auto purged = server_->text()->PurgeHistory(alice_, doc, kVersionMax);
+  ASSERT_TRUE(purged.ok());
+  EXPECT_EQ(*purged, 8u);
+  EXPECT_EQ(*server_->text()->Text(doc), "");
+  EXPECT_TRUE(server_->text()->FullChain(doc)->empty());
+  // The document remains editable afterwards.
+  ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, "reborn").ok());
+  EXPECT_EQ(*server_->text()->Text(doc), "reborn");
+}
+
+TEST_F(PurgeTest, PurgeIsDurable) {
+  DocumentId doc = MakeDoc(alice_, "durable-purge", "xyz");
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 0, 1).ok());
+  ASSERT_TRUE(server_->text()->PurgeHistory(alice_, doc, kVersionMax).ok());
+  server_->text()->InvalidateHandle(doc);
+  EXPECT_EQ(*server_->text()->Text(doc), "yz");
+  EXPECT_EQ(server_->text()->FullChain(doc)->size(), 2u);
+}
+
+// ---------- query layer ----------
+
+class QueryTest : public ServerTest {};
+
+TEST_F(QueryTest, FilterProjectLimit) {
+  // Query the real character table of a document.
+  DocumentId doc = MakeDoc(alice_, "queried", "aabb");
+  ASSERT_TRUE(server_->text()->InsertText(bob_, doc, 4, "cc").ok());
+  auto table = server_->db()->GetTable("tendax_chars");
+  ASSERT_TRUE(table.ok());
+
+  // All of bob's characters in this document.
+  auto rows = TableQuery(*table)
+                  .Where("doc_id", CompareOp::kEq, doc.value)
+                  .Where("author", CompareOp::kEq, bob_.value)
+                  .Select({"codepoint"})
+                  .Run();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].GetUint(0), static_cast<uint64_t>('c'));
+  EXPECT_EQ((*rows)[0].size(), 1u);  // projected to one column
+
+  // Count with a different operator.
+  auto count = TableQuery(*table)
+                   .Where("doc_id", CompareOp::kEq, doc.value)
+                   .Where("codepoint", CompareOp::kNe,
+                          uint64_t{'c'})
+                   .Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 4u);
+
+  // Limit.
+  auto limited = TableQuery(*table)
+                     .Where("doc_id", CompareOp::kEq, doc.value)
+                     .Limit(3)
+                     .Run();
+  EXPECT_EQ(limited->size(), 3u);
+}
+
+TEST_F(QueryTest, StringContainsAndErrors) {
+  auto table = server_->db()->GetTable("tendax_docs");
+  MakeDoc(alice_, "project-alpha", "");
+  MakeDoc(alice_, "project-beta", "");
+  MakeDoc(alice_, "misc", "");
+  auto rows = TableQuery(*table)
+                  .Where("name", CompareOp::kContains, std::string("project"))
+                  .Run();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  // Unknown column surfaces at run time.
+  EXPECT_TRUE(TableQuery(*table)
+                  .Where("nope", CompareOp::kEq, uint64_t{1})
+                  .Run()
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueryTest, CompareSemantics) {
+  EXPECT_TRUE(EvaluateCompare(uint64_t{5}, CompareOp::kLt, uint64_t{7}));
+  EXPECT_TRUE(EvaluateCompare(int64_t{-2}, CompareOp::kLt, uint64_t{3}));
+  EXPECT_TRUE(EvaluateCompare(2.5, CompareOp::kGe, uint64_t{2}));
+  EXPECT_FALSE(EvaluateCompare(Value{std::monostate{}}, CompareOp::kEq,
+                               uint64_t{0}));  // NULL never matches
+  EXPECT_FALSE(EvaluateCompare(std::string("x"), CompareOp::kLt,
+                               uint64_t{1}));  // incomparable types
+  EXPECT_TRUE(EvaluateCompare(std::string("abc"), CompareOp::kContains,
+                              std::string("bc")));
+}
+
+TEST_F(QueryTest, TransactionalDelete) {
+  auto table = server_->db()->EnsureTable(
+      "bench_rows", Schema({{"k", ColumnType::kUint64},
+                            {"tag", ColumnType::kString}}));
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(server_->db()
+                  ->txns()
+                  ->RunInTxn(alice_,
+                             [&](Transaction* txn) -> Status {
+                               for (uint64_t k = 0; k < 10; ++k) {
+                                 auto r = (*table)->Insert(
+                                     txn, Record({k, std::string(
+                                                         k % 2 ? "odd"
+                                                               : "even")}));
+                                 if (!r.ok()) return r.status();
+                               }
+                               return Status::OK();
+                             })
+                  .ok());
+  uint64_t removed = 0;
+  ASSERT_TRUE(server_->db()
+                  ->txns()
+                  ->RunInTxn(alice_,
+                             [&](Transaction* txn) -> Status {
+                               auto n = TableQuery(*table)
+                                            .Where("tag", CompareOp::kEq,
+                                                   std::string("odd"))
+                                            .Delete(txn);
+                               if (!n.ok()) return n.status();
+                               removed = *n;
+                               return Status::OK();
+                             })
+                  .ok());
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(*TableQuery(*table).Count(), 5u);
+}
+
+// ---------- page checksums ----------
+
+TEST(ChecksumTest, CorruptedPageDetectedOnRead) {
+  auto disk = std::make_shared<InMemoryDiskManager>();
+  PageId pid;
+  {
+    BufferPool pool(8, disk.get());
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    pid = (*page)->id();
+    strcpy((*page)->payload(), "precious data");
+    pool.Unpin(*page, true);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  // Flip a payload byte behind the pool's back.
+  char raw[kPageSize];
+  ASSERT_TRUE(disk->ReadPage(pid, raw).ok());
+  raw[kPageHeaderSize + 3] ^= 0x40;
+  ASSERT_TRUE(disk->WritePage(pid, raw).ok());
+
+  BufferPool pool(8, disk.get());
+  auto page = pool.FetchPage(pid);
+  ASSERT_FALSE(page.ok());
+  EXPECT_TRUE(page.status().IsCorruption()) << page.status().ToString();
+}
+
+TEST(ChecksumTest, CleanRoundTripVerifies) {
+  auto disk = std::make_shared<InMemoryDiskManager>();
+  PageId pid;
+  {
+    BufferPool pool(8, disk.get());
+    auto page = pool.NewPage();
+    pid = (*page)->id();
+    strcpy((*page)->payload(), "intact");
+    pool.Unpin(*page, true);
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  BufferPool pool(8, disk.get());
+  auto page = pool.FetchPage(pid);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_STREQ((*page)->payload(), "intact");
+  pool.Unpin(*page, false);
+}
+
+// ---------- templates ----------
+
+class TemplateTest : public ServerTest {};
+
+std::vector<TemplateSection> ReportTemplate() {
+  TemplateSection title;
+  title.type = "title";
+  title.label = "title";
+  title.placeholder = "<<Report Title>>";
+  title.layout["bold"] = "true";
+  TemplateSection body;
+  body.type = "section";
+  body.label = "summary";
+  body.placeholder = "<<Executive summary.>>";
+  std::vector<TemplateSection> sections;
+  sections.push_back(std::move(title));
+  sections.push_back(std::move(body));
+  return sections;
+}
+
+TEST_F(TemplateTest, DefineAndInstantiate) {
+  auto id = server_->templates()->Define(alice_, "report", ReportTemplate());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(server_->templates()
+                  ->Define(alice_, "report", ReportTemplate())
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_EQ(server_->templates()->TemplateNames().size(), 1u);
+
+  auto doc = server_->templates()->Instantiate(bob_, "report", "q3.doc");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto text = server_->text()->Text(*doc);
+  EXPECT_EQ(*text, "<<Report Title>>\n<<Executive summary.>>\n");
+  // Structure elements anchored per section.
+  auto tree = server_->documents()->ElementTree(*doc);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->size(), 2u);
+  // Layout applied to the title.
+  auto markup = server_->documents()->RenderMarkup(*doc);
+  EXPECT_NE(markup->find("[bold=true]<<Report Title>>"), std::string::npos);
+  EXPECT_TRUE(server_->templates()
+                  ->Instantiate(bob_, "missing", "x")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(TemplateTest, TemplatesArePersistent) {
+  ASSERT_TRUE(
+      server_->templates()->Define(alice_, "memo", ReportTemplate()).ok());
+  // A second store over the same database sees the definition.
+  TemplateStore reloaded(server_->db(), server_->text(),
+                         server_->documents());
+  ASSERT_TRUE(reloaded.Init().ok());
+  auto info = reloaded.Get("memo");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->sections.size(), 2u);
+  EXPECT_EQ(info->sections[0].layout.at("bold"), "true");
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,186 @@
+// Tests for structure elements, layout runs, notes and embedded objects.
+
+#include <gtest/gtest.h>
+
+#include "server_fixture.h"
+#include "text/utf8.h"
+
+namespace tendax {
+namespace {
+
+class DocumentModelTest : public ServerTest {};
+
+TEST_F(DocumentModelTest, StructureTreeWithAnchors) {
+  DocumentId doc = MakeDoc(alice_, "structured",
+                           "Title\nIntro paragraph.\nBody paragraph.");
+  DocumentModel* model = server_->documents();
+  auto title = model->CreateElement(alice_, doc, ElementId(), "title", "t",
+                                    0, 5);
+  ASSERT_TRUE(title.ok());
+  auto section = model->CreateElement(alice_, doc, ElementId(), "section",
+                                      "intro", 6, 16);
+  ASSERT_TRUE(section.ok());
+  auto para = model->CreateElement(alice_, doc, *section, "paragraph", "p1",
+                                   6, 16);
+  ASSERT_TRUE(para.ok());
+
+  auto tree = model->ElementTree(doc);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->size(), 3u);
+  // Top-level first (invalid parent sorts first), then children.
+  EXPECT_EQ((*tree)[0].type, "title");
+  EXPECT_EQ((*tree)[1].type, "section");
+  EXPECT_EQ((*tree)[2].parent, *section);
+  EXPECT_EQ(*(*tree)[0].start_pos, 0u);
+  EXPECT_EQ(*(*tree)[0].end_pos, 4u);
+}
+
+TEST_F(DocumentModelTest, AnchorsShiftWithEdits) {
+  DocumentId doc = MakeDoc(alice_, "shifting", "hello world");
+  DocumentModel* model = server_->documents();
+  auto elem = model->CreateElement(alice_, doc, ElementId(), "section",
+                                   "world", 6, 5);
+  ASSERT_TRUE(elem.ok());
+  ASSERT_TRUE(server_->text()->InsertText(bob_, doc, 0, "<<< ").ok());
+  auto tree = model->ElementTree(doc);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(*(*tree)[0].start_pos, 10u);
+  EXPECT_EQ(*(*tree)[0].end_pos, 14u);
+}
+
+TEST_F(DocumentModelTest, RelabelAndDelete) {
+  DocumentId doc = MakeDoc(alice_, "relabel", "content");
+  DocumentModel* model = server_->documents();
+  auto elem = model->CreateElement(alice_, doc, ElementId(), "section", "old",
+                                   0, 7);
+  ASSERT_TRUE(elem.ok());
+  ASSERT_TRUE(model->RelabelElement(alice_, *elem, "new").ok());
+  auto tree = model->ElementTree(doc);
+  EXPECT_EQ((*tree)[0].label, "new");
+  ASSERT_TRUE(model->DeleteElement(alice_, *elem).ok());
+  tree = model->ElementTree(doc);
+  EXPECT_TRUE(tree->empty());
+  EXPECT_TRUE(model->DeleteElement(alice_, *elem).IsNotFound());
+}
+
+TEST_F(DocumentModelTest, LayoutSpansResolve) {
+  DocumentId doc = MakeDoc(alice_, "styled", "plain bold italic");
+  DocumentModel* model = server_->documents();
+  ASSERT_TRUE(model->ApplyLayout(alice_, doc, 6, 4, "bold", "true").ok());
+  ASSERT_TRUE(model->ApplyLayout(alice_, doc, 11, 6, "italic", "true").ok());
+
+  auto spans = model->ComputeSpans(doc);
+  ASSERT_TRUE(spans.ok());
+  // Expect: [0,6) plain, [6,10) bold, [10,11) plain, [11,17) italic.
+  ASSERT_EQ(spans->size(), 4u);
+  EXPECT_TRUE((*spans)[0].attrs.empty());
+  EXPECT_EQ((*spans)[1].attrs.at("bold"), "true");
+  EXPECT_TRUE((*spans)[2].attrs.empty());
+  EXPECT_EQ((*spans)[3].attrs.at("italic"), "true");
+}
+
+TEST_F(DocumentModelTest, OverlappingRunsLastWriterWins) {
+  DocumentId doc = MakeDoc(alice_, "overlap", "abcdef");
+  DocumentModel* model = server_->documents();
+  ASSERT_TRUE(model->ApplyLayout(alice_, doc, 0, 6, "size", "10").ok());
+  ASSERT_TRUE(model->ApplyLayout(bob_, doc, 2, 2, "size", "14").ok());
+  auto spans = model->ComputeSpans(doc);
+  ASSERT_TRUE(spans.ok());
+  ASSERT_EQ(spans->size(), 3u);
+  EXPECT_EQ((*spans)[0].attrs.at("size"), "10");
+  EXPECT_EQ((*spans)[1].attrs.at("size"), "14");  // bob's later run wins
+  EXPECT_EQ((*spans)[2].attrs.at("size"), "10");
+}
+
+TEST_F(DocumentModelTest, RenderMarkup) {
+  DocumentId doc = MakeDoc(alice_, "markup", "say loud");
+  ASSERT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 4, 4, "bold", "true")
+                  .ok());
+  auto markup = server_->documents()->RenderMarkup(doc);
+  ASSERT_TRUE(markup.ok());
+  EXPECT_EQ(*markup, "say [bold=true]loud[/bold]");
+}
+
+TEST_F(DocumentModelTest, LayoutAnchorsTrackEdits) {
+  DocumentId doc = MakeDoc(alice_, "track", "make this bold");
+  ASSERT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 10, 4, "bold", "true")
+                  .ok());
+  ASSERT_TRUE(server_->text()->InsertText(bob_, doc, 0, "please ").ok());
+  auto markup = server_->documents()->RenderMarkup(doc);
+  ASSERT_TRUE(markup.ok());
+  EXPECT_EQ(*markup, "please make this [bold=true]bold[/bold]");
+}
+
+TEST_F(DocumentModelTest, NotesAnchorToCharacters) {
+  DocumentId doc = MakeDoc(alice_, "notes", "review this sentence");
+  auto note = server_->documents()->AddNote(bob_, doc, 7, "is 'this' right?");
+  ASSERT_TRUE(note.ok());
+  auto notes = server_->documents()->Notes(doc);
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 1u);
+  EXPECT_EQ((*notes)[0].author, bob_);
+  EXPECT_EQ(*(*notes)[0].pos, 7u);
+  // Anchor follows edits.
+  ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, "TODO ").ok());
+  notes = server_->documents()->Notes(doc);
+  EXPECT_EQ(*(*notes)[0].pos, 12u);
+}
+
+TEST_F(DocumentModelTest, ImageRoundTripWithAnchorInText) {
+  DocumentId doc = MakeDoc(alice_, "illustrated", "before after");
+  std::string png(10000, '\0');
+  for (size_t i = 0; i < png.size(); ++i) {
+    png[i] = static_cast<char>(i * 31 % 251);
+  }
+  auto obj = server_->documents()->EmbedImage(alice_, doc, 7, "figure.png",
+                                              png);
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  // The anchor char sits in the text flow.
+  auto info = server_->text()->CharAt(doc, 7);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->cp, DocumentModel::kObjectAnchorCp);
+  // Blob round-trips exactly (chunked across records).
+  auto back = server_->documents()->GetImage(*obj);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, png);
+  auto objects = server_->documents()->Objects(doc);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].kind, "image");
+  EXPECT_EQ(objects[0].name, "figure.png");
+}
+
+TEST_F(DocumentModelTest, TableCells) {
+  DocumentId doc = MakeDoc(alice_, "tabular", "data:");
+  auto table =
+      server_->documents()->InsertTable(alice_, doc, 5, "results", 2, 3);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(server_->documents()->TableDims(*table)->first, 2u);
+  ASSERT_TRUE(
+      server_->documents()->SetCell(alice_, *table, 0, 0, "header").ok());
+  ASSERT_TRUE(
+      server_->documents()->SetCell(bob_, *table, 1, 2, "42").ok());
+  EXPECT_EQ(*server_->documents()->GetCell(*table, 0, 0), "header");
+  EXPECT_EQ(*server_->documents()->GetCell(*table, 1, 2), "42");
+  EXPECT_EQ(*server_->documents()->GetCell(*table, 0, 1), "");  // empty cell
+  EXPECT_TRUE(server_->documents()
+                  ->SetCell(alice_, *table, 5, 0, "x")
+                  .IsOutOfRange());
+  // Overwrite.
+  ASSERT_TRUE(
+      server_->documents()->SetCell(bob_, *table, 0, 0, "HEADER").ok());
+  EXPECT_EQ(*server_->documents()->GetCell(*table, 0, 0), "HEADER");
+}
+
+TEST_F(DocumentModelTest, EmptyDocumentPointAnchors) {
+  DocumentId doc = MakeDoc(alice_, "empty", "");
+  auto note = server_->documents()->AddNote(alice_, doc, 0, "doc-level note");
+  ASSERT_TRUE(note.ok());
+  auto notes = server_->documents()->Notes(doc);
+  ASSERT_EQ(notes->size(), 1u);
+  EXPECT_FALSE((*notes)[0].pos.has_value());  // no anchor char
+}
+
+}  // namespace
+}  // namespace tendax

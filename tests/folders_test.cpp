@@ -1,0 +1,152 @@
+// Tests for static folders and metadata-driven dynamic folders.
+
+#include <gtest/gtest.h>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+constexpr Timestamp kWeek = 7ULL * 24 * 3600 * 1'000'000;
+
+class FoldersTest : public ServerTest {};
+
+TEST_F(FoldersTest, StaticFolderHierarchy) {
+  FolderManager* fm = server_->folders();
+  auto root = fm->CreateFolder(alice_, FolderId(), "projects");
+  auto sub = fm->CreateFolder(alice_, *root, "tendax");
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(sub.ok());
+  auto folders = fm->Folders();
+  ASSERT_EQ(folders.size(), 2u);
+
+  DocumentId doc = MakeDoc(alice_, "placed", "x");
+  ASSERT_TRUE(fm->PlaceDocument(alice_, *sub, doc).ok());
+  EXPECT_TRUE(fm->PlaceDocument(alice_, *sub, doc).IsAlreadyExists());
+  auto contents = fm->FolderContents(*sub);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->size(), 1u);
+  EXPECT_EQ((*contents)[0], doc);
+  auto placements = fm->PlacementsOf(doc);
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0], *sub);
+
+  ASSERT_TRUE(fm->RemoveDocument(alice_, *sub, doc).ok());
+  EXPECT_TRUE(fm->FolderContents(*sub)->empty());
+  EXPECT_TRUE(fm->RemoveDocument(alice_, *sub, doc).IsNotFound());
+}
+
+TEST_F(FoldersTest, DynamicFolderReadByLastWeek) {
+  // The paper's example: "all documents a certain user has read within the
+  // last week".
+  DocumentId old_doc = MakeDoc(alice_, "old", "a");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, old_doc).ok());
+  clock_->Advance(2 * kWeek);  // the read ages out
+
+  auto folder = server_->folders()->CreateDynamicFolder(
+      "bob-read-last-week", FolderQuery::ReadBy(bob_, kWeek));
+  ASSERT_TRUE(folder.ok());
+  EXPECT_TRUE(server_->folders()->DynamicContents(*folder)->empty());
+
+  DocumentId fresh = MakeDoc(alice_, "fresh", "b");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, fresh).ok());
+  // Membership updated incrementally by the read event — no manual refresh.
+  auto contents = server_->folders()->DynamicContents(*folder);
+  ASSERT_EQ(contents->size(), 1u);
+  EXPECT_TRUE(contents->count(fresh));
+}
+
+TEST_F(FoldersTest, MembershipFluentAsContentChanges) {
+  auto folder = server_->folders()->CreateDynamicFolder(
+      "big-docs", FolderQuery::SizeAtLeast(10));
+  ASSERT_TRUE(folder.ok());
+  DocumentId doc = MakeDoc(alice_, "growing", "short");
+  EXPECT_FALSE(server_->folders()->DynamicContents(*folder)->count(doc));
+  // Grows past the threshold: the edit event re-evaluates the document.
+  ASSERT_TRUE(
+      server_->text()->InsertText(alice_, doc, 5, " and longer now").ok());
+  EXPECT_TRUE(server_->folders()->DynamicContents(*folder)->count(doc));
+  // Shrinks again: drops out.
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 0, 15).ok());
+  EXPECT_FALSE(server_->folders()->DynamicContents(*folder)->count(doc));
+}
+
+TEST_F(FoldersTest, CompositeQueries) {
+  DocumentId alice_draft = MakeDoc(alice_, "alice-draft", "text");
+  DocumentId alice_final = MakeDoc(alice_, "alice-final", "text");
+  ASSERT_TRUE(server_->text()
+                  ->SetDocumentState(alice_, alice_final, "published")
+                  .ok());
+  DocumentId bob_draft = MakeDoc(bob_, "bob-draft", "text");
+
+  std::vector<std::unique_ptr<FolderQuery>> parts;
+  parts.push_back(FolderQuery::CreatedBy(alice_));
+  parts.push_back(FolderQuery::Not(FolderQuery::StateIs("published")));
+  auto folder = server_->folders()->CreateDynamicFolder(
+      "alice-unpublished", FolderQuery::And(std::move(parts)));
+  ASSERT_TRUE(folder.ok());
+  auto contents = server_->folders()->DynamicContents(*folder);
+  EXPECT_TRUE(contents->count(alice_draft));
+  EXPECT_FALSE(contents->count(alice_final));
+  EXPECT_FALSE(contents->count(bob_draft));
+}
+
+TEST_F(FoldersTest, NameAndPropertyQueries) {
+  DocumentId report = MakeDoc(alice_, "q3-report.doc", "numbers");
+  DocumentId notes = MakeDoc(alice_, "meeting-notes", "words");
+  ASSERT_TRUE(
+      server_->meta()->SetProperty(alice_, notes, "team", "db-group").ok());
+
+  auto by_name = server_->folders()->CreateDynamicFolder(
+      "reports", FolderQuery::NameContains("report"));
+  EXPECT_TRUE(server_->folders()->DynamicContents(*by_name)->count(report));
+  EXPECT_FALSE(server_->folders()->DynamicContents(*by_name)->count(notes));
+
+  auto by_prop = server_->folders()->CreateDynamicFolder(
+      "db-group-docs", FolderQuery::PropertyIs("team", "db-group"));
+  EXPECT_TRUE(server_->folders()->DynamicContents(*by_prop)->count(notes));
+  EXPECT_FALSE(server_->folders()->DynamicContents(*by_prop)->count(report));
+}
+
+TEST_F(FoldersTest, OrQueryAndDescriptions) {
+  std::vector<std::unique_ptr<FolderQuery>> parts;
+  parts.push_back(FolderQuery::CreatedBy(alice_));
+  parts.push_back(FolderQuery::CreatedBy(bob_));
+  auto query = FolderQuery::Or(std::move(parts));
+  EXPECT_NE(query->Describe().find("or("), std::string::npos);
+
+  auto folder = server_->folders()->CreateDynamicFolder("either",
+                                                        std::move(query));
+  DocumentId a = MakeDoc(alice_, "a", "1");
+  DocumentId b = MakeDoc(bob_, "b", "2");
+  auto contents = server_->folders()->DynamicContents(*folder);
+  EXPECT_TRUE(contents->count(a));
+  EXPECT_TRUE(contents->count(b));
+}
+
+TEST_F(FoldersTest, IncrementalMaintenanceStats) {
+  auto folder = server_->folders()->CreateDynamicFolder(
+      "edited-by-alice", FolderQuery::EditedBy(alice_, 0));
+  ASSERT_TRUE(folder.ok());
+  auto before = server_->folders()->stats();
+  MakeDoc(alice_, "new-doc", "content");
+  auto after = server_->folders()->stats();
+  // The create/edit events triggered incremental refreshes, not full ones.
+  EXPECT_GT(after.incremental_refreshes, before.incremental_refreshes);
+  EXPECT_EQ(after.full_refreshes, before.full_refreshes);
+  EXPECT_GT(after.membership_changes, before.membership_changes);
+}
+
+TEST_F(FoldersTest, FullRefreshMatchesIncremental) {
+  auto folder = server_->folders()->CreateDynamicFolder(
+      "sized", FolderQuery::SizeAtLeast(3));
+  MakeDoc(alice_, "one", "abcd");
+  MakeDoc(alice_, "two", "ab");
+  auto incremental = *server_->folders()->DynamicContents(*folder);
+  ASSERT_TRUE(server_->folders()->FullRefresh(*folder).ok());
+  auto full = *server_->folders()->DynamicContents(*folder);
+  EXPECT_EQ(incremental, full);
+}
+
+}  // namespace
+}  // namespace tendax

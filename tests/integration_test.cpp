@@ -1,0 +1,297 @@
+// End-to-end scenarios across every subsystem, including whole-server
+// persistence across a simulated crash.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class IntegrationTest : public ServerTest {};
+
+// The paper's demo script in one test: collaborative editing with layout,
+// undo, workflow, dynamic folders, lineage, search and mining all driven
+// through editor clients.
+TEST_F(IntegrationTest, WordProcessingLanParty) {
+  auto alice_ed = server_->AttachEditor(alice_, "editor-windows");
+  auto bob_ed = server_->AttachEditor(bob_, "editor-linux");
+  ASSERT_TRUE(alice_ed.ok());
+  ASSERT_TRUE(bob_ed.ok());
+
+  // 1. Collaborative editing.
+  auto doc = (*alice_ed)->CreateDocument("demo-paper.txt");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE((*bob_ed)->Open(*doc).ok());
+  ASSERT_TRUE((*alice_ed)->Type(*doc, 0, "TeNDaX stores text natively. ").ok());
+  ASSERT_TRUE((*bob_ed)->Type(*doc, 29, "Every keystroke is a transaction.")
+                  .ok());
+  EXPECT_EQ(*(*bob_ed)->Text(*doc),
+            "TeNDaX stores text natively. Every keystroke is a transaction.");
+
+  // Awareness: both sessions visible on the document.
+  EXPECT_EQ(server_->sessions()->SessionsViewing(*doc).size(), 2u);
+  ASSERT_TRUE((*alice_ed)->SetCursor(*doc, 10).ok());
+  EXPECT_EQ(server_->sessions()->CursorsFor(*doc).size(), 1u);
+
+  // 2. Collaborative layout.
+  ASSERT_TRUE((*alice_ed)->ApplyLayout(*doc, 0, 6, "bold", "true").ok());
+  auto markup = (*alice_ed)->RenderMarkup(*doc);
+  ASSERT_TRUE(markup.ok());
+  EXPECT_EQ(markup->substr(0, 23), "[bold=true]TeNDaX[/bold");
+
+  // 3. Global undo: alice reverts bob's sentence.
+  ASSERT_TRUE((*alice_ed)->UndoAnyone(*doc).ok());
+  EXPECT_EQ(*(*alice_ed)->Text(*doc), "TeNDaX stores text natively. ");
+  ASSERT_TRUE((*alice_ed)->RedoAnyone(*doc).ok());
+
+  // 4. Business process inside the document.
+  auto process = server_->workflows()->DefineProcess(alice_, *doc, "review");
+  ASSERT_TRUE(process.ok());
+  auto task = server_->workflows()->AddTask(alice_, *process, "verify",
+                                            "check the claims",
+                                            Assignee::User(bob_), 0, 6);
+  ASSERT_TRUE(task.ok());
+  ASSERT_EQ(server_->workflows()->Worklist(bob_).size(), 1u);
+  ASSERT_TRUE(server_->workflows()->Complete(bob_, *task).ok());
+  EXPECT_EQ(server_->workflows()->GetProcess(*process)->state, "finished");
+
+  // 5. Dynamic folder picks the document up from bob's read.
+  auto folder = server_->folders()->CreateDynamicFolder(
+      "bob-read", FolderQuery::ReadBy(bob_, 0));
+  ASSERT_TRUE(folder.ok());
+  EXPECT_TRUE(server_->folders()->DynamicContents(*folder)->count(*doc));
+
+  // 6. Lineage: bob quotes the document elsewhere.
+  auto quote_doc = (*bob_ed)->CreateDocument("quotes.txt");
+  ASSERT_TRUE(quote_doc.ok());
+  auto clip = (*bob_ed)->CopyRange(*doc, 0, 6);
+  ASSERT_TRUE(clip.ok());
+  ASSERT_TRUE((*bob_ed)->PasteAt(*quote_doc, 0, *clip).ok());
+  EXPECT_EQ(*server_->lineage()->CitationCount(*doc), 1u);
+
+  // 7. Search with ranking.
+  auto results = server_->search()->Search("keystroke", Ranking::kNewest);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, *doc);
+
+  // 8. Visual mining over the document space.
+  auto points = server_->visual_miner()->Project(10);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 2u);
+}
+
+TEST_F(IntegrationTest, EverySubsystemAuditsIntoMetadata) {
+  DocumentId doc = MakeDoc(alice_, "audit-all", "content for everyone");
+  ASSERT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 0, 7, "font", "serif")
+                  .ok());
+  ASSERT_TRUE(server_->documents()
+                  ->CreateElement(alice_, doc, ElementId(), "section", "s",
+                                  0, 7)
+                  .ok());
+  ASSERT_TRUE(
+      server_->accounts()->GrantUser(alice_, doc, bob_, Right::kRead).ok());
+  ASSERT_TRUE(server_->workflows()->DefineProcess(alice_, doc, "p").ok());
+  ASSERT_TRUE(server_->text()->RenameDocument(alice_, doc, "renamed").ok());
+
+  std::set<AuditKind> kinds;
+  ASSERT_TRUE(server_->meta()
+                  ->VisitAudit([&](const AuditEntry& e) {
+                    if (e.doc == doc) kinds.insert(e.kind);
+                    return true;
+                  })
+                  .ok());
+  EXPECT_TRUE(kinds.count(AuditKind::kCreate));
+  EXPECT_TRUE(kinds.count(AuditKind::kEdit));
+  EXPECT_TRUE(kinds.count(AuditKind::kLayout));
+  EXPECT_TRUE(kinds.count(AuditKind::kStructure));
+  EXPECT_TRUE(kinds.count(AuditKind::kSecurity));
+  EXPECT_TRUE(kinds.count(AuditKind::kWorkflow));
+  EXPECT_TRUE(kinds.count(AuditKind::kRename));
+}
+
+// Whole-server crash test: every subsystem's persisted state must survive
+// a crash (dirty pages dropped, WAL replayed) and derived state must be
+// rebuilt at reopen.
+TEST(ServerRecoveryTest, FullServerStateSurvivesCrash) {
+  auto disk = std::make_shared<InMemoryDiskManager>();
+  auto log = std::make_shared<InMemoryLogStorage>();
+  auto clock = std::make_shared<ManualClock>(1'000'000'000, 1000);
+
+  UserId alice, bob;
+  DocumentId doc, quote_doc;
+  std::string expected_text;
+  {
+    TendaxOptions options;
+    options.db.disk = disk;
+    options.db.log_storage = log;
+    options.db.clock = clock;
+    auto server = TendaxServer::Open(std::move(options));
+    ASSERT_TRUE(server.ok());
+    alice = *(*server)->accounts()->CreateUser("alice");
+    bob = *(*server)->accounts()->CreateUser("bob");
+
+    doc = *(*server)->text()->CreateDocument(alice, "survivor.txt");
+    ASSERT_TRUE((*server)
+                    ->text()
+                    ->InsertText(alice, doc, 0, "persistent collaborative text")
+                    .ok());
+    ASSERT_TRUE((*server)->text()->DeleteRange(alice, doc, 10, 14).ok());
+    expected_text = *(*server)->text()->Text(doc);
+
+    // Layout, structure, notes, security, workflow, folders, properties.
+    ASSERT_TRUE((*server)
+                    ->documents()
+                    ->ApplyLayout(alice, doc, 0, 10, "bold", "true")
+                    .ok());
+    ASSERT_TRUE((*server)
+                    ->documents()
+                    ->AddNote(bob, doc, 3, "nice word")
+                    .ok());
+    ASSERT_TRUE((*server)
+                    ->accounts()
+                    ->GrantUser(alice, doc, bob, Right::kWrite, false)
+                    .ok());
+    auto process = (*server)->workflows()->DefineProcess(alice, doc, "wf");
+    ASSERT_TRUE((*server)
+                    ->workflows()
+                    ->AddTask(alice, *process, "t1", "", Assignee::User(bob))
+                    .ok());
+    auto folder =
+        (*server)->folders()->CreateFolder(alice, FolderId(), "keep");
+    ASSERT_TRUE((*server)->folders()->PlaceDocument(alice, *folder, doc).ok());
+    ASSERT_TRUE(
+        (*server)->meta()->SetProperty(alice, doc, "k", "v").ok());
+    ASSERT_TRUE((*server)->meta()->RecordRead(bob, doc).ok());
+
+    quote_doc = *(*server)->text()->CreateDocument(bob, "quoter.txt");
+    auto clip = (*server)->text()->Copy(bob, doc, 0, 10);
+    ASSERT_TRUE((*server)->text()->Paste(bob, quote_doc, 0, *clip).ok());
+
+    (*server)->db()->SimulateCrash();
+  }
+
+  TendaxOptions options;
+  options.db.disk = disk;
+  options.db.log_storage = log;
+  options.db.clock = clock;
+  auto server = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Text and document metadata.
+  EXPECT_EQ(*(*server)->text()->Text(doc), expected_text);
+  EXPECT_EQ((*server)->text()->GetDocumentInfo(doc)->name, "survivor.txt");
+  // Users and ACL.
+  EXPECT_EQ(*(*server)->accounts()->FindUser("alice"), alice);
+  EXPECT_FALSE(*(*server)->accounts()->Check(bob, doc, Right::kWrite));
+  // Layout resolves against the recovered text.
+  auto markup = (*server)->documents()->RenderMarkup(doc);
+  ASSERT_TRUE(markup.ok());
+  EXPECT_NE(markup->find("[bold=true]"), std::string::npos);
+  // Notes.
+  EXPECT_EQ((*server)->documents()->Notes(doc)->size(), 1u);
+  // Workflow.
+  auto procs = (*server)->workflows()->ProcessesIn(doc);
+  ASSERT_EQ(procs.size(), 1u);
+  EXPECT_EQ((*server)->workflows()->Worklist(bob).size(), 1u);
+  // Folders and properties.
+  auto placements = (*server)->folders()->PlacementsOf(doc);
+  EXPECT_EQ(placements.size(), 1u);
+  EXPECT_EQ(*(*server)->meta()->GetProperty(doc, "k"), "v");
+  // Audit aggregates (readers) rebuilt from the persisted trail.
+  EXPECT_TRUE((*server)->meta()->Meta(doc).readers.count(bob));
+  // Lineage rebuilt from character provenance.
+  EXPECT_EQ(*(*server)->lineage()->CitationCount(doc), 1u);
+  // Search index rebuilt (both the original and the pasted quote match).
+  auto results = (*server)->search()->Search("persistent");
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 2u);
+  bool found_original = false;
+  for (const SearchResult& r : *results) {
+    if (r.doc == doc) found_original = true;
+  }
+  EXPECT_TRUE(found_original);
+}
+
+TEST(ServerRecoveryTest, FileBackedServerReopens) {
+  auto dir = std::filesystem::temp_directory_path() / "tendax_it";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string path = (dir / "tendax.db").string();
+
+  DocumentId doc;
+  {
+    TendaxOptions options;
+    options.db.path = path;
+    auto server = TendaxServer::Open(std::move(options));
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto alice = (*server)->accounts()->CreateUser("alice");
+    doc = *(*server)->text()->CreateDocument(*alice, "on-disk");
+    ASSERT_TRUE(
+        (*server)->text()->InsertText(*alice, doc, 0, "bytes on disk").ok());
+    ASSERT_TRUE((*server)->Checkpoint().ok());
+  }
+  TendaxOptions options;
+  options.db.path = path;
+  auto server = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(*(*server)->text()->Text(doc), "bytes on disk");
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(IntegrationTest, ConcurrentMixedWorkloadStaysConsistent) {
+  DocumentId shared = MakeDoc(alice_, "shared-doc", "seed text here");
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  // Two writers, one reader, one folder/searcher.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 15; ++i) {
+      if (!server_->text()->InsertText(alice_, shared, 0, "a").ok()) {
+        ++failures;
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 15; ++i) {
+      auto len = server_->text()->Length(shared);
+      if (!len.ok()) {
+        ++failures;
+        continue;
+      }
+      if (!server_->text()
+               ->InsertText(bob_, shared, static_cast<size_t>(*len), "b")
+               .ok()) {
+        ++failures;
+      }
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 30; ++i) {
+      if (!server_->text()->Text(shared).ok()) ++failures;
+      if (!server_->lineage()->ForDocument(shared).ok()) ++failures;
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < 10; ++i) {
+      if (!server_->meta()->RecordRead(bob_, shared).ok()) ++failures;
+      if (!server_->search()->Search("seed").ok()) ++failures;
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(*server_->text()->Length(shared), 14u + 30u);
+
+  // The cache agrees with a cold reload from the database.
+  std::string cached = *server_->text()->Text(shared);
+  server_->text()->InvalidateHandle(shared);
+  EXPECT_EQ(*server_->text()->Text(shared), cached);
+}
+
+}  // namespace
+}  // namespace tendax

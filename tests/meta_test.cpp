@@ -1,0 +1,132 @@
+// Tests for automatic metadata capture, the audit trail, and properties.
+
+#include <gtest/gtest.h>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class MetaTest : public ServerTest {};
+
+TEST_F(MetaTest, EditsAreCapturedAutomatically) {
+  DocumentId doc = MakeDoc(alice_, "paper.txt", "abstract");
+  ASSERT_TRUE(server_->text()->InsertText(bob_, doc, 8, " body").ok());
+
+  DocumentMeta meta = server_->meta()->Meta(doc);
+  EXPECT_TRUE(meta.authors.count(alice_));
+  EXPECT_TRUE(meta.authors.count(bob_));
+  // create + 2 inserts
+  EXPECT_EQ(meta.total_edits, 3u);
+  EXPECT_EQ(meta.last_edit_by, bob_);
+  EXPECT_GT(meta.last_edit_at, 0u);
+}
+
+TEST_F(MetaTest, ReadsAreRecordedExplicitly) {
+  DocumentId doc = MakeDoc(alice_, "read-me", "x");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, doc).ok());
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, doc).ok());
+
+  DocumentMeta meta = server_->meta()->Meta(doc);
+  EXPECT_TRUE(meta.readers.count(bob_));
+  EXPECT_FALSE(meta.authors.count(bob_));
+  EXPECT_EQ(meta.total_reads, 2u);
+  EXPECT_EQ(meta.by_user.at(bob_).reads, 2u);
+}
+
+TEST_F(MetaTest, ReadByAndEditedByWindows) {
+  DocumentId early = MakeDoc(alice_, "early", "a");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, early).ok());
+  Timestamp cutoff = clock_->NowMicros();
+  clock_->Advance(1'000'000);
+  DocumentId late = MakeDoc(alice_, "late", "b");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, late).ok());
+
+  auto recent_reads = server_->meta()->ReadBy(bob_, cutoff);
+  ASSERT_EQ(recent_reads.size(), 1u);
+  EXPECT_EQ(recent_reads[0], late);
+  auto all_reads = server_->meta()->ReadBy(bob_, 0);
+  EXPECT_EQ(all_reads.size(), 2u);
+
+  auto edited = server_->meta()->EditedBy(alice_, cutoff);
+  ASSERT_EQ(edited.size(), 1u);
+  EXPECT_EQ(edited[0], late);
+}
+
+TEST_F(MetaTest, AuditTrailIsPersistentAndOrdered) {
+  DocumentId doc = MakeDoc(alice_, "trail", "one");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, doc).ok());
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 0, 1).ok());
+
+  std::vector<AuditEntry> entries;
+  ASSERT_TRUE(server_->meta()
+                  ->VisitAudit([&](const AuditEntry& e) {
+                    if (e.doc == doc) entries.push_back(e);
+                    return true;
+                  })
+                  .ok());
+  ASSERT_GE(entries.size(), 4u);  // create, edit, read, edit
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GT(entries[i].seq, entries[i - 1].seq);
+  }
+  EXPECT_EQ(entries[0].kind, AuditKind::kCreate);
+}
+
+TEST_F(MetaTest, LayoutAndWorkflowEventsAudited) {
+  DocumentId doc = MakeDoc(alice_, "styled", "some text here");
+  ASSERT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 0, 4, "bold", "true")
+                  .ok());
+  ASSERT_TRUE(server_->workflows()->DefineProcess(alice_, doc, "review").ok());
+
+  bool saw_layout = false, saw_workflow = false;
+  ASSERT_TRUE(server_->meta()
+                  ->VisitAudit([&](const AuditEntry& e) {
+                    if (e.doc != doc) return true;
+                    if (e.kind == AuditKind::kLayout) saw_layout = true;
+                    if (e.kind == AuditKind::kWorkflow) saw_workflow = true;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_TRUE(saw_layout);
+  EXPECT_TRUE(saw_workflow);
+}
+
+TEST_F(MetaTest, PropertiesRoundTrip) {
+  DocumentId doc = MakeDoc(alice_, "props", "");
+  ASSERT_TRUE(
+      server_->meta()->SetProperty(alice_, doc, "project", "tendax").ok());
+  ASSERT_TRUE(
+      server_->meta()->SetProperty(alice_, doc, "priority", "high").ok());
+  EXPECT_EQ(*server_->meta()->GetProperty(doc, "project"), "tendax");
+  // Overwrite.
+  ASSERT_TRUE(
+      server_->meta()->SetProperty(alice_, doc, "priority", "low").ok());
+  EXPECT_EQ(*server_->meta()->GetProperty(doc, "priority"), "low");
+  EXPECT_TRUE(
+      server_->meta()->GetProperty(doc, "missing").status().IsNotFound());
+  auto all = server_->meta()->Properties(doc);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all["project"], "tendax");
+}
+
+TEST_F(MetaTest, AuditListenerFires) {
+  int fired = 0;
+  server_->meta()->AddAuditListener(
+      [&](const AuditEntry&) { ++fired; });
+  DocumentId doc = MakeDoc(alice_, "listener", "x");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, doc).ok());
+  EXPECT_GE(fired, 3);  // create + edit + read
+}
+
+TEST_F(MetaTest, TouchedDocumentsListsEverything) {
+  DocumentId a = MakeDoc(alice_, "a", "1");
+  DocumentId b = MakeDoc(bob_, "b", "2");
+  auto touched = server_->meta()->TouchedDocuments();
+  EXPECT_GE(touched.size(), 2u);
+  EXPECT_TRUE(std::find(touched.begin(), touched.end(), a) != touched.end());
+  EXPECT_TRUE(std::find(touched.begin(), touched.end(), b) != touched.end());
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,153 @@
+// Tests for text mining (vectors, similarity, keywords) and the visual
+// mining projection (Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class MiningTest : public ServerTest {};
+
+TEST_F(MiningTest, SimilarityReflectsSharedVocabulary) {
+  DocumentId a = MakeDoc(alice_, "a", "database transaction recovery logs");
+  DocumentId b = MakeDoc(alice_, "b", "database transaction commit logs");
+  DocumentId c = MakeDoc(alice_, "c", "gardening tulips watering soil");
+  TextMiner* miner = server_->text_miner();
+  ASSERT_TRUE(miner->BuildVectors().ok());
+  EXPECT_EQ(miner->VectorCount(), 3u);
+
+  double ab = *miner->Similarity(a, b);
+  double ac = *miner->Similarity(a, c);
+  EXPECT_GT(ab, ac);
+  EXPECT_GT(ab, 0.2);
+  EXPECT_LT(ac, 0.05);
+  // Symmetric, and self-similarity is maximal.
+  EXPECT_DOUBLE_EQ(ab, *miner->Similarity(b, a));
+  EXPECT_NEAR(*miner->Similarity(a, a), 1.0, 1e-9);
+}
+
+TEST_F(MiningTest, KeywordsPickDistinctiveTerms) {
+  MakeDoc(alice_, "noise1", "the quick brown fox");
+  MakeDoc(alice_, "noise2", "the lazy brown dog");
+  DocumentId doc =
+      MakeDoc(alice_, "specific", "the zeppelin zeppelin flies high");
+  TextMiner* miner = server_->text_miner();
+  ASSERT_TRUE(miner->BuildVectors().ok());
+  auto keywords = miner->Keywords(doc, 2);
+  ASSERT_TRUE(keywords.ok());
+  ASSERT_GE(keywords->size(), 1u);
+  EXPECT_EQ((*keywords)[0].first, "zeppelin");
+}
+
+TEST_F(MiningTest, NearestNeighbours) {
+  DocumentId a = MakeDoc(alice_, "a", "storage engine buffer pool pages");
+  DocumentId b = MakeDoc(alice_, "b", "storage engine write ahead log");
+  DocumentId c = MakeDoc(alice_, "c", "poetry rhymes verses stanzas");
+  TextMiner* miner = server_->text_miner();
+  ASSERT_TRUE(miner->BuildVectors().ok());
+  auto nearest = miner->Nearest(a, 2);
+  ASSERT_TRUE(nearest.ok());
+  ASSERT_EQ(nearest->size(), 2u);
+  EXPECT_EQ((*nearest)[0].first, b);
+  EXPECT_EQ((*nearest)[1].first, c);
+}
+
+TEST_F(MiningTest, ProjectionProducesNormalizedDeterministicLayout) {
+  for (int i = 0; i < 6; ++i) {
+    MakeDoc(alice_, "doc" + std::to_string(i),
+            i < 3 ? "cluster one shared words alpha beta"
+                  : "cluster two different tokens gamma delta");
+  }
+  auto points1 = server_->visual_miner()->Project(30);
+  ASSERT_TRUE(points1.ok());
+  ASSERT_EQ(points1->size(), 6u);
+  for (const DocPoint& p : *points1) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1.0);
+    EXPECT_GT(p.size, 0u);
+  }
+  // Deterministic: same layout on re-run.
+  auto points2 = server_->visual_miner()->Project(30);
+  ASSERT_TRUE(points2.ok());
+  for (size_t i = 0; i < points1->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*points1)[i].x, (*points2)[i].x);
+    EXPECT_DOUBLE_EQ((*points1)[i].y, (*points2)[i].y);
+  }
+}
+
+TEST_F(MiningTest, ProjectionPlacesSimilarDocsCloser) {
+  // Two tight clusters with disjoint vocabulary.
+  std::vector<DocumentId> cluster1, cluster2;
+  for (int i = 0; i < 3; ++i) {
+    cluster1.push_back(MakeDoc(alice_, "db" + std::to_string(i),
+                               "database index transaction page buffer"));
+    cluster2.push_back(MakeDoc(alice_, "art" + std::to_string(i),
+                               "painting sculpture gallery museum canvas"));
+  }
+  auto points = server_->visual_miner()->Project(80);
+  ASSERT_TRUE(points.ok());
+  auto find = [&](DocumentId doc) {
+    for (const DocPoint& p : *points) {
+      if (p.doc == doc) return p;
+    }
+    return DocPoint{};
+  };
+  auto dist = [](const DocPoint& a, const DocPoint& b) {
+    double dx = a.x - b.x, dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double intra = dist(find(cluster1[0]), find(cluster1[1]));
+  double inter = dist(find(cluster1[0]), find(cluster2[0]));
+  EXPECT_LT(intra, inter);
+}
+
+TEST_F(MiningTest, PointsCarryMetadataDimensions) {
+  DocumentId doc = MakeDoc(alice_, "decorated", "some sizeable content here");
+  ASSERT_TRUE(server_->meta()->RecordRead(bob_, doc).ok());
+  DocumentId citer = MakeDoc(bob_, "citer", "");
+  auto clip = server_->text()->Copy(bob_, doc, 0, 4);
+  ASSERT_TRUE(server_->text()->Paste(bob_, citer, 0, *clip).ok());
+
+  auto points = server_->visual_miner()->Project(10);
+  ASSERT_TRUE(points.ok());
+  const DocPoint* p = nullptr;
+  for (const DocPoint& candidate : *points) {
+    if (candidate.doc == doc) p = &candidate;
+  }
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->size, 26u);
+  EXPECT_EQ(p->read_count, 1u);
+  EXPECT_EQ(p->citation_count, 1u);
+  EXPECT_GE(p->author_count, 1u);
+}
+
+TEST_F(MiningTest, SvgAndAsciiRenderings) {
+  for (int i = 0; i < 4; ++i) {
+    MakeDoc(alice_, "r" + std::to_string(i), "render me " + std::to_string(i));
+  }
+  auto points = server_->visual_miner()->Project(10);
+  ASSERT_TRUE(points.ok());
+
+  std::string svg = server_->visual_miner()->RenderSvg(*points);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("TeNDaX visual mining"), std::string::npos);
+
+  std::string ascii = server_->visual_miner()->RenderAscii(*points);
+  EXPECT_NE(ascii.find("visual mining"), std::string::npos);
+  EXPECT_NE(ascii.find('o'), std::string::npos);
+
+  // Dimension navigation: size-vs-age axes render too.
+  std::string by_size = server_->visual_miner()->RenderAscii(
+      *points, MiningAxis::kSize, MiningAxis::kAge);
+  EXPECT_NE(by_size.find("size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,289 @@
+// Property-based tests: randomized operation sequences checked against
+// simple reference models (a std::string for documents, a std::map for
+// pages), parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "core/tendax.h"
+#include "db/slotted_page.h"
+#include "text/utf8.h"
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+// ---------- text editing vs a reference string ----------
+
+class TextEditingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TextEditingProperty, RandomEditsMatchReferenceString) {
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 4096;
+  auto server = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server.ok());
+  UserId user = *(*server)->accounts()->CreateUser("prop");
+  DocumentId doc = *(*server)->text()->CreateDocument(user, "prop-doc");
+
+  Random rng(GetParam());
+  std::string reference;  // ASCII model (positions == bytes)
+  std::vector<std::string> history = {""};
+
+  for (int step = 0; step < 400; ++step) {
+    if (reference.empty() || rng.NextDouble() < 0.7) {
+      size_t pos = rng.Uniform(reference.size() + 1);
+      std::string text = rng.Word(1, 6);
+      ASSERT_TRUE((*server)->text()->InsertText(user, doc, pos, text).ok());
+      reference.insert(pos, text);
+    } else {
+      size_t pos = rng.Uniform(reference.size());
+      size_t len =
+          std::min<size_t>(1 + rng.Uniform(5), reference.size() - pos);
+      ASSERT_TRUE((*server)->text()->DeleteRange(user, doc, pos, len).ok());
+      reference.erase(pos, len);
+    }
+    history.push_back(reference);
+    if (step % 50 == 0) {
+      ASSERT_EQ(*(*server)->text()->Text(doc), reference) << "step " << step;
+    }
+  }
+  EXPECT_EQ(*(*server)->text()->Text(doc), reference);
+
+  // The cache is just a cache: a cold reload from the records agrees.
+  (*server)->text()->InvalidateHandle(doc);
+  EXPECT_EQ(*(*server)->text()->Text(doc), reference);
+
+  // Time travel reproduces every recorded version exactly.
+  for (size_t v = 0; v < history.size(); v += 37) {
+    EXPECT_EQ(*(*server)->text()->TextAtVersion(doc, v), history[v])
+        << "version " << v;
+  }
+  EXPECT_EQ(*(*server)->text()->Length(doc), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextEditingProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------- undo/redo round trips ----------
+
+class UndoProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UndoProperty, UndoAllThenRedoAllRestoresText) {
+  auto server = TendaxServer::Open({});
+  ASSERT_TRUE(server.ok());
+  UserId user = *(*server)->accounts()->CreateUser("u");
+  auto editor = *(*server)->AttachEditor(user, "prop");
+  DocumentId doc = *editor->CreateDocument("undo-prop");
+
+  Random rng(GetParam());
+  size_t len = 0;
+  int ops = 0;
+  for (int step = 0; step < 60; ++step) {
+    if (len == 0 || rng.NextDouble() < 0.75) {
+      size_t pos = rng.Uniform(len + 1);
+      std::string text = rng.Word(1, 5);
+      ASSERT_TRUE(editor->Type(doc, pos, text).ok());
+      len += text.size();
+    } else {
+      size_t pos = rng.Uniform(len);
+      size_t delete_len = std::min<size_t>(1 + rng.Uniform(4), len - pos);
+      ASSERT_TRUE(editor->Erase(doc, pos, delete_len).ok());
+      len -= delete_len;
+    }
+    ++ops;
+  }
+  std::string full = *editor->Text(doc);
+
+  // Undo everything (global order), text must return to empty.
+  for (int i = 0; i < ops; ++i) {
+    ASSERT_TRUE(editor->UndoAnyone(doc).ok()) << "undo " << i;
+  }
+  EXPECT_EQ(*editor->Text(doc), "");
+  // Redo everything, text must return to the final state.
+  for (int i = 0; i < ops; ++i) {
+    ASSERT_TRUE(editor->RedoAnyone(doc).ok()) << "redo " << i;
+  }
+  EXPECT_EQ(*editor->Text(doc), full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndoProperty,
+                         ::testing::Values(3, 17, 2026));
+
+// ---------- crash recovery: committed state always survives ----------
+
+class RecoveryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoveryProperty, CommittedEditsSurviveCrashAtAnyPoint) {
+  auto disk = std::make_shared<InMemoryDiskManager>();
+  auto log = std::make_shared<InMemoryLogStorage>();
+  Random rng(GetParam());
+
+  DocumentId doc;
+  std::string reference;
+  UserId user;
+  // Three sessions, each ending in a crash at a random point.
+  for (int session = 0; session < 3; ++session) {
+    TendaxOptions options;
+    options.db.disk = disk;
+    options.db.log_storage = log;
+    auto server = TendaxServer::Open(std::move(options));
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    if (session == 0) {
+      user = *(*server)->accounts()->CreateUser("crashy");
+      doc = *(*server)->text()->CreateDocument(user, "crash-prop");
+    } else {
+      // Everything committed before the last crash must still be there.
+      ASSERT_EQ(*(*server)->text()->Text(doc), reference)
+          << "session " << session;
+    }
+    int edits = 5 + static_cast<int>(rng.Uniform(25));
+    for (int i = 0; i < edits; ++i) {
+      if (reference.empty() || rng.NextDouble() < 0.7) {
+        size_t pos = rng.Uniform(reference.size() + 1);
+        std::string text = rng.Word(1, 5);
+        ASSERT_TRUE(
+            (*server)->text()->InsertText(user, doc, pos, text).ok());
+        reference.insert(pos, text);
+      } else {
+        size_t pos = rng.Uniform(reference.size());
+        size_t len =
+            std::min<size_t>(1 + rng.Uniform(4), reference.size() - pos);
+        ASSERT_TRUE((*server)->text()->DeleteRange(user, doc, pos, len).ok());
+        reference.erase(pos, len);
+      }
+    }
+    (*server)->db()->SimulateCrash();
+  }
+  // Final verification after the last crash.
+  TendaxOptions options;
+  options.db.disk = disk;
+  options.db.log_storage = log;
+  auto server = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(*(*server)->text()->Text(doc), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryProperty,
+                         ::testing::Values(11, 222, 3333));
+
+// ---------- slotted page vs a reference map ----------
+
+class SlottedPageProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SlottedPageProperty, RandomOpsMatchReferenceMap) {
+  Page page;
+  SlottedPage sp(&page);
+  sp.Init(1);
+  Random rng(GetParam());
+  std::map<SlotId, std::string> model;
+
+  for (int step = 0; step < 3000; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string data = rng.Word(1, 120);
+      auto slot = sp.Insert(data);
+      if (slot.ok()) {
+        ASSERT_EQ(model.count(*slot), 0u);
+        model[*slot] = data;
+      } else {
+        ASSERT_TRUE(slot.status().IsOutOfRange());  // page genuinely full
+      }
+    } else if (dice < 0.75 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(sp.Delete(it->first).ok());
+      model.erase(it);
+    } else if (!model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      std::string data = rng.Word(1, 120);
+      Status st = sp.Update(it->first, data);
+      if (st.ok()) {
+        it->second = data;
+      } else {
+        ASSERT_TRUE(st.IsOutOfRange());
+        model.erase(it);  // Update frees the slot when it cannot fit
+      }
+    }
+    if (step % 250 == 0) {
+      for (const auto& [slot, data] : model) {
+        auto got = sp.Get(slot);
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got->ToString(), data);
+      }
+    }
+  }
+  // Final full comparison including liveness of unknown slots.
+  for (SlotId s = 0; s < sp.num_slots(); ++s) {
+    ASSERT_EQ(sp.IsLive(s), model.count(s) > 0) << "slot " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlottedPageProperty,
+                         ::testing::Values(5, 55, 555));
+
+// ---------- concurrent editing converges ----------
+
+class ConcurrencyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrencyProperty, ConcurrentTracesPreserveEveryCommit) {
+  auto server = TendaxServer::Open({});
+  ASSERT_TRUE(server.ok());
+  UserId creator = *(*server)->accounts()->CreateUser("creator");
+  DocumentId doc = *(*server)->text()->CreateDocument(creator, "chaos");
+
+  constexpr int kThreads = 4;
+  constexpr int kOps = 40;
+  std::atomic<long> inserted{0}, deleted{0}, failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(GetParam() * 31 + t);
+      UserId user(creator.value);  // same user, different threads
+      for (int i = 0; i < kOps; ++i) {
+        auto len_res = (*server)->text()->Length(doc);
+        if (!len_res.ok()) {
+          ++failed;
+          continue;
+        }
+        size_t len = static_cast<size_t>(*len_res);
+        if (len < 4 || rng.NextDouble() < 0.7) {
+          auto r = (*server)->text()->InsertText(
+              user, doc, rng.Uniform(len + 1), "ab");
+          if (r.ok()) {
+            inserted += 2;
+          } else if (!r.status().IsOutOfRange()) {
+            ++failed;
+          }
+        } else {
+          // Length may have shrunk since we read it; OutOfRange is an
+          // acceptable (non-lost) outcome under concurrency.
+          auto r = (*server)->text()->DeleteRange(user, doc,
+                                                  rng.Uniform(len - 1), 1);
+          if (r.ok()) {
+            deleted += 1;
+          } else if (!r.status().IsOutOfRange()) {
+            ++failed;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failed.load(), 0);
+  // Conservation: final length equals successful inserts minus deletes.
+  EXPECT_EQ(*(*server)->text()->Length(doc),
+            static_cast<uint64_t>(inserted.load() - deleted.load()));
+  // And the database agrees with the cache after a cold reload.
+  std::string cached = *(*server)->text()->Text(doc);
+  (*server)->text()->InvalidateHandle(doc);
+  EXPECT_EQ(*(*server)->text()->Text(doc), cached);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrencyProperty,
+                         ::testing::Values(2, 13));
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,200 @@
+// Edge cases and failure injection across the stack: empty inputs, dormant
+// layout runs, checkpoint preconditions, lock-manager stress, inbox caps.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "server_fixture.h"
+#include "util/random.h"
+
+namespace tendax {
+namespace {
+
+class RobustnessTest : public ServerTest {};
+
+TEST_F(RobustnessTest, EmptyAndDegenerateTextOps) {
+  DocumentId doc = MakeDoc(alice_, "edge", "");
+  // Empty insert commits a (trivial) transaction and bumps the version.
+  auto r = server_->text()->InsertText(alice_, doc, 0, "");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->chars.empty());
+  // Zero-length operations.
+  ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, "abc").ok());
+  auto copy = server_->text()->Copy(alice_, doc, 1, 0);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_TRUE(copy->empty());
+  auto del = server_->text()->DeleteRange(alice_, doc, 1, 0);
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(*server_->text()->Text(doc), "abc");
+  // Pasting an empty clipboard.
+  ASSERT_TRUE(server_->text()->Paste(alice_, doc, 0, {}).ok());
+  EXPECT_EQ(*server_->text()->Text(doc), "abc");
+}
+
+TEST_F(RobustnessTest, OperationsOnUnknownDocumentFail) {
+  DocumentId ghost(424242);
+  EXPECT_TRUE(server_->text()->Text(ghost).status().IsNotFound());
+  EXPECT_TRUE(
+      server_->text()->InsertText(alice_, ghost, 0, "x").status()
+          .IsNotFound());
+  EXPECT_TRUE(server_->text()->GetDocumentInfo(ghost).status().IsNotFound());
+  EXPECT_TRUE(server_->diff()->Between(ghost, 0, 1).status().IsNotFound());
+}
+
+TEST_F(RobustnessTest, DormantLayoutRunsAreSkipped) {
+  DocumentId doc = MakeDoc(alice_, "dormant", "style this text");
+  ASSERT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 6, 4, "bold", "true")
+                  .ok());
+  // Delete the styled range: the run's anchors are tombstones now.
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 6, 4).ok());
+  auto spans = server_->documents()->ComputeSpans(doc);
+  ASSERT_TRUE(spans.ok());
+  for (const LayoutSpan& span : *spans) {
+    EXPECT_TRUE(span.attrs.empty());  // dormant run contributes nothing
+  }
+  // Markup renders the remaining text cleanly.
+  EXPECT_EQ(*server_->documents()->RenderMarkup(doc), "style  text");
+}
+
+TEST_F(RobustnessTest, CheckpointRequiresQuiescence) {
+  Transaction* txn = server_->db()->txns()->Begin(alice_);
+  EXPECT_TRUE(server_->db()->Checkpoint().IsFailedPrecondition());
+  ASSERT_TRUE(server_->db()->txns()->Abort(txn).ok());
+  EXPECT_TRUE(server_->db()->Checkpoint().ok());
+  // After a checkpoint the system keeps working.
+  DocumentId doc = MakeDoc(alice_, "post-checkpoint", "still alive");
+  EXPECT_EQ(*server_->text()->Text(doc), "still alive");
+}
+
+TEST_F(RobustnessTest, SessionInboxIsBounded) {
+  DocumentId doc = MakeDoc(alice_, "firehose", "");
+  auto session = server_->sessions()->Connect(bob_, "slowpoke");
+  ASSERT_TRUE(server_->sessions()->OpenDocument(*session, doc).ok());
+  // Never polls while 12k events stream past (cap is 10k).
+  for (int i = 0; i < 12000; ++i) {
+    ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, "x").ok());
+  }
+  auto pending = server_->sessions()->PendingCount(*session);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_LE(*pending, 10000u);
+  EXPECT_GT(*pending, 9000u);
+  // Draining returns the retained tail and resets the queue.
+  auto events = server_->sessions()->Poll(*session);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(*server_->sessions()->PendingCount(*session), 0u);
+}
+
+TEST_F(RobustnessTest, LockManagerStress) {
+  LockManager* lm = server_->db()->locks();
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 300;
+  std::atomic<int> hard_failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(t + 1);
+      for (int i = 0; i < kRounds; ++i) {
+        TxnId txn(100000 + t * kRounds + i);
+        int locks_taken = 0;
+        for (int k = 0; k < 3; ++k) {
+          uint64_t res = MakeResource(ResourceKind::kDocument,
+                                      1 + rng.Uniform(8));
+          LockMode mode = rng.OneIn(3) ? LockMode::kX : LockMode::kS;
+          Status st = lm->Acquire(txn, res, mode);
+          if (st.ok()) {
+            ++locks_taken;
+          } else if (!st.IsRetryable()) {
+            ++hard_failures;
+          } else {
+            break;  // victim: release and move on
+          }
+        }
+        lm->ReleaseAll(txn);
+        (void)locks_taken;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_EQ(lm->LockedResourceCount(), 0u);  // everything released
+}
+
+TEST_F(RobustnessTest, BufferPoolStatsTrackWritebacks) {
+  auto stats_before = server_->db()->buffer_pool()->stats();
+  MakeDoc(alice_, "dirty-doc", std::string(5000, 'd'));
+  ASSERT_TRUE(server_->db()->buffer_pool()->FlushAll().ok());
+  auto stats_after = server_->db()->buffer_pool()->stats();
+  EXPECT_GT(stats_after.dirty_writebacks, stats_before.dirty_writebacks);
+}
+
+TEST_F(RobustnessTest, LayoutOnEmptyRangeRejected) {
+  DocumentId doc = MakeDoc(alice_, "no-range", "abc");
+  EXPECT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 0, 0, "bold", "true")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(server_->documents()
+                  ->ApplyLayout(alice_, doc, 2, 5, "bold", "true")
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST_F(RobustnessTest, WorkflowOnUnknownEntitiesFails) {
+  EXPECT_TRUE(server_->workflows()
+                  ->AddTask(alice_, ProcessId(999), "t", "",
+                            Assignee::User(bob_))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(server_->workflows()->Complete(alice_, TaskId(999))
+                  .IsNotFound());
+  EXPECT_TRUE(server_->workflows()->GetProcess(ProcessId(999)).status()
+                  .IsNotFound());
+}
+
+TEST_F(RobustnessTest, UndoAcrossPurgedHistoryFailsCleanly) {
+  DocumentId doc = MakeDoc(alice_, "purged-undo", "");
+  auto editor = server_->AttachEditor(alice_, "e");
+  ASSERT_TRUE((*editor)->Type(doc, 0, "text").ok());
+  ASSERT_TRUE((*editor)->Erase(doc, 0, 2).ok());
+  // Purge the tombstones out from under the undo log.
+  ASSERT_TRUE(server_->text()->PurgeHistory(alice_, doc, kVersionMax).ok());
+  // Undoing the erase would resurrect purged characters: a clean error,
+  // not corruption.
+  Status st = (*editor)->Undo(doc);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(*server_->text()->Text(doc), "xt");
+  // The document remains fully usable.
+  ASSERT_TRUE((*editor)->Type(doc, 0, "ne").ok());
+  EXPECT_EQ(*server_->text()->Text(doc), "next");
+}
+
+TEST_F(RobustnessTest, RangeInfoOnEmptyDocument) {
+  DocumentId doc = MakeDoc(alice_, "empty-info", "");
+  auto info = server_->text()->RangeInfo(doc, 0, 0);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->empty());
+  EXPECT_TRUE(server_->text()->CharAt(doc, 0).status().IsOutOfRange());
+  EXPECT_TRUE(server_->text()->FullChain(doc)->empty());
+}
+
+TEST_F(RobustnessTest, ManyDocumentsManyHandles) {
+  // Handle-cache hygiene across a larger document population.
+  std::vector<DocumentId> docs;
+  for (int i = 0; i < 200; ++i) {
+    docs.push_back(MakeDoc(alice_, "bulk" + std::to_string(i),
+                           "doc number " + std::to_string(i)));
+  }
+  for (int i = 0; i < 200; i += 17) {
+    server_->text()->InvalidateHandle(docs[i]);
+  }
+  for (int i = 0; i < 200; i += 11) {
+    EXPECT_EQ(*server_->text()->Text(docs[i]),
+              "doc number " + std::to_string(i));
+  }
+  EXPECT_EQ(server_->text()->ListDocuments().size(), 200u);
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,166 @@
+// Tests for content/structure/metadata search and ranking options.
+
+#include <gtest/gtest.h>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class SearchTest : public ServerTest {};
+
+TEST(TokenizeTest, SplitsAndLowercases) {
+  auto tokens = Tokenize("Hello, World! 2nd-test\nDONE");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "2nd");
+  EXPECT_EQ(tokens[3], "test");
+  EXPECT_EQ(tokens[4], "done");
+  EXPECT_TRUE(Tokenize("  ,,  ").empty());
+}
+
+TEST_F(SearchTest, FindsDocumentsByContent) {
+  DocumentId a = MakeDoc(alice_, "db-paper", "database systems rule");
+  MakeDoc(alice_, "other", "completely unrelated prose");
+  auto results = server_->search()->Search("database");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, a);
+  EXPECT_EQ((*results)[0].name, "db-paper");
+  EXPECT_FALSE((*results)[0].snippet.empty());
+}
+
+TEST_F(SearchTest, MultiTermIsConjunctive) {
+  DocumentId both = MakeDoc(alice_, "both", "apples and oranges");
+  MakeDoc(alice_, "one", "apples only here");
+  auto results = server_->search()->Search("apples oranges");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, both);
+}
+
+TEST_F(SearchTest, IndexFollowsEdits) {
+  DocumentId doc = MakeDoc(alice_, "evolving", "first wording");
+  ASSERT_EQ(server_->search()->Search("wording")->size(), 1u);
+  ASSERT_TRUE(server_->text()->DeleteRange(alice_, doc, 0, 13).ok());
+  ASSERT_TRUE(
+      server_->text()->InsertText(alice_, doc, 0, "second phrasing").ok());
+  EXPECT_TRUE(server_->search()->Search("wording")->empty());
+  ASSERT_EQ(server_->search()->Search("phrasing")->size(), 1u);
+}
+
+TEST_F(SearchTest, PhraseSearchVerifiesAdjacency) {
+  MakeDoc(alice_, "scattered", "red house, blue car");
+  DocumentId exact = MakeDoc(alice_, "exact", "the blue house stands");
+  auto results = server_->search()->SearchPhrase("blue house");
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, exact);
+}
+
+TEST_F(SearchTest, NewestRanking) {
+  DocumentId older = MakeDoc(alice_, "older", "shared topic");
+  clock_->Advance(10'000'000);
+  DocumentId newer = MakeDoc(alice_, "newer", "shared topic");
+  auto results = server_->search()->Search("topic", Ranking::kNewest);
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].doc, newer);
+  EXPECT_EQ((*results)[1].doc, older);
+}
+
+TEST_F(SearchTest, MostCitedRanking) {
+  DocumentId cited = MakeDoc(alice_, "cited", "citable topic sentence");
+  DocumentId uncited = MakeDoc(alice_, "uncited", "same topic sentence");
+  DocumentId quoter = MakeDoc(bob_, "quoter", "");
+  auto clip = server_->text()->Copy(bob_, cited, 0, 7);
+  ASSERT_TRUE(server_->text()->Paste(bob_, quoter, 0, *clip).ok());
+
+  auto results = server_->search()->Search("topic", Ranking::kMostCited);
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].doc, cited);
+  EXPECT_EQ((*results)[1].doc, uncited);
+}
+
+TEST_F(SearchTest, MostReadRanking) {
+  DocumentId popular = MakeDoc(alice_, "popular", "common subject");
+  DocumentId ignored = MakeDoc(alice_, "ignored", "common subject");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server_->meta()->RecordRead(bob_, popular).ok());
+  }
+  auto results = server_->search()->Search("subject", Ranking::kMostRead);
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].doc, popular);
+  EXPECT_EQ((*results)[1].doc, ignored);
+}
+
+TEST_F(SearchTest, RelevanceRanksHigherTermDensity) {
+  DocumentId dense = MakeDoc(alice_, "dense", "kiwi kiwi kiwi");
+  DocumentId sparse =
+      MakeDoc(alice_, "sparse",
+              "kiwi among many many other longer words diluting the score");
+  auto results = server_->search()->Search("kiwi", Ranking::kRelevance);
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].doc, dense);
+  EXPECT_EQ((*results)[1].doc, sparse);
+}
+
+TEST_F(SearchTest, MetadataFilters) {
+  DocumentId by_alice = MakeDoc(alice_, "a-doc", "filterable content");
+  DocumentId by_bob = MakeDoc(bob_, "b-doc", "filterable content");
+  ASSERT_TRUE(
+      server_->text()->SetDocumentState(alice_, by_alice, "published").ok());
+
+  SearchFilter author_filter;
+  author_filter.author = bob_;
+  auto results = server_->search()->Search("filterable",
+                                           Ranking::kRelevance,
+                                           author_filter);
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, by_bob);
+
+  SearchFilter state_filter;
+  state_filter.state = "published";
+  results = server_->search()->Search("filterable", Ranking::kRelevance,
+                                      state_filter);
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, by_alice);
+}
+
+TEST_F(SearchTest, StructureFilter) {
+  DocumentId with_elem =
+      MakeDoc(alice_, "structured", "abstract keyword body text");
+  ASSERT_TRUE(server_->documents()
+                  ->CreateElement(alice_, with_elem, ElementId(), "abstract",
+                                  "abs", 0, 16)
+                  .ok());
+  MakeDoc(alice_, "flat", "keyword without structure");
+
+  SearchFilter filter;
+  filter.element_type = "abstract";
+  auto results =
+      server_->search()->Search("keyword", Ranking::kRelevance, filter);
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, with_elem);
+}
+
+TEST_F(SearchTest, DocumentNamesAreSearchable) {
+  DocumentId doc = MakeDoc(alice_, "quarterly-budget", "numbers inside");
+  auto results = server_->search()->Search("budget");
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_EQ((*results)[0].doc, doc);
+}
+
+TEST_F(SearchTest, LimitAndEmptyQuery) {
+  for (int i = 0; i < 8; ++i) {
+    MakeDoc(alice_, "doc" + std::to_string(i), "pagination fodder");
+  }
+  auto results = server_->search()->Search("pagination", Ranking::kRelevance,
+                                           {}, 3);
+  EXPECT_EQ(results->size(), 3u);
+  EXPECT_TRUE(
+      server_->search()->Search("   ").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,141 @@
+// Tests for users, roles, and document/range access control.
+
+#include <gtest/gtest.h>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class SecurityTest : public ServerTest {};
+
+TEST_F(SecurityTest, UserAndRoleLifecycle) {
+  AccessControl* acl = server_->accounts();
+  EXPECT_EQ(*acl->UserName(alice_), "alice");
+  EXPECT_TRUE(acl->CreateUser("alice").status().IsAlreadyExists());
+  EXPECT_EQ(*acl->FindUser("bob"), bob_);
+  EXPECT_TRUE(acl->FindUser("nobody").status().IsNotFound());
+
+  auto editors = acl->CreateRole("editors");
+  ASSERT_TRUE(editors.ok());
+  ASSERT_TRUE(acl->AssignRole(bob_, *editors).ok());
+  EXPECT_TRUE(acl->RolesOf(bob_).count(*editors));
+  auto members = acl->UsersInRole(*editors);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], bob_);
+  ASSERT_TRUE(acl->RevokeRole(bob_, *editors).ok());
+  EXPECT_TRUE(acl->RolesOf(bob_).empty());
+}
+
+TEST_F(SecurityTest, DefaultOpenPolicyAndCreatorRights) {
+  DocumentId doc = MakeDoc(alice_, "open-doc", "text");
+  AccessControl* acl = server_->accounts();
+  // Default open: everyone may read & write.
+  EXPECT_TRUE(*acl->Check(bob_, doc, Right::kRead));
+  EXPECT_TRUE(*acl->Check(bob_, doc, Right::kWrite));
+  // Creators always keep all rights.
+  EXPECT_TRUE(*acl->Check(alice_, doc, Right::kGrant));
+}
+
+TEST_F(SecurityTest, ExplicitDenyBeatsDefault) {
+  DocumentId doc = MakeDoc(alice_, "guarded", "secret");
+  AccessControl* acl = server_->accounts();
+  ASSERT_TRUE(acl->GrantUser(alice_, doc, bob_, Right::kWrite,
+                             /*allow=*/false)
+                  .ok());
+  EXPECT_FALSE(*acl->Check(bob_, doc, Right::kWrite));
+  EXPECT_TRUE(*acl->Check(bob_, doc, Right::kRead));  // read untouched
+  EXPECT_TRUE(acl->Require(bob_, doc, Right::kWrite).IsPermissionDenied());
+}
+
+TEST_F(SecurityTest, GrantsCloseTheWorldForThatRight) {
+  DocumentId doc = MakeDoc(alice_, "invite-only", "x");
+  AccessControl* acl = server_->accounts();
+  auto carol = acl->CreateUser("carol");
+  ASSERT_TRUE(carol.ok());
+  // Granting bob write closes default write access for carol.
+  ASSERT_TRUE(acl->GrantUser(alice_, doc, bob_, Right::kWrite).ok());
+  EXPECT_TRUE(*acl->Check(bob_, doc, Right::kWrite));
+  EXPECT_FALSE(*acl->Check(*carol, doc, Right::kWrite));
+  // Read (no grants) still defaults open.
+  EXPECT_TRUE(*acl->Check(*carol, doc, Right::kRead));
+}
+
+TEST_F(SecurityTest, RoleGrantsApplyToMembers) {
+  DocumentId doc = MakeDoc(alice_, "role-doc", "x");
+  AccessControl* acl = server_->accounts();
+  auto reviewers = acl->CreateRole("reviewers");
+  ASSERT_TRUE(reviewers.ok());
+  ASSERT_TRUE(acl->GrantRole(alice_, doc, *reviewers, Right::kLayout).ok());
+  EXPECT_FALSE(*acl->Check(bob_, doc, Right::kLayout));
+  ASSERT_TRUE(acl->AssignRole(bob_, *reviewers).ok());
+  EXPECT_TRUE(*acl->Check(bob_, doc, Right::kLayout));
+}
+
+TEST_F(SecurityTest, OnlyGrantHoldersMayChangeRights) {
+  DocumentId doc = MakeDoc(alice_, "locked", "x");
+  AccessControl* acl = server_->accounts();
+  auto carol = acl->CreateUser("carol");
+  // Close the grant right to alice only.
+  ASSERT_TRUE(acl->GrantUser(alice_, doc, alice_, Right::kGrant).ok());
+  Status st = acl->GrantUser(bob_, doc, *carol, Right::kWrite);
+  EXPECT_TRUE(st.IsPermissionDenied()) << st.ToString();
+}
+
+TEST_F(SecurityTest, CharacterRangeScopedRights) {
+  DocumentId doc = MakeDoc(alice_, "ranged", "public SECRET public");
+  AccessControl* acl = server_->accounts();
+  // Deny bob write on "SECRET" (positions 7..12) only.
+  ASSERT_TRUE(acl->GrantUserRange(alice_, doc, bob_, Right::kWrite, 7, 6,
+                                  /*allow=*/false)
+                  .ok());
+  EXPECT_FALSE(*acl->CheckAt(bob_, doc, Right::kWrite, 9));
+  EXPECT_TRUE(*acl->CheckAt(bob_, doc, Right::kWrite, 0));
+  EXPECT_TRUE(*acl->CheckAt(bob_, doc, Right::kWrite, 15));
+  // Document-level check is unaffected by the range entry.
+  EXPECT_TRUE(*acl->Check(bob_, doc, Right::kWrite));
+}
+
+TEST_F(SecurityTest, RangeScopeSurvivesSurroundingEdits) {
+  DocumentId doc = MakeDoc(alice_, "moving", "abcSECRETxyz");
+  AccessControl* acl = server_->accounts();
+  ASSERT_TRUE(acl->GrantUserRange(alice_, doc, bob_, Right::kWrite, 3, 6,
+                                  /*allow=*/false)
+                  .ok());
+  // Insert text before the protected range: its positions shift.
+  ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, ">>>>").ok());
+  // "SECRET" now spans positions 7..12.
+  EXPECT_FALSE(*acl->CheckAt(bob_, doc, Right::kWrite, 8));
+  EXPECT_TRUE(*acl->CheckAt(bob_, doc, Right::kWrite, 1));
+}
+
+TEST_F(SecurityTest, EditorEnforcesRights) {
+  DocumentId doc = MakeDoc(alice_, "enforced", "hands off");
+  ASSERT_TRUE(server_->accounts()
+                  ->GrantUser(alice_, doc, bob_, Right::kWrite,
+                              /*allow=*/false)
+                  .ok());
+  auto editor = server_->AttachEditor(bob_, "test-editor");
+  ASSERT_TRUE(editor.ok());
+  ASSERT_TRUE((*editor)->Open(doc).ok());  // read is allowed
+  EXPECT_TRUE((*editor)->Type(doc, 0, "!").IsPermissionDenied());
+  EXPECT_TRUE((*editor)->Erase(doc, 0, 1).IsPermissionDenied());
+  EXPECT_TRUE((*editor)->Text(doc).ok());
+  // The document was not modified.
+  EXPECT_EQ(*server_->text()->Text(doc), "hands off");
+}
+
+TEST_F(SecurityTest, AclEntriesPersisted) {
+  DocumentId doc = MakeDoc(alice_, "persisted-acl", "x");
+  ASSERT_TRUE(server_->accounts()
+                  ->GrantUser(alice_, doc, bob_, Right::kRead, false)
+                  .ok());
+  auto entries = server_->accounts()->EntriesFor(doc);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].subject, bob_.value);
+  EXPECT_FALSE(entries[0].allow);
+  EXPECT_EQ(entries[0].granted_by, alice_);
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,330 @@
+// Unit tests for the storage engine: disk managers, buffer pool, WAL.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "storage/wal.h"
+
+namespace tendax {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  auto dir = std::filesystem::temp_directory_path() / "tendax_storage_test";
+  std::filesystem::create_directories(dir);
+  auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+// ---------- DiskManager ----------
+
+class DiskManagerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      auto res = FileDiskManager::Open(TempPath("disk.db"));
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      disk_ = std::move(*res);
+    } else {
+      disk_ = std::make_unique<InMemoryDiskManager>();
+    }
+  }
+  std::unique_ptr<DiskManager> disk_;
+};
+
+TEST_P(DiskManagerTest, AllocateReadWriteRoundTrip) {
+  auto p0 = disk_->AllocatePage();
+  auto p1 = disk_->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(disk_->NumPages(), 2u);
+
+  char out[kPageSize];
+  char in[kPageSize];
+  memset(in, 0xAB, kPageSize);
+  ASSERT_TRUE(disk_->WritePage(*p1, in).ok());
+  ASSERT_TRUE(disk_->ReadPage(*p1, out).ok());
+  EXPECT_EQ(memcmp(in, out, kPageSize), 0);
+
+  // Fresh pages come back zeroed.
+  ASSERT_TRUE(disk_->ReadPage(*p0, out).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(out[i], 0);
+}
+
+TEST_P(DiskManagerTest, OutOfRangeRejected) {
+  char buf[kPageSize] = {0};
+  EXPECT_TRUE(disk_->ReadPage(5, buf).IsOutOfRange());
+  EXPECT_TRUE(disk_->WritePage(5, buf).IsOutOfRange());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DiskManagerTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+TEST(FileDiskManagerTest, PersistsAcrossReopen) {
+  std::string path = TempPath("persist.db");
+  {
+    auto disk = FileDiskManager::Open(path);
+    ASSERT_TRUE(disk.ok());
+    auto pid = (*disk)->AllocatePage();
+    ASSERT_TRUE(pid.ok());
+    char buf[kPageSize];
+    memset(buf, 0x5C, kPageSize);
+    ASSERT_TRUE((*disk)->WritePage(*pid, buf).ok());
+    ASSERT_TRUE((*disk)->Sync().ok());
+  }
+  auto disk = FileDiskManager::Open(path);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->NumPages(), 1u);
+  char out[kPageSize];
+  ASSERT_TRUE((*disk)->ReadPage(0, out).ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(out[i]), 0x5C);
+  }
+}
+
+// ---------- BufferPool ----------
+
+TEST(BufferPoolTest, NewFetchUnpinCycle) {
+  InMemoryDiskManager disk;
+  BufferPool pool(4, &disk);
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId pid = (*page)->id();
+  strcpy((*page)->payload(), "hello");
+  pool.Unpin(*page, /*dirty=*/true);
+
+  auto again = pool.FetchPage(pid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_STREQ((*again)->payload(), "hello");
+  pool.Unpin(*again, false);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  InMemoryDiskManager disk;
+  BufferPool pool(2, &disk);
+  std::vector<PageId> pids;
+  for (int i = 0; i < 5; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    (*page)->payload()[0] = static_cast<char>('A' + i);
+    pids.push_back((*page)->id());
+    pool.Unpin(*page, true);
+  }
+  // Capacity 2 but 5 pages touched: evictions must have happened.
+  EXPECT_GE(pool.stats().evictions, 3u);
+  // And every page's content survived.
+  for (int i = 0; i < 5; ++i) {
+    auto page = pool.FetchPage(pids[i]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->payload()[0], static_cast<char>('A' + i));
+    pool.Unpin(*page, false);
+  }
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  InMemoryDiskManager disk;
+  BufferPool pool(2, &disk);
+  auto a = pool.NewPage();
+  auto b = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both pinned; a third page cannot be placed.
+  auto c = pool.NewPage();
+  EXPECT_FALSE(c.ok());
+  pool.Unpin(*a, false);
+  pool.Unpin(*b, false);
+  auto d = pool.NewPage();
+  EXPECT_TRUE(d.ok());
+  pool.Unpin(*d, false);
+}
+
+TEST(BufferPoolTest, LruPrefersColdPages) {
+  InMemoryDiskManager disk;
+  BufferPool pool(2, &disk);
+  auto a = pool.NewPage();
+  auto b = pool.NewPage();
+  PageId pid_a = (*a)->id();
+  PageId pid_b = (*b)->id();
+  pool.Unpin(*a, true);
+  pool.Unpin(*b, true);
+  // Touch a so b becomes LRU.
+  auto a2 = pool.FetchPage(pid_a);
+  pool.Unpin(*a2, false);
+  auto c = pool.NewPage();  // evicts b
+  pool.Unpin(*c, false);
+  // Fetching a is still a hit; b is a miss.
+  uint64_t hits_before = pool.stats().hits;
+  auto a3 = pool.FetchPage(pid_a);
+  pool.Unpin(*a3, false);
+  EXPECT_EQ(pool.stats().hits, hits_before + 1);
+  auto b2 = pool.FetchPage(pid_b);
+  pool.Unpin(*b2, false);
+  EXPECT_GE(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, FlushAllPersistsWithoutEviction) {
+  InMemoryDiskManager disk;
+  BufferPool pool(8, &disk);
+  auto page = pool.NewPage();
+  PageId pid = (*page)->id();
+  strcpy((*page)->payload(), "durable");
+  pool.Unpin(*page, true);
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  char raw[kPageSize];
+  ASSERT_TRUE(disk.ReadPage(pid, raw).ok());
+  EXPECT_STREQ(raw + kPageHeaderSize, "durable");
+}
+
+TEST(BufferPoolTest, WalFlushedBeforeDirtyWriteback) {
+  // Write-ahead rule: evicting a dirty page forces the log up to page LSN.
+  auto storage = std::make_shared<InMemoryLogStorage>();
+  Wal wal(storage);
+  InMemoryDiskManager disk;
+  BufferPool pool(1, &disk);  // capacity 1 forces eviction
+  BufferPool pool_with_wal(1, &disk, &wal);
+
+  LogRecord rec;
+  rec.type = LogType::kBegin;
+  rec.txn = TxnId(1);
+  auto lsn = wal.Append(&rec);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(wal.flushed_lsn(), 0u);
+
+  auto page = pool_with_wal.NewPage();
+  ASSERT_TRUE(page.ok());
+  (*page)->set_lsn(*lsn);
+  pool_with_wal.Unpin(*page, true);
+  auto other = pool_with_wal.NewPage();  // evicts the dirty page
+  ASSERT_TRUE(other.ok());
+  pool_with_wal.Unpin(*other, false);
+  EXPECT_GE(wal.flushed_lsn(), *lsn);
+}
+
+// ---------- WAL ----------
+
+TEST(WalTest, AppendAssignsIncreasingLsns) {
+  Wal wal(std::make_shared<InMemoryLogStorage>());
+  LogRecord a, b;
+  a.type = b.type = LogType::kBegin;
+  auto la = wal.Append(&a);
+  auto lb = wal.Append(&b);
+  ASSERT_TRUE(la.ok());
+  ASSERT_TRUE(lb.ok());
+  EXPECT_EQ(*la, 1u);
+  EXPECT_EQ(*lb, 2u);
+}
+
+LogRecord MakeUpdate(uint64_t txn, uint64_t table, uint64_t rid,
+                     const std::string& before, const std::string& after) {
+  LogRecord rec;
+  rec.type = LogType::kUpdate;
+  rec.txn = TxnId(txn);
+  rec.op = UpdateOp::kUpdate;
+  rec.table_id = table;
+  rec.rid = rid;
+  rec.before = before;
+  rec.after = after;
+  return rec;
+}
+
+TEST(WalTest, RoundTripsAllFields) {
+  Wal wal(std::make_shared<InMemoryLogStorage>());
+  LogRecord rec = MakeUpdate(9, 3, 0x70008, "old", "new");
+  rec.undo_next_lsn = 17;
+  ASSERT_TRUE(wal.Append(&rec).ok());
+  ASSERT_TRUE(wal.FlushAll().ok());
+
+  std::vector<LogRecord> out;
+  ASSERT_TRUE(wal.ReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lsn, rec.lsn);
+  EXPECT_EQ(out[0].txn.value, 9u);
+  EXPECT_EQ(out[0].table_id, 3u);
+  EXPECT_EQ(out[0].rid, 0x70008u);
+  EXPECT_EQ(out[0].before, "old");
+  EXPECT_EQ(out[0].after, "new");
+  EXPECT_EQ(out[0].undo_next_lsn, 17u);
+}
+
+TEST(WalTest, SurvivesReopenAndContinuesLsns) {
+  auto storage = std::make_shared<InMemoryLogStorage>();
+  {
+    Wal wal(storage);
+    LogRecord rec = MakeUpdate(1, 2, 3, "", "x");
+    ASSERT_TRUE(wal.Append(&rec).ok());
+    ASSERT_TRUE(wal.FlushAll().ok());
+  }
+  Wal wal2(storage);
+  EXPECT_EQ(wal2.next_lsn(), 2u);
+  std::vector<LogRecord> out;
+  ASSERT_TRUE(wal2.ReadAll(&out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(WalTest, ToleratesTornTail) {
+  auto storage = std::make_shared<InMemoryLogStorage>();
+  Wal wal(storage);
+  LogRecord a = MakeUpdate(1, 1, 1, "", "aaaa");
+  LogRecord b = MakeUpdate(1, 1, 2, "", "bbbb");
+  ASSERT_TRUE(wal.Append(&a).ok());
+  ASSERT_TRUE(wal.Append(&b).ok());
+  ASSERT_TRUE(wal.FlushAll().ok());
+  std::string full;
+  ASSERT_TRUE(storage->ReadAll(&full).ok());
+  storage->CorruptTail(full.size() - 5);  // chop into record b
+
+  std::vector<LogRecord> out;
+  Wal reopened(storage);
+  ASSERT_TRUE(reopened.ReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rid, 1u);
+}
+
+TEST(WalTest, ResetClearsButKeepsNumbering) {
+  Wal wal(std::make_shared<InMemoryLogStorage>());
+  LogRecord a = MakeUpdate(1, 1, 1, "", "x");
+  ASSERT_TRUE(wal.Append(&a).ok());
+  ASSERT_TRUE(wal.FlushAll().ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  std::vector<LogRecord> out;
+  ASSERT_TRUE(wal.ReadAll(&out).ok());
+  EXPECT_TRUE(out.empty());
+  LogRecord b = MakeUpdate(1, 1, 2, "", "y");
+  auto lsn = wal.Append(&b);
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GT(*lsn, a.lsn);
+}
+
+TEST(WalTest, FileBackedRoundTrip) {
+  std::string path = TempPath("wal.log");
+  {
+    auto storage = FileLogStorage::Open(path);
+    ASSERT_TRUE(storage.ok());
+    Wal wal(std::shared_ptr<LogStorage>(std::move(*storage)));
+    LogRecord rec = MakeUpdate(4, 5, 6, "before", "after");
+    ASSERT_TRUE(wal.Append(&rec).ok());
+    ASSERT_TRUE(wal.FlushAll().ok());
+  }
+  auto storage = FileLogStorage::Open(path);
+  ASSERT_TRUE(storage.ok());
+  Wal wal(std::shared_ptr<LogStorage>(std::move(*storage)));
+  std::vector<LogRecord> out;
+  ASSERT_TRUE(wal.ReadAll(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].before, "before");
+  EXPECT_EQ(out[0].after, "after");
+}
+
+}  // namespace
+}  // namespace tendax

@@ -1,0 +1,161 @@
+// Tests for in-document business processes: routing, dynamic changes,
+// role assignment, rejection/reroute.
+
+#include <gtest/gtest.h>
+
+#include "server_fixture.h"
+
+namespace tendax {
+namespace {
+
+class WorkflowTest : public ServerTest {
+ protected:
+  void SetUp() override {
+    ServerTest::SetUp();
+    doc_ = MakeDoc(alice_, "contract.txt",
+                   "This agreement shall be translated and verified.");
+    auto proc = server_->workflows()->DefineProcess(alice_, doc_, "review");
+    ASSERT_TRUE(proc.ok()) << proc.status().ToString();
+    proc_ = *proc;
+  }
+  DocumentId doc_;
+  ProcessId proc_;
+};
+
+TEST_F(WorkflowTest, SequentialRouting) {
+  WorkflowEngine* wf = server_->workflows();
+  auto t1 = wf->AddTask(alice_, proc_, "translate", "to German",
+                        Assignee::User(bob_));
+  auto t2 = wf->AddTask(alice_, proc_, "verify", "check translation",
+                        Assignee::User(alice_));
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+
+  // Task 1 is ready, task 2 pending.
+  EXPECT_EQ(wf->GetTask(*t1)->state, TaskState::kReady);
+  EXPECT_EQ(wf->GetTask(*t2)->state, TaskState::kPending);
+
+  // Bob sees exactly his ready task.
+  auto worklist = wf->Worklist(bob_);
+  ASSERT_EQ(worklist.size(), 1u);
+  EXPECT_EQ(worklist[0].id, *t1);
+  EXPECT_TRUE(wf->Worklist(alice_).empty());
+
+  // Completing task 1 readies task 2.
+  ASSERT_TRUE(wf->Complete(bob_, *t1).ok());
+  EXPECT_EQ(wf->GetTask(*t2)->state, TaskState::kReady);
+  ASSERT_TRUE(wf->Complete(alice_, *t2).ok());
+  EXPECT_EQ(wf->GetProcess(proc_)->state, "finished");
+}
+
+TEST_F(WorkflowTest, OnlyAssigneeMayComplete) {
+  WorkflowEngine* wf = server_->workflows();
+  auto task = wf->AddTask(alice_, proc_, "translate", "", Assignee::User(bob_));
+  EXPECT_TRUE(wf->Complete(alice_, *task).IsPermissionDenied());
+  EXPECT_TRUE(wf->Complete(bob_, *task).ok());
+  // Completing twice fails.
+  EXPECT_TRUE(wf->Complete(bob_, *task).IsFailedPrecondition());
+}
+
+TEST_F(WorkflowTest, RoleAssignment) {
+  WorkflowEngine* wf = server_->workflows();
+  auto translators = server_->accounts()->CreateRole("translators");
+  ASSERT_TRUE(translators.ok());
+  auto task = wf->AddTask(alice_, proc_, "translate", "",
+                          Assignee::Role(*translators));
+  EXPECT_TRUE(wf->Complete(bob_, *task).IsPermissionDenied());
+  ASSERT_TRUE(server_->accounts()->AssignRole(bob_, *translators).ok());
+  EXPECT_EQ(wf->Worklist(bob_).size(), 1u);
+  EXPECT_TRUE(wf->Complete(bob_, *task).ok());
+}
+
+TEST_F(WorkflowTest, DynamicTaskInsertionAtRunTime) {
+  WorkflowEngine* wf = server_->workflows();
+  auto t1 = wf->AddTask(alice_, proc_, "draft", "", Assignee::User(alice_));
+  auto t3 = wf->AddTask(alice_, proc_, "publish", "", Assignee::User(alice_));
+  ASSERT_TRUE(wf->Complete(alice_, *t1).ok());
+  // While the route runs, squeeze a review in before publish.
+  auto t2 = wf->InsertTaskAfter(alice_, *t1, "review", "new step",
+                                Assignee::User(bob_));
+  ASSERT_TRUE(t2.ok());
+  auto route = wf->Route(proc_);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(route[0].id, *t1);
+  EXPECT_EQ(route[1].id, *t2);
+  EXPECT_EQ(route[2].id, *t3);
+  // The inserted task becomes the ready one; publish is pushed back.
+  EXPECT_EQ(wf->GetTask(*t2)->state, TaskState::kReady);
+  EXPECT_EQ(wf->GetTask(*t3)->state, TaskState::kPending);
+}
+
+TEST_F(WorkflowTest, ReassignAndSkip) {
+  WorkflowEngine* wf = server_->workflows();
+  auto t1 = wf->AddTask(alice_, proc_, "translate", "", Assignee::User(bob_));
+  auto t2 = wf->AddTask(alice_, proc_, "verify", "", Assignee::User(bob_));
+  ASSERT_TRUE(wf->Reassign(alice_, *t1, Assignee::User(alice_)).ok());
+  EXPECT_TRUE(wf->Complete(bob_, *t1).IsPermissionDenied());
+  ASSERT_TRUE(wf->Complete(alice_, *t1).ok());
+  // Skip the second step entirely.
+  ASSERT_TRUE(wf->SkipTask(alice_, *t2).ok());
+  EXPECT_EQ(wf->GetProcess(proc_)->state, "finished");
+}
+
+TEST_F(WorkflowTest, RejectStallsUntilReroute) {
+  WorkflowEngine* wf = server_->workflows();
+  auto t1 = wf->AddTask(alice_, proc_, "translate", "", Assignee::User(bob_));
+  auto t2 = wf->AddTask(alice_, proc_, "verify", "", Assignee::User(alice_));
+  ASSERT_TRUE(wf->Reject(bob_, *t1, "source text is garbled").ok());
+  EXPECT_EQ(wf->GetProcess(proc_)->state, "rejected");
+  EXPECT_EQ(wf->GetTask(*t2)->state, TaskState::kPending);  // stalled
+  // Owner reroutes to themselves; the process resumes.
+  ASSERT_TRUE(wf->Reroute(alice_, *t1, Assignee::User(alice_)).ok());
+  EXPECT_EQ(wf->GetProcess(proc_)->state, "running");
+  EXPECT_EQ(wf->GetTask(*t1)->state, TaskState::kReady);
+  ASSERT_TRUE(wf->Complete(alice_, *t1).ok());
+  EXPECT_EQ(wf->GetTask(*t2)->state, TaskState::kReady);
+}
+
+TEST_F(WorkflowTest, TasksAnchorToDocumentRanges) {
+  WorkflowEngine* wf = server_->workflows();
+  auto task = wf->AddTask(alice_, proc_, "translate", "this range",
+                          Assignee::User(bob_), 5, 9);
+  ASSERT_TRUE(task.ok());
+  auto info = wf->GetTask(*task);
+  EXPECT_TRUE(info->anchor_start.valid());
+  EXPECT_TRUE(info->anchor_end.valid());
+}
+
+TEST_F(WorkflowTest, WorkflowRequiresRight) {
+  WorkflowEngine* wf = server_->workflows();
+  // Close the workflow right to alice only.
+  ASSERT_TRUE(server_->accounts()
+                  ->GrantUser(alice_, doc_, alice_, Right::kWorkflow)
+                  .ok());
+  EXPECT_TRUE(
+      wf->DefineProcess(bob_, doc_, "rogue").status().IsPermissionDenied());
+  EXPECT_TRUE(wf->AddTask(bob_, proc_, "rogue-task", "",
+                          Assignee::User(bob_))
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(WorkflowTest, ProcessesInDocument) {
+  auto second = server_->workflows()->DefineProcess(alice_, doc_, "second");
+  ASSERT_TRUE(second.ok());
+  auto procs = server_->workflows()->ProcessesIn(doc_);
+  EXPECT_EQ(procs.size(), 2u);
+}
+
+TEST_F(WorkflowTest, AddingWorkToFinishedProcessReopensIt) {
+  WorkflowEngine* wf = server_->workflows();
+  auto t1 = wf->AddTask(alice_, proc_, "only", "", Assignee::User(alice_));
+  ASSERT_TRUE(wf->Complete(alice_, *t1).ok());
+  EXPECT_EQ(wf->GetProcess(proc_)->state, "finished");
+  auto t2 = wf->AddTask(alice_, proc_, "more", "", Assignee::User(bob_));
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(wf->GetProcess(proc_)->state, "running");
+  EXPECT_EQ(wf->GetTask(*t2)->state, TaskState::kReady);
+}
+
+}  // namespace
+}  // namespace tendax

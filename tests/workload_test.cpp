@@ -1,0 +1,99 @@
+// Tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+TEST(TypingTraceTest, DeterministicForSeed) {
+  TypingTraceGenerator a(42), b(42);
+  size_t len = 0;
+  for (int i = 0; i < 200; ++i) {
+    TypingAction x = a.Next(len);
+    TypingAction y = b.Next(len);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.pos, y.pos);
+    EXPECT_EQ(x.text, y.text);
+    EXPECT_EQ(x.len, y.len);
+    if (x.kind == TypingAction::Kind::kInsert) {
+      len += x.text.size();
+    } else {
+      len -= x.len;
+    }
+  }
+}
+
+TEST(TypingTraceTest, ActionsAlwaysValidForDocLength) {
+  TypingTraceGenerator gen(7);
+  size_t len = 0;
+  int inserts = 0, deletes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    TypingAction action = gen.Next(len);
+    if (action.kind == TypingAction::Kind::kInsert) {
+      ASSERT_LE(action.pos, len);
+      ASSERT_FALSE(action.text.empty());
+      len += action.text.size();
+      ++inserts;
+    } else {
+      ASSERT_LT(action.pos, len);
+      ASSERT_GE(action.len, 1u);
+      ASSERT_LE(action.pos + action.len, len);
+      len -= action.len;
+      ++deletes;
+    }
+  }
+  // Roughly the configured mix.
+  EXPECT_GT(inserts, deletes * 3);
+  EXPECT_GT(deletes, 0);
+}
+
+TEST(TypingTraceTest, EmptyDocumentOnlyInserts) {
+  TypingTraceGenerator gen(9);
+  for (int i = 0; i < 50; ++i) {
+    TypingAction action = gen.Next(0);
+    EXPECT_EQ(action.kind, TypingAction::Kind::kInsert);
+    EXPECT_EQ(action.pos, 0u);
+    // Simulate rejecting the insert: doc stays empty.
+  }
+}
+
+TEST(CorpusTest, DocumentsHaveSentencesAndParagraphs) {
+  CorpusGenerator corpus(11);
+  std::string doc = corpus.Document(300);
+  EXPECT_GT(doc.size(), 1000u);
+  EXPECT_NE(doc.find(". "), std::string::npos);
+  EXPECT_NE(doc.find(".\n\n"), std::string::npos);
+}
+
+TEST(CorpusTest, VocabularyIsZipfSkewed) {
+  CorpusGenerator corpus(13, /*vocabulary=*/500);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[corpus.Word()];
+  }
+  // The most frequent word should dominate the median word massively.
+  int max_count = 0;
+  for (const auto& [word, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GT(max_count, 1500);           // ~1/ln(500) of 20000 draws
+  EXPECT_GT(counts.size(), 100u);       // but the tail is broad
+}
+
+TEST(CorpusTest, TitlesAreShortAndDeterministic) {
+  CorpusGenerator a(17), b(17);
+  for (int i = 0; i < 20; ++i) {
+    std::string t1 = a.Title();
+    std::string t2 = b.Title();
+    EXPECT_EQ(t1, t2);
+    EXPECT_LT(t1.size(), 60u);
+    EXPECT_NE(t1.find('-'), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tendax
