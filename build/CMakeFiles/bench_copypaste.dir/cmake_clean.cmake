@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copypaste.dir/bench/bench_copypaste.cpp.o"
+  "CMakeFiles/bench_copypaste.dir/bench/bench_copypaste.cpp.o.d"
+  "bench/bench_copypaste"
+  "bench/bench_copypaste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copypaste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

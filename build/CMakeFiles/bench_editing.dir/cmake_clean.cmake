@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_editing.dir/bench/bench_editing.cpp.o"
+  "CMakeFiles/bench_editing.dir/bench/bench_editing.cpp.o.d"
+  "bench/bench_editing"
+  "bench/bench_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

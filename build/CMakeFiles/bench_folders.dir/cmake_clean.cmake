@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_folders.dir/bench/bench_folders.cpp.o"
+  "CMakeFiles/bench_folders.dir/bench/bench_folders.cpp.o.d"
+  "bench/bench_folders"
+  "bench/bench_folders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_folders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_undo.dir/bench/bench_undo.cpp.o"
+  "CMakeFiles/bench_undo.dir/bench/bench_undo.cpp.o.d"
+  "bench/bench_undo"
+  "bench/bench_undo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_undo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_party.dir/lan_party.cpp.o"
+  "CMakeFiles/lan_party.dir/lan_party.cpp.o.d"
+  "lan_party"
+  "lan_party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

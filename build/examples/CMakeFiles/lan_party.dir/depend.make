@@ -1,0 +1,2 @@
+# Empty dependencies file for lan_party.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tendax_shell.dir/tendax_shell.cpp.o"
+  "CMakeFiles/tendax_shell.dir/tendax_shell.cpp.o.d"
+  "tendax_shell"
+  "tendax_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tendax_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_report.dir/versioned_report.cpp.o"
+  "CMakeFiles/versioned_report.dir/versioned_report.cpp.o.d"
+  "versioned_report"
+  "versioned_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

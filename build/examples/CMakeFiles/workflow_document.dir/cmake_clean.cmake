@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_document.dir/workflow_document.cpp.o"
+  "CMakeFiles/workflow_document.dir/workflow_document.cpp.o.d"
+  "workflow_document"
+  "workflow_document.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

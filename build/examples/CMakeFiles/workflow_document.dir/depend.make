@@ -1,0 +1,2 @@
+# Empty dependencies file for workflow_document.
+# This may be replaced when dependencies are built.

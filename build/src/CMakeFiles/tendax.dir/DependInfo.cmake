@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collab/editor.cc" "src/CMakeFiles/tendax.dir/collab/editor.cc.o" "gcc" "src/CMakeFiles/tendax.dir/collab/editor.cc.o.d"
+  "/root/repo/src/collab/session_manager.cc" "src/CMakeFiles/tendax.dir/collab/session_manager.cc.o" "gcc" "src/CMakeFiles/tendax.dir/collab/session_manager.cc.o.d"
+  "/root/repo/src/collab/undo_manager.cc" "src/CMakeFiles/tendax.dir/collab/undo_manager.cc.o" "gcc" "src/CMakeFiles/tendax.dir/collab/undo_manager.cc.o.d"
+  "/root/repo/src/collab/wire.cc" "src/CMakeFiles/tendax.dir/collab/wire.cc.o" "gcc" "src/CMakeFiles/tendax.dir/collab/wire.cc.o.d"
+  "/root/repo/src/core/tendax.cc" "src/CMakeFiles/tendax.dir/core/tendax.cc.o" "gcc" "src/CMakeFiles/tendax.dir/core/tendax.cc.o.d"
+  "/root/repo/src/db/bptree.cc" "src/CMakeFiles/tendax.dir/db/bptree.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/bptree.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/tendax.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/tendax.dir/db/database.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/database.cc.o.d"
+  "/root/repo/src/db/heap_table.cc" "src/CMakeFiles/tendax.dir/db/heap_table.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/heap_table.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/CMakeFiles/tendax.dir/db/query.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/query.cc.o.d"
+  "/root/repo/src/db/record.cc" "src/CMakeFiles/tendax.dir/db/record.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/record.cc.o.d"
+  "/root/repo/src/db/recovery.cc" "src/CMakeFiles/tendax.dir/db/recovery.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/recovery.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/CMakeFiles/tendax.dir/db/schema.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/schema.cc.o.d"
+  "/root/repo/src/db/slotted_page.cc" "src/CMakeFiles/tendax.dir/db/slotted_page.cc.o" "gcc" "src/CMakeFiles/tendax.dir/db/slotted_page.cc.o.d"
+  "/root/repo/src/document/document_model.cc" "src/CMakeFiles/tendax.dir/document/document_model.cc.o" "gcc" "src/CMakeFiles/tendax.dir/document/document_model.cc.o.d"
+  "/root/repo/src/document/templates.cc" "src/CMakeFiles/tendax.dir/document/templates.cc.o" "gcc" "src/CMakeFiles/tendax.dir/document/templates.cc.o.d"
+  "/root/repo/src/folders/folders.cc" "src/CMakeFiles/tendax.dir/folders/folders.cc.o" "gcc" "src/CMakeFiles/tendax.dir/folders/folders.cc.o.d"
+  "/root/repo/src/lineage/lineage.cc" "src/CMakeFiles/tendax.dir/lineage/lineage.cc.o" "gcc" "src/CMakeFiles/tendax.dir/lineage/lineage.cc.o.d"
+  "/root/repo/src/meta/meta_store.cc" "src/CMakeFiles/tendax.dir/meta/meta_store.cc.o" "gcc" "src/CMakeFiles/tendax.dir/meta/meta_store.cc.o.d"
+  "/root/repo/src/mining/mining.cc" "src/CMakeFiles/tendax.dir/mining/mining.cc.o" "gcc" "src/CMakeFiles/tendax.dir/mining/mining.cc.o.d"
+  "/root/repo/src/search/search_engine.cc" "src/CMakeFiles/tendax.dir/search/search_engine.cc.o" "gcc" "src/CMakeFiles/tendax.dir/search/search_engine.cc.o.d"
+  "/root/repo/src/security/access_control.cc" "src/CMakeFiles/tendax.dir/security/access_control.cc.o" "gcc" "src/CMakeFiles/tendax.dir/security/access_control.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/tendax.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/tendax.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/tendax.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/tendax.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/tendax.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/tendax.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/tendax.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/tendax.dir/storage/wal.cc.o.d"
+  "/root/repo/src/text/char_list.cc" "src/CMakeFiles/tendax.dir/text/char_list.cc.o" "gcc" "src/CMakeFiles/tendax.dir/text/char_list.cc.o.d"
+  "/root/repo/src/text/diff.cc" "src/CMakeFiles/tendax.dir/text/diff.cc.o" "gcc" "src/CMakeFiles/tendax.dir/text/diff.cc.o.d"
+  "/root/repo/src/text/text_store.cc" "src/CMakeFiles/tendax.dir/text/text_store.cc.o" "gcc" "src/CMakeFiles/tendax.dir/text/text_store.cc.o.d"
+  "/root/repo/src/text/utf8.cc" "src/CMakeFiles/tendax.dir/text/utf8.cc.o" "gcc" "src/CMakeFiles/tendax.dir/text/utf8.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/tendax.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/tendax.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/tendax.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/tendax.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/tendax.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/tendax.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/CMakeFiles/tendax.dir/util/coding.cc.o" "gcc" "src/CMakeFiles/tendax.dir/util/coding.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/tendax.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/tendax.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tendax.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tendax.dir/util/status.cc.o.d"
+  "/root/repo/src/workflow/workflow_engine.cc" "src/CMakeFiles/tendax.dir/workflow/workflow_engine.cc.o" "gcc" "src/CMakeFiles/tendax.dir/workflow/workflow_engine.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/tendax.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/tendax.dir/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

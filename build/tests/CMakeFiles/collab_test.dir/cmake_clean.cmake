@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_test.dir/collab_test.cpp.o"
+  "CMakeFiles/collab_test.dir/collab_test.cpp.o.d"
+  "collab_test"
+  "collab_test.pdb"
+  "collab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

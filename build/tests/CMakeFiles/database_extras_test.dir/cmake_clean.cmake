@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_extras_test.dir/database_extras_test.cpp.o"
+  "CMakeFiles/database_extras_test.dir/database_extras_test.cpp.o.d"
+  "database_extras_test"
+  "database_extras_test.pdb"
+  "database_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_model_test.dir/document_model_test.cpp.o"
+  "CMakeFiles/document_model_test.dir/document_model_test.cpp.o.d"
+  "document_model_test"
+  "document_model_test.pdb"
+  "document_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folders_test.dir/folders_test.cpp.o"
+  "CMakeFiles/folders_test.dir/folders_test.cpp.o.d"
+  "folders_test"
+  "folders_test.pdb"
+  "folders_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
