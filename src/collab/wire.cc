@@ -1,5 +1,7 @@
 #include "collab/wire.h"
 
+#include <algorithm>
+
 #include "util/coding.h"
 
 namespace tendax {
@@ -103,7 +105,11 @@ Result<ChangeBatch> DecodeEventBatch(Slice bytes) {
   uint32_t n;
   if (!GetVarint32(&bytes, &n)) return Status::Corruption("truncated batch");
   ChangeBatch batch;
-  batch.reserve(n);
+  // The count is attacker-controlled; cap the upfront reservation so a
+  // corrupt varint cannot demand a multi-gigabyte allocation. Each entry
+  // needs at least one length byte, so a plausible n is bounded by the
+  // remaining payload; growth beyond the cap goes through push_back.
+  batch.reserve(std::min<size_t>(n, bytes.size()));
   for (uint32_t i = 0; i < n; ++i) {
     Slice one;
     if (!GetLengthPrefixed(&bytes, &one)) {

@@ -25,6 +25,9 @@ namespace tendax {
 /// Server configuration.
 struct TendaxOptions {
   /// Storage/transaction options (path empty = in-memory database).
+  /// `db.disk` and `db.log_storage` accept pre-built backends — fault
+  /// injection tests plug `FaultInjecting{DiskManager,LogStorage}` wrappers
+  /// in here and reopen over the inner backends to model a crash+restart.
   DatabaseOptions db;
   /// Whether documents without explicit grants are open to every user
   /// (the demo's LAN-party default) or restricted to their creator.
@@ -73,6 +76,10 @@ class TendaxServer {
 
   /// Quiescent checkpoint of the underlying database.
   Status Checkpoint() { return db_->Checkpoint(); }
+
+  /// Full structural integrity sweep of the underlying database (pages,
+  /// tables, indexes). See `Database::CheckIntegrity`.
+  Status CheckIntegrity() const { return db_->CheckIntegrity(); }
 
  private:
   TendaxServer() = default;

@@ -388,6 +388,78 @@ Result<uint64_t> BPlusTree::Count() const {
   return n;
 }
 
+Status BPlusTree::CheckIntegrity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (root_ == kInvalidPageId) {
+    return Status::Corruption("bptree " + name_ + ": no root");
+  }
+  uint32_t leaf_depth = 0;  // 0 = not yet seen
+  return CheckNode(root_, 1, &leaf_depth);
+}
+
+Status BPlusTree::CheckNode(PageId node_id, uint32_t depth,
+                            uint32_t* leaf_depth) const {
+  if (depth > 64) {
+    return Status::Corruption("bptree " + name_ + ": depth exceeds 64 (cycle?)");
+  }
+  auto page = pool_->FetchPage(node_id);
+  if (!page.ok()) return page.status();
+  PageGuard guard(pool_, *page);
+  NodeView node(guard.get());
+
+  uint32_t marker = DecodeFixed32(guard->payload() + kMarkerOff);
+  if (marker != (0x80000000u | index_id_)) {
+    return Status::Corruption("bptree " + name_ + ": page " +
+                              std::to_string(node_id) + " has foreign marker");
+  }
+  if (node.num() > node.capacity()) {
+    return Status::Corruption("bptree " + name_ + ": page " +
+                              std::to_string(node_id) + " overfull (" +
+                              std::to_string(node.num()) + " entries)");
+  }
+  for (size_t i = 1; i < node.num(); ++i) {
+    Entry prev = node.Get(i - 1);
+    Entry cur = node.Get(i);
+    if (!prev.LessThan(cur.key, cur.val)) {
+      return Status::Corruption("bptree " + name_ + ": page " +
+                                std::to_string(node_id) +
+                                " entries out of order at " +
+                                std::to_string(i));
+    }
+  }
+
+  if (node.is_leaf()) {
+    if (*leaf_depth == 0) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("bptree " + name_ + ": leaf " +
+                                std::to_string(node_id) + " at depth " +
+                                std::to_string(depth) + ", expected " +
+                                std::to_string(*leaf_depth));
+    }
+    return Status::OK();
+  }
+
+  // Internal: leftmost child plus one child per entry, all recursed.
+  if (node.link() == kInvalidPageId) {
+    return Status::Corruption("bptree " + name_ + ": internal page " +
+                              std::to_string(node_id) +
+                              " missing leftmost child");
+  }
+  TENDAX_RETURN_IF_ERROR(CheckNode(node.link(), depth + 1, leaf_depth));
+  for (size_t i = 0; i < node.num(); ++i) {
+    PageId child = node.Get(i).child;
+    if (child == kInvalidPageId) {
+      return Status::Corruption("bptree " + name_ + ": internal page " +
+                                std::to_string(node_id) +
+                                " has a dangling child at entry " +
+                                std::to_string(i));
+    }
+    TENDAX_RETURN_IF_ERROR(CheckNode(child, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
 BPlusTreeStats BPlusTree::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

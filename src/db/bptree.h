@@ -57,6 +57,13 @@ class BPlusTree {
   /// Total number of entries (O(n)).
   Result<uint64_t> Count() const;
 
+  /// Structural integrity check: every reachable node carries this index's
+  /// marker, entries are strictly sorted on (key, value), internal children
+  /// are valid page ids, all leaves sit at the same depth, and node fill
+  /// stays within capacity. Used by `Database::CheckIntegrity` after crash
+  /// recovery.
+  Status CheckIntegrity() const;
+
   BPlusTreeStats stats() const;
 
  private:
@@ -70,6 +77,7 @@ class BPlusTree {
   Status InsertIntoLeaf(PageId leaf, const std::vector<PageId>& path,
                         uint64_t key, uint64_t value);
   Status SplitAndPropagate(PageId node, const std::vector<PageId>& path);
+  Status CheckNode(PageId node_id, uint32_t depth, uint32_t* leaf_depth) const;
 
   const uint32_t index_id_;
   const std::string name_;

@@ -67,6 +67,12 @@ class Database : public ChangeApplier {
   /// with FailedPrecondition while transactions are active.
   Status Checkpoint();
 
+  /// Full structural integrity sweep: every initialized data page passes
+  /// checksum verification and `SlottedPage::Validate`, every catalog table
+  /// scans and decodes end to end, and every index passes
+  /// `BPlusTree::CheckIntegrity`. Used by crash-recovery tests after reopen.
+  Status CheckIntegrity() const;
+
   /// Drops all cached pages without flushing (crash simulation for tests;
   /// pair with reopening via the same DiskManager/LogStorage).
   void SimulateCrash();

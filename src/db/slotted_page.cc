@@ -1,5 +1,6 @@
 #include "db/slotted_page.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -205,6 +206,52 @@ Status SlottedPage::Update(SlotId slot, const Slice& data) {
 bool SlottedPage::IsLive(SlotId slot) const {
   return IsInitialized() && slot < num_slots() &&
          slot_offset(slot) != kDeletedOffset;
+}
+
+Status SlottedPage::Validate() const {
+  if (!IsInitialized()) return Status::OK();
+  const size_t payload_size = Page::payload_size();
+  const size_t data_start = free_ptr();
+  const size_t slots_end = kHeaderSize() + num_slots() * kSlotSize;
+  if (data_start > payload_size) {
+    return Status::Corruption("slotted page: free_ptr " +
+                              std::to_string(data_start) +
+                              " beyond payload end");
+  }
+  if (slots_end > data_start) {
+    return Status::Corruption(
+        "slotted page: slot directory (" + std::to_string(num_slots()) +
+        " slots) overlaps data region at " + std::to_string(data_start));
+  }
+  // Collect live records, check bounds, then check pairwise overlap.
+  struct Extent {
+    size_t begin;
+    size_t end;
+    SlotId slot;
+  };
+  std::vector<Extent> extents;
+  for (SlotId s = 0; s < num_slots(); ++s) {
+    if (slot_offset(s) == kDeletedOffset) continue;
+    size_t begin = slot_offset(s);
+    size_t end = begin + slot_len(s);
+    if (begin < data_start || end > payload_size) {
+      return Status::Corruption("slotted page: slot " + std::to_string(s) +
+                                " extent [" + std::to_string(begin) + "," +
+                                std::to_string(end) +
+                                ") escapes the data region");
+    }
+    extents.push_back(Extent{begin, end, s});
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) { return a.begin < b.begin; });
+  for (size_t i = 1; i < extents.size(); ++i) {
+    if (extents[i].begin < extents[i - 1].end) {
+      return Status::Corruption(
+          "slotted page: slots " + std::to_string(extents[i - 1].slot) +
+          " and " + std::to_string(extents[i].slot) + " overlap");
+    }
+  }
+  return Status::OK();
 }
 
 void SlottedPage::Compact() {

@@ -83,6 +83,12 @@ class SlottedPage {
   /// True if the slot holds a live record.
   bool IsLive(SlotId slot) const;
 
+  /// Structural integrity check: the slot directory and data region stay
+  /// inside the payload, no live slot escapes the data region, and no two
+  /// live records overlap. Uninitialized pages are vacuously valid. Used by
+  /// `Database::CheckIntegrity` after crash recovery.
+  Status Validate() const;
+
  private:
   static constexpr size_t kHeaderSize() { return 12; }
   static constexpr size_t kSlotSize = 4;

@@ -226,6 +226,7 @@ Lsn Wal::DecodeLogBuffer(const std::string& buffer,
                          std::vector<LogRecord>* out) {
   Slice input(buffer);
   Lsn next = 1;
+  bool first = true;
   while (input.size() >= 8) {
     uint32_t len = DecodeFixed32(input.data());
     uint32_t crc = DecodeFixed32(input.data() + 4);
@@ -234,6 +235,11 @@ Lsn Wal::DecodeLogBuffer(const std::string& buffer,
     if (Fnv1a(payload.data(), payload.size()) != crc) break;  // corrupt tail
     LogRecord rec;
     if (!LogRecord::DecodeFrom(payload, &rec)) break;
+    // LSNs are assigned contiguously (Reset() truncates bytes but keeps
+    // numbering), so a record that passes framing yet breaks the sequence
+    // is trash — stop rather than hand recovery an out-of-order history.
+    if (rec.lsn == kInvalidLsn || (!first && rec.lsn != next)) break;
+    first = false;
     next = rec.lsn + 1;
     out->push_back(std::move(rec));
     input.remove_prefix(8 + len);

@@ -145,6 +145,8 @@ class Wal {
 
   /// Decodes a serialized log (as produced by LogStorage::ReadAll) without
   /// a Wal instance; used by recovery. Returns the next LSN to issue.
+  /// Stops at the first torn, checksum-corrupt, undecodable, or
+  /// LSN-discontiguous record, so a crash tail is always dropped cleanly.
   static Lsn DecodeLogBuffer(const std::string& buffer,
                              std::vector<LogRecord>* out);
 

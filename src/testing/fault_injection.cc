@@ -1,0 +1,109 @@
+#include "testing/fault_injection.h"
+
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace tendax {
+
+namespace {
+
+Status Injected(IoOp op, const FaultDecision& decision) {
+  return Status::IOError("injected fault: " + std::string(IoOpName(op)) +
+                         " at op " + std::to_string(decision.op_index));
+}
+
+Status Crashed(IoOp op) {
+  return Status::IOError("injected crash: storage is down (" +
+                         std::string(IoOpName(op)) + ")");
+}
+
+}  // namespace
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  FaultDecision d = plan_->OnIo(IoOp::kAllocatePage, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kAllocatePage);
+  if (d.action != FaultAction::kProceed) {
+    return Injected(IoOp::kAllocatePage, d);
+  }
+  return inner_->AllocatePage();
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId id, char* out) {
+  FaultDecision d = plan_->OnIo(IoOp::kReadPage, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kReadPage);
+  if (d.action != FaultAction::kProceed) return Injected(IoOp::kReadPage, d);
+  return inner_->ReadPage(id, out);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId id, const char* data) {
+  FaultDecision d = plan_->OnIo(IoOp::kWritePage, kPageSize);
+  switch (d.action) {
+    case FaultAction::kProceed:
+      return inner_->WritePage(id, data);
+    case FaultAction::kFail:
+      return Injected(IoOp::kWritePage, d);
+    case FaultAction::kTear: {
+      // A torn page: the first keep_bytes of the new image land on disk,
+      // the rest keeps its previous contents.
+      char merged[kPageSize];
+      Status st = inner_->ReadPage(id, merged);
+      if (!st.ok()) return st;
+      memcpy(merged, data, d.keep_bytes);
+      (void)inner_->WritePage(id, merged);
+      return Injected(IoOp::kWritePage, d);
+    }
+    case FaultAction::kCrashed:
+      return Crashed(IoOp::kWritePage);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectingDiskManager::Sync() {
+  FaultDecision d = plan_->OnIo(IoOp::kDiskSync, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kDiskSync);
+  if (d.action != FaultAction::kProceed) return Injected(IoOp::kDiskSync, d);
+  return inner_->Sync();
+}
+
+Status FaultInjectingLogStorage::Append(const Slice& data) {
+  FaultDecision d = plan_->OnIo(IoOp::kLogAppend, data.size());
+  switch (d.action) {
+    case FaultAction::kProceed:
+      return inner_->Append(data);
+    case FaultAction::kFail:
+      return Injected(IoOp::kLogAppend, d);
+    case FaultAction::kTear:
+      // Torn tail: only a prefix of the record bytes reaches the log.
+      (void)inner_->Append(Slice(data.data(), d.keep_bytes));
+      return Injected(IoOp::kLogAppend, d);
+    case FaultAction::kCrashed:
+      return Crashed(IoOp::kLogAppend);
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FaultInjectingLogStorage::Sync() {
+  FaultDecision d = plan_->OnIo(IoOp::kLogSync, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kLogSync);
+  if (d.action != FaultAction::kProceed) return Injected(IoOp::kLogSync, d);
+  return inner_->Sync();
+}
+
+Status FaultInjectingLogStorage::ReadAll(std::string* out) {
+  FaultDecision d = plan_->OnIo(IoOp::kLogRead, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kLogRead);
+  if (d.action != FaultAction::kProceed) return Injected(IoOp::kLogRead, d);
+  return inner_->ReadAll(out);
+}
+
+Status FaultInjectingLogStorage::Truncate() {
+  FaultDecision d = plan_->OnIo(IoOp::kLogTruncate, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kLogTruncate);
+  if (d.action != FaultAction::kProceed) {
+    return Injected(IoOp::kLogTruncate, d);
+  }
+  return inner_->Truncate();
+}
+
+}  // namespace tendax

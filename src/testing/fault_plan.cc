@@ -1,0 +1,162 @@
+#include "testing/fault_plan.h"
+
+namespace tendax {
+
+const char* IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kAllocatePage:
+      return "AllocatePage";
+    case IoOp::kReadPage:
+      return "ReadPage";
+    case IoOp::kWritePage:
+      return "WritePage";
+    case IoOp::kDiskSync:
+      return "DiskSync";
+    case IoOp::kLogAppend:
+      return "LogAppend";
+    case IoOp::kLogSync:
+      return "LogSync";
+    case IoOp::kLogRead:
+      return "LogRead";
+    case IoOp::kLogTruncate:
+      return "LogTruncate";
+  }
+  return "Unknown";
+}
+
+void FaultPlan::FailOp(uint64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_op_[index] = Spec{FaultAction::kFail, 0};
+}
+
+void FaultPlan::CrashAtOp(uint64_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_op_[index] = Spec{FaultAction::kCrashed, 0};
+}
+
+void FaultPlan::TearNthLogAppend(uint64_t n, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_append_[n] = Spec{FaultAction::kTear, keep_bytes};
+}
+
+void FaultPlan::TearNthPageWrite(uint64_t n, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_page_write_[n] = Spec{FaultAction::kTear, keep_bytes};
+}
+
+void FaultPlan::FailNthSync(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_sync_[n] = Spec{FaultAction::kFail, 0};
+}
+
+FaultDecision FaultPlan::OnIo(IoOp op, size_t data_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultDecision decision;
+  decision.op_index = ++ops_;
+
+  // Per-kind ordinals advance regardless of arming so that profiling runs
+  // and injected runs see identical numbering.
+  uint64_t ordinal = 0;
+  const std::map<uint64_t, Spec>* kind_map = nullptr;
+  switch (op) {
+    case IoOp::kLogAppend:
+      ordinal = ++appends_;
+      kind_map = &by_append_;
+      break;
+    case IoOp::kWritePage:
+      ordinal = ++page_writes_;
+      kind_map = &by_page_write_;
+      break;
+    case IoOp::kDiskSync:
+    case IoOp::kLogSync:
+      ordinal = ++syncs_;
+      kind_map = &by_sync_;
+      break;
+    default:
+      break;
+  }
+
+  if (!armed_) return decision;
+  if (crashed_) {
+    decision.action = FaultAction::kCrashed;
+    return decision;
+  }
+
+  const Spec* hit = nullptr;
+  if (auto it = by_op_.find(decision.op_index); it != by_op_.end()) {
+    hit = &it->second;
+  } else if (kind_map != nullptr) {
+    if (auto kit = kind_map->find(ordinal); kit != kind_map->end()) {
+      hit = &kit->second;
+    }
+  }
+  if (hit == nullptr) return decision;
+
+  decision.action = hit->action;
+  if (hit->action == FaultAction::kTear) {
+    decision.keep_bytes = hit->keep_bytes != kAutoTear
+                              ? hit->keep_bytes
+                              : (data_size > 0 ? rng_.Uniform(data_size) : 0);
+    if (decision.keep_bytes > data_size) decision.keep_bytes = data_size;
+    crashed_ = true;
+  } else if (hit->action == FaultAction::kCrashed) {
+    crashed_ = true;
+  }
+  if (!triggered_.empty()) triggered_ += ",";
+  triggered_ += std::string(IoOpName(op)) + "@" +
+                std::to_string(decision.op_index);
+  return decision;
+}
+
+void FaultPlan::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  crashed_ = false;
+}
+
+bool FaultPlan::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultPlan::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultPlan::appends_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+uint64_t FaultPlan::page_writes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_writes_;
+}
+
+uint64_t FaultPlan::syncs_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+std::string FaultPlan::Describe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "FaultPlan{seed=" + std::to_string(seed_);
+  auto add = [&out](const char* what, const std::map<uint64_t, Spec>& m) {
+    for (const auto& [idx, spec] : m) {
+      out += std::string(", ") + what + "=" + std::to_string(idx);
+      if (spec.action == FaultAction::kTear && spec.keep_bytes != kAutoTear) {
+        out += "(keep " + std::to_string(spec.keep_bytes) + "B)";
+      }
+    }
+  };
+  add("op", by_op_);
+  add("log_append", by_append_);
+  add("page_write", by_page_write_);
+  add("sync", by_sync_);
+  if (!triggered_.empty()) out += ", triggered=" + triggered_;
+  out += ", ops_seen=" + std::to_string(ops_) + "}";
+  return out;
+}
+
+}  // namespace tendax

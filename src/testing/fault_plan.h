@@ -1,0 +1,144 @@
+#ifndef TENDAX_TESTING_FAULT_PLAN_H_
+#define TENDAX_TESTING_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/random.h"
+
+namespace tendax {
+
+/// Category of a storage I/O operation, as observed by the fault-injecting
+/// wrappers in `fault_injection.h`. Disk-manager and log-storage traffic
+/// share one global op counter so "crash at op N" covers any I/O point.
+enum class IoOp : uint8_t {
+  kAllocatePage = 0,
+  kReadPage,
+  kWritePage,
+  kDiskSync,
+  kLogAppend,
+  kLogSync,
+  kLogRead,
+  kLogTruncate,
+};
+
+/// Human-readable name of an IoOp, e.g. "WritePage".
+const char* IoOpName(IoOp op);
+
+/// What the wrapper should do for one I/O call.
+enum class FaultAction : uint8_t {
+  kProceed,  // forward to the inner backend
+  kFail,     // return an injected IOError; later ops proceed
+  kTear,     // persist only `keep_bytes` of the data, then hard-crash
+  kCrashed,  // the plan has crashed: fail without touching the backend
+};
+
+/// The wrapper-facing verdict for one I/O call.
+struct FaultDecision {
+  FaultAction action = FaultAction::kProceed;
+  size_t keep_bytes = 0;  // kTear only: prefix that reaches the backend
+  uint64_t op_index = 0;  // 1-based global index of this op
+};
+
+/// A deterministic, seeded schedule of storage faults.
+///
+/// One FaultPlan is shared by the `FaultInjectingDiskManager` and the
+/// `FaultInjectingLogStorage` wrapping a database's storage, so the global
+/// op index counts every storage I/O the database issues, in order. Faults
+/// can be scheduled by global op index (crash/fail at any I/O point) or by
+/// per-kind ordinal (tear the Nth log append, fail the Nth Sync). A given
+/// seed plus a given schedule reproduces the same run bit-for-bit as long
+/// as the workload itself is deterministic.
+///
+/// After a crash fault triggers, every subsequent I/O fails until
+/// `Disarm()` is called — the moral equivalent of the machine losing power
+/// with only the already-persisted bytes surviving.
+///
+/// Thread-safe; wrappers may be used from concurrent transactions.
+class FaultPlan {
+ public:
+  static constexpr size_t kAutoTear = std::numeric_limits<size_t>::max();
+
+  /// `seed` drives tear-point selection when no explicit byte offset is
+  /// given, and is echoed by `Describe()` for reproduction.
+  explicit FaultPlan(uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // --- scheduling (call before the run; 1-based indexes) ---
+
+  /// The `index`-th I/O op fails with IOError; the run continues.
+  void FailOp(uint64_t index);
+
+  /// Hard crash: op `index` and every later op fail with IOError.
+  void CrashAtOp(uint64_t index);
+
+  /// The `n`-th log append persists only `keep_bytes` (kAutoTear = pick a
+  /// seeded random prefix at trigger time), then hard-crashes — a torn
+  /// tail record.
+  void TearNthLogAppend(uint64_t n, size_t keep_bytes = kAutoTear);
+
+  /// The `n`-th page write persists only `keep_bytes` of the page image
+  /// (merged over the old contents), then hard-crashes — a torn page.
+  void TearNthPageWrite(uint64_t n, size_t keep_bytes = kAutoTear);
+
+  /// The `n`-th Sync (disk or log) fails with IOError, once.
+  void FailNthSync(uint64_t n);
+
+  // --- runtime (called by the wrappers before every I/O) ---
+
+  /// Decides the fate of the next I/O op. `data_size` is the payload size
+  /// for writes/appends (used to pick auto tear points), 0 otherwise.
+  FaultDecision OnIo(IoOp op, size_t data_size);
+
+  /// Stops injecting faults (and clears the crashed state); op counting
+  /// continues. Used to model the post-crash restart over the surviving
+  /// bytes.
+  void Disarm();
+
+  /// True once a crash or tear fault has triggered.
+  bool crashed() const;
+
+  /// Total I/O ops observed so far (profiling runs use this to learn the
+  /// crash-point space of a workload).
+  uint64_t ops_seen() const;
+
+  /// Per-kind ordinal counters, for scheduling kind-relative faults from a
+  /// profiling run (e.g. "tear a log append somewhere in the workload").
+  uint64_t appends_seen() const;
+  uint64_t page_writes_seen() const;
+  uint64_t syncs_seen() const;
+
+  /// One-line reproduction recipe for failure messages, e.g.
+  /// "FaultPlan{seed=7, crash_at_op=153, triggered=LogSync@153}".
+  std::string Describe() const;
+
+ private:
+  struct Spec {
+    FaultAction action;
+    size_t keep_bytes;
+  };
+
+  const uint64_t seed_;
+
+  mutable std::mutex mu_;
+  Random rng_;
+  bool armed_ = true;
+  bool crashed_ = false;
+  uint64_t ops_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t page_writes_ = 0;
+  uint64_t syncs_ = 0;
+  std::map<uint64_t, Spec> by_op_;          // global op index -> fault
+  std::map<uint64_t, Spec> by_append_;      // nth log append -> fault
+  std::map<uint64_t, Spec> by_page_write_;  // nth page write -> fault
+  std::map<uint64_t, Spec> by_sync_;        // nth sync -> fault
+  std::string triggered_;                   // description of fired faults
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TESTING_FAULT_PLAN_H_

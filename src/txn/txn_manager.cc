@@ -62,7 +62,13 @@ Status TxnManager::Commit(Transaction* txn) {
 Status TxnManager::Abort(Transaction* txn) {
   TENDAX_CHECK(txn->state() == TxnState::kActive);
   // Undo the write set in reverse order, logging a compensation record per
-  // undone change so that a crash mid-abort recovers correctly.
+  // undone change so that a crash mid-abort recovers correctly. I/O failures
+  // (the log device going down mid-abort, a page read error) degrade to
+  // best-effort unlogged undo: the transaction is always finalized so locks
+  // never leak, and crash recovery re-runs any missed undo from the
+  // surviving log suffix.
+  Status first_error = Status::OK();
+  bool wal_ok = wal_ != nullptr;
   const auto& writes = txn->write_set();
   for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
     UpdateOp inverse;
@@ -84,7 +90,7 @@ Status TxnManager::Abort(Transaction* txn) {
         return Status::Internal("unknown op in write set");
     }
     Lsn clr_lsn = kInvalidLsn;
-    if (wal_ != nullptr) {
+    if (wal_ok) {
       LogRecord clr;
       clr.type = LogType::kCompensation;
       clr.txn = txn->id();
@@ -95,23 +101,27 @@ Status TxnManager::Abort(Transaction* txn) {
       clr.after = *image;
       clr.undo_next_lsn = it->lsn;
       auto lsn = wal_->Append(&clr);
-      if (!lsn.ok()) return lsn.status();
-      clr_lsn = *lsn;
-      txn->set_prev_lsn(clr_lsn);
+      if (!lsn.ok()) {
+        if (first_error.ok()) first_error = lsn.status();
+        wal_ok = false;
+      } else {
+        clr_lsn = *lsn;
+        txn->set_prev_lsn(clr_lsn);
+      }
     }
     if (applier_ != nullptr) {
-      TENDAX_RETURN_IF_ERROR(
-          applier_->ApplyChange(it->table_id, inverse, it->rid, *image,
-                                clr_lsn));
+      Status applied = applier_->ApplyChange(it->table_id, inverse, it->rid,
+                                             *image, clr_lsn);
+      if (!applied.ok() && first_error.ok()) first_error = applied;
     }
   }
-  if (wal_ != nullptr && !txn->read_only()) {
+  if (wal_ok && !txn->read_only()) {
     LogRecord rec;
     rec.type = LogType::kAbort;
     rec.txn = txn->id();
     rec.prev_lsn = txn->prev_lsn();
     auto lsn = wal_->Append(&rec);
-    if (!lsn.ok()) return lsn.status();
+    if (!lsn.ok() && first_error.ok()) first_error = lsn.status();
   }
   // Undo non-logged side effects (index entries etc.) in reverse order.
   const auto& actions = txn->rollback_actions();
@@ -123,7 +133,7 @@ Status TxnManager::Abort(Transaction* txn) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.aborted;
   }
-  return Status::OK();
+  return first_error;
 }
 
 Status TxnManager::RunInTxn(UserId user,
@@ -134,9 +144,17 @@ Status TxnManager::RunInTxn(UserId user,
     Transaction* txn = Begin(user);
     Status st = body(txn);
     if (st.ok()) {
-      return Commit(txn);
+      st = Commit(txn);
+      if (st.ok()) return st;
+      // A failed commit flush leaves the transaction active with locks held
+      // and its effects applied in memory; roll it back so the engine stays
+      // usable. Whether the commit record reached durable storage is
+      // ambiguous — recovery resolves it from whatever log suffix survived.
+      (void)Abort(txn);
+      return st;
     }
-    TENDAX_RETURN_IF_ERROR(Abort(txn));
+    Status aborted = Abort(txn);
+    if (!aborted.ok()) return aborted;
     if (!st.IsRetryable()) return st;
     last = st;
   }

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tendax.h"
+#include "util/random.h"
+#include "workload/generators.h"
+
+namespace tendax {
+namespace {
+
+// Multi-threaded collaboration stress: N editor clients hammer one shared
+// document through the full stack (access control, transactions, locking,
+// session fan-out). Designed to run under TSAN (-DTENDAX_SANITIZE=thread):
+// the assertions cover convergence, the sanitizer covers data races.
+//
+// Scale knobs (bounded defaults for tier-1):
+//   TENDAX_STRESS_THREADS  concurrent editors  (default 4)
+//   TENDAX_STRESS_OPS      edits per editor    (default 60)
+
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+TEST(CollabStressTest, ConcurrentEditorsConvergeOnSharedDocument) {
+  const size_t kThreads = static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
+  const size_t kOpsPerThread = static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
+
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 1024;
+  auto server_res = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
+  TendaxServer* server = server_res->get();
+
+  auto owner = server->accounts()->CreateUser("owner");
+  ASSERT_TRUE(owner.ok());
+  auto doc = server->text()->CreateDocument(*owner, "shared.txt");
+  ASSERT_TRUE(doc.ok());
+
+  // One user + attached editor per thread; all open the same document so
+  // every committed edit fans out to every session.
+  std::vector<std::unique_ptr<Editor>> editors;
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto user = server->accounts()->CreateUser("editor" + std::to_string(t));
+    ASSERT_TRUE(user.ok());
+    auto editor = server->AttachEditor(*user, "stress-client");
+    ASSERT_TRUE(editor.ok()) << editor.status().ToString();
+    ASSERT_TRUE((*editor)->Open(*doc).ok());
+    editors.push_back(std::move(*editor));
+  }
+
+  std::atomic<size_t> applied{0};
+  std::atomic<size_t> gave_up{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Editor* editor = editors[t].get();
+      TypingTraceGenerator gen(/*seed=*/1000 + t);
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        // The document length moves under us; poll it fresh and clamp. A
+        // concurrent edit can still race the position past the end, which
+        // the engine must reject cleanly (kOutOfRange), not corrupt.
+        auto len = server->text()->Length(*doc);
+        if (!len.ok()) {
+          ++gave_up;
+          continue;
+        }
+        TypingAction a = gen.Next(static_cast<size_t>(*len));
+        bool done = false;
+        for (int attempt = 0; attempt < 8 && !done; ++attempt) {
+          Status st = a.kind == TypingAction::Kind::kInsert
+                          ? editor->Type(*doc, a.pos, a.text)
+                          : editor->Erase(*doc, a.pos, a.len);
+          if (st.ok()) {
+            ++applied;
+            done = true;
+          } else if (st.IsOutOfRange()) {
+            // Lost the race on the document length; skip this gesture.
+            done = true;
+          } else {
+            ASSERT_TRUE(st.IsRetryable() || st.IsConflict())
+                << "thread " << t << " op " << i << ": " << st.ToString();
+            std::this_thread::yield();
+          }
+        }
+        if (!done) ++gave_up;
+        (void)editor->PollEvents();  // drain so inboxes never overflow
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Convergence: every editor reads the same final text, which matches the
+  // server-side read, and at least some edits landed.
+  EXPECT_GT(applied.load(), 0u);
+  auto server_text = server->text()->Text(*doc);
+  ASSERT_TRUE(server_text.ok()) << server_text.status().ToString();
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto view = editors[t]->Text(*doc);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(*view, *server_text) << "editor " << t << " diverged";
+  }
+
+  // Nothing leaked: no active transactions, and the document still passes
+  // the structural integrity sweep.
+  EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
+  Status integrity = server->CheckIntegrity();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+}
+
+}  // namespace
+}  // namespace tendax

@@ -9,6 +9,8 @@
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "storage/wal.h"
+#include "util/coding.h"
+#include "util/random.h"
 
 namespace tendax {
 namespace {
@@ -324,6 +326,194 @@ TEST(WalTest, FileBackedRoundTrip) {
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].before, "before");
   EXPECT_EQ(out[0].after, "after");
+}
+
+// --- log-record robustness fuzz ------------------------------------------
+
+LogRecord RandomRecord(Random* rng) {
+  LogRecord rec;
+  switch (rng->Uniform(5)) {
+    case 0:
+      rec.type = LogType::kBegin;
+      break;
+    case 1:
+      rec.type = LogType::kCommit;
+      break;
+    case 2:
+      rec.type = LogType::kAbort;
+      break;
+    case 3:
+      rec.type = LogType::kCompensation;
+      rec.undo_next_lsn = rng->Next();
+      break;
+    default:
+      rec.type = LogType::kUpdate;
+      break;
+  }
+  rec.lsn = rng->Next();
+  rec.prev_lsn = rng->Next();
+  rec.txn = TxnId(rng->Next());
+  switch (rng->Uniform(3)) {
+    case 0:
+      rec.op = UpdateOp::kInsert;
+      break;
+    case 1:
+      rec.op = UpdateOp::kUpdate;
+      break;
+    default:
+      rec.op = UpdateOp::kDelete;
+      break;
+  }
+  // Payload fields only travel on update/CLR records (EncodeTo is
+  // type-aware), so only populate them there.
+  if (rec.type == LogType::kUpdate || rec.type == LogType::kCompensation) {
+    rec.table_id = rng->Next();
+    rec.rid = rng->Next();
+    size_t before_len = rng->Uniform(40);
+    size_t after_len = rng->Uniform(40);
+    for (size_t i = 0; i < before_len; ++i) {
+      rec.before.push_back(static_cast<char>(rng->Uniform(256)));
+    }
+    for (size_t i = 0; i < after_len; ++i) {
+      rec.after.push_back(static_cast<char>(rng->Uniform(256)));
+    }
+  }
+  return rec;
+}
+
+// DecodeFrom must reject every strict prefix of a valid encoding without
+// reading out of bounds (ASAN-checked) or crashing, and accept the full
+// encoding bit-for-bit.
+TEST(LogRecordFuzzTest, EveryTruncationReturnsFalse) {
+  Random rng(20260806);
+  for (int i = 0; i < 50; ++i) {
+    LogRecord rec = RandomRecord(&rng);
+    std::string bytes;
+    rec.EncodeTo(&bytes);
+    LogRecord out;
+    ASSERT_TRUE(LogRecord::DecodeFrom(Slice(bytes), &out)) << "iter " << i;
+    EXPECT_EQ(out.lsn, rec.lsn);
+    EXPECT_EQ(out.before, rec.before);
+    EXPECT_EQ(out.after, rec.after);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      LogRecord truncated;
+      // A prefix may happen to parse (trailing fields are optional in the
+      // varint layout); it must never crash or over-read.
+      (void)LogRecord::DecodeFrom(Slice(bytes.data(), cut), &truncated);
+    }
+  }
+}
+
+TEST(LogRecordFuzzTest, RandomCorruptionNeverCrashes) {
+  Random rng(424242);
+  for (int i = 0; i < 300; ++i) {
+    LogRecord rec = RandomRecord(&rng);
+    std::string bytes;
+    rec.EncodeTo(&bytes);
+    size_t flips = 1 + rng.Uniform(5);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(bytes.size());
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << rng.Uniform(8)));
+    }
+    LogRecord out;
+    (void)LogRecord::DecodeFrom(Slice(bytes), &out);
+  }
+}
+
+// DecodeLogBuffer over every prefix of a multi-record framed log: only
+// complete, checksum-valid records come back, and the torn tail never
+// causes a crash or a phantom record.
+TEST(LogRecordFuzzTest, DecodeLogBufferHandlesEveryPrefix) {
+  auto storage = std::make_shared<InMemoryLogStorage>();
+  Wal wal(storage);
+  Random rng(7);
+  constexpr int kRecords = 6;
+  for (int i = 0; i < kRecords; ++i) {
+    LogRecord rec = RandomRecord(&rng);
+    ASSERT_TRUE(wal.Append(&rec).ok());
+  }
+  ASSERT_TRUE(wal.FlushAll().ok());
+  std::string full;
+  ASSERT_TRUE(storage->ReadAll(&full).ok());
+
+  size_t max_decoded = 0;
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    std::vector<LogRecord> out;
+    Wal::DecodeLogBuffer(full.substr(0, cut), &out);
+    EXPECT_LE(out.size(), static_cast<size_t>(kRecords));
+    EXPECT_GE(out.size(), max_decoded);  // prefixes only ever add records
+    max_decoded = std::max(max_decoded, out.size());
+    for (size_t r = 0; r < out.size(); ++r) {
+      EXPECT_EQ(out[r].lsn, r + 1) << "cut=" << cut;
+    }
+  }
+  EXPECT_EQ(max_decoded, static_cast<size_t>(kRecords));
+
+  // Bit flips anywhere in the framed buffer must never crash the decoder.
+  for (int i = 0; i < 200; ++i) {
+    std::string corrupt = full;
+    size_t flips = 1 + rng.Uniform(8);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(corrupt.size());
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << rng.Uniform(8)));
+    }
+    std::vector<LogRecord> out;
+    Wal::DecodeLogBuffer(corrupt, &out);
+    EXPECT_LE(out.size(), static_cast<size_t>(kRecords));
+  }
+}
+
+// A record that passes framing and checksum but breaks LSN contiguity is a
+// trashed tail: DecodeLogBuffer must stop there, not replay out-of-order
+// history. A log *starting* at an arbitrary LSN is fine (Reset() truncates
+// the bytes but keeps numbering).
+TEST(LogRecordFuzzTest, DecodeLogBufferStopsAtLsnGap) {
+  auto storage = std::make_shared<InMemoryLogStorage>();
+  Wal wal(storage);
+  Random rng(11);
+  constexpr int kRecords = 4;
+  for (int i = 0; i < kRecords; ++i) {
+    LogRecord rec = RandomRecord(&rng);
+    ASSERT_TRUE(wal.Append(&rec).ok());
+  }
+  ASSERT_TRUE(wal.FlushAll().ok());
+  std::string full;
+  ASSERT_TRUE(storage->ReadAll(&full).ok());
+
+  // Split the buffer into its four frames (fixed32 len + fixed32 crc +
+  // payload) so we can splice them back together in illegal orders.
+  std::vector<std::string> frames;
+  for (size_t off = 0; off < full.size();) {
+    uint32_t len = DecodeFixed32(full.data() + off);
+    frames.push_back(full.substr(off, 8 + len));
+    off += 8 + len;
+  }
+  ASSERT_EQ(frames.size(), static_cast<size_t>(kRecords));
+
+  // lsn 1 followed by lsn 3: decoding stops after the first record.
+  {
+    std::vector<LogRecord> out;
+    Lsn next = Wal::DecodeLogBuffer(frames[0] + frames[2], &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].lsn, 1u);
+    EXPECT_EQ(next, 2u);
+  }
+  // lsn 3 followed by lsn 4: a post-Reset() log legitimately starts past 1.
+  {
+    std::vector<LogRecord> out;
+    Lsn next = Wal::DecodeLogBuffer(frames[2] + frames[3], &out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].lsn, 3u);
+    EXPECT_EQ(next, 5u);
+  }
+  // lsn 2 repeated: the duplicate is dropped along with everything after.
+  {
+    std::vector<LogRecord> out;
+    Lsn next = Wal::DecodeLogBuffer(frames[1] + frames[1] + frames[2], &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].lsn, 2u);
+    EXPECT_EQ(next, 3u);
+  }
 }
 
 }  // namespace

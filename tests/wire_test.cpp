@@ -5,9 +5,54 @@
 
 #include "collab/wire.h"
 #include "server_fixture.h"
+#include "util/random.h"
 
 namespace tendax {
 namespace {
+
+// --- randomized codec property tests ------------------------------------
+
+std::string RandomBlob(Random* rng, size_t max_len) {
+  std::string out;
+  size_t len = rng->Uniform(max_len + 1);
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+EditCommand RandomCommand(Random* rng) {
+  EditCommand command;
+  command.kind = static_cast<CommandKind>(1 + rng->Uniform(14));
+  command.doc = DocumentId(rng->Next());
+  command.pos = rng->Next();
+  command.len = rng->Next();
+  command.text = RandomBlob(rng, 64);
+  command.extra = RandomBlob(rng, 32);
+  return command;
+}
+
+WireResponse RandomResponse(Random* rng) {
+  WireResponse response;
+  response.code = static_cast<StatusCode>(rng->Uniform(16));
+  response.message = RandomBlob(rng, 48);
+  response.payload = RandomBlob(rng, 96);
+  return response;
+}
+
+ChangeEvent RandomEvent(Random* rng) {
+  ChangeEvent event;
+  event.kind = static_cast<ChangeKind>(1 + rng->Uniform(16));
+  event.doc = DocumentId(rng->Next());
+  event.user = UserId(rng->Next());
+  event.version = rng->Next();
+  event.at = static_cast<Timestamp>(rng->Next());
+  event.anchor = CharId(rng->Next());
+  event.count = rng->Next();
+  event.detail = RandomBlob(rng, 40);
+  return event;
+}
 
 TEST(WireCodecTest, CommandRoundTrip) {
   EditCommand command;
@@ -70,6 +115,91 @@ TEST(WireCodecTest, CorruptInputRejected) {
   std::string bytes = EncodeCommand(command);
   bytes.resize(bytes.size() - 3);  // torn
   EXPECT_TRUE(DecodeCommand(bytes).status().IsCorruption());
+}
+
+TEST(WireCodecTest, RandomizedRoundTrips) {
+  Random rng(20260806);
+  for (int i = 0; i < 300; ++i) {
+    EditCommand command = RandomCommand(&rng);
+    auto decoded = DecodeCommand(EncodeCommand(command));
+    ASSERT_TRUE(decoded.ok()) << "iter " << i;
+    EXPECT_EQ(decoded->kind, command.kind);
+    EXPECT_EQ(decoded->doc, command.doc);
+    EXPECT_EQ(decoded->pos, command.pos);
+    EXPECT_EQ(decoded->len, command.len);
+    EXPECT_EQ(decoded->text, command.text);
+    EXPECT_EQ(decoded->extra, command.extra);
+
+    WireResponse response = RandomResponse(&rng);
+    auto response_decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(response_decoded.ok()) << "iter " << i;
+    EXPECT_EQ(response_decoded->code, response.code);
+    EXPECT_EQ(response_decoded->message, response.message);
+    EXPECT_EQ(response_decoded->payload, response.payload);
+
+    ChangeBatch batch;
+    size_t n = rng.Uniform(5);
+    for (size_t j = 0; j < n; ++j) batch.push_back(RandomEvent(&rng));
+    auto batch_decoded = DecodeEventBatch(EncodeEventBatch(batch));
+    ASSERT_TRUE(batch_decoded.ok()) << "iter " << i;
+    ASSERT_EQ(batch_decoded->size(), batch.size());
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ((*batch_decoded)[j].kind, batch[j].kind);
+      EXPECT_EQ((*batch_decoded)[j].version, batch[j].version);
+      EXPECT_EQ((*batch_decoded)[j].detail, batch[j].detail);
+    }
+  }
+}
+
+// Decoders must survive any truncation of a valid encoding: every strict
+// prefix either decodes (when the dropped bytes were not needed) or is
+// rejected with a Status — never a crash or out-of-bounds read.
+TEST(WireCodecTest, EveryTruncationIsHandled) {
+  Random rng(99);
+  for (int i = 0; i < 25; ++i) {
+    std::string command_bytes = EncodeCommand(RandomCommand(&rng));
+    for (size_t cut = 0; cut < command_bytes.size(); ++cut) {
+      (void)DecodeCommand(Slice(command_bytes.data(), cut));
+    }
+    std::string response_bytes = EncodeResponse(RandomResponse(&rng));
+    for (size_t cut = 0; cut < response_bytes.size(); ++cut) {
+      (void)DecodeResponse(Slice(response_bytes.data(), cut));
+    }
+    ChangeBatch batch{RandomEvent(&rng), RandomEvent(&rng)};
+    std::string batch_bytes = EncodeEventBatch(batch);
+    for (size_t cut = 0; cut < batch_bytes.size(); ++cut) {
+      (void)DecodeEventBatch(Slice(batch_bytes.data(), cut));
+    }
+  }
+}
+
+// ... and any bit flip: corrupted varints can claim absurd lengths and
+// counts; decoding must fail cleanly instead of over-reading or making
+// multi-gigabyte allocations.
+TEST(WireCodecTest, BitFlipFuzz) {
+  Random rng(20260807);
+  for (int i = 0; i < 200; ++i) {
+    std::string bytes = EncodeCommand(RandomCommand(&rng));
+    size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(bytes.size());
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << rng.Uniform(8)));
+    }
+    (void)DecodeCommand(bytes);
+
+    std::string response_bytes = EncodeResponse(RandomResponse(&rng));
+    size_t pos = rng.Uniform(response_bytes.size());
+    response_bytes[pos] =
+        static_cast<char>(response_bytes[pos] ^ (1 << rng.Uniform(8)));
+    (void)DecodeResponse(response_bytes);
+
+    ChangeBatch batch{RandomEvent(&rng)};
+    std::string batch_bytes = EncodeEventBatch(batch);
+    pos = rng.Uniform(batch_bytes.size());
+    batch_bytes[pos] =
+        static_cast<char>(batch_bytes[pos] ^ (1 << rng.Uniform(8)));
+    (void)DecodeEventBatch(batch_bytes);
+  }
 }
 
 class WireSessionTest : public ServerTest {};
