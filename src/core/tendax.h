@@ -28,6 +28,12 @@ struct TendaxOptions {
   /// `db.disk` and `db.log_storage` accept pre-built backends — fault
   /// injection tests plug `FaultInjecting{DiskManager,LogStorage}` wrappers
   /// in here and reopen over the inner backends to model a crash+restart.
+  ///
+  /// `db.group_commit` selects the commit-durability strategy: per-commit
+  /// fsync, or group commit with a leader committer / a background flusher
+  /// thread that coalesces all concurrently waiting keystroke commits into
+  /// one fsync. The flusher's lifecycle is tied to the server: started on
+  /// Open, drained and joined on destruction.
   DatabaseOptions db;
   /// Whether documents without explicit grants are open to every user
   /// (the demo's LAN-party default) or restricted to their creator.

@@ -30,7 +30,7 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     db->log_storage_ = std::shared_ptr<LogStorage>(std::move(*log));
   }
 
-  db->wal_ = std::make_unique<Wal>(db->log_storage_);
+  db->wal_ = std::make_unique<Wal>(db->log_storage_, options.group_commit);
   db->buffer_pool_ = std::make_unique<BufferPool>(
       options.buffer_pool_pages, db->disk_.get(), db->wal_.get());
   db->lock_manager_ = std::make_unique<LockManager>(options.lock_timeout);
@@ -46,6 +46,18 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 }
 
 Database::~Database() {
+  if (wal_ != nullptr) {
+    // Resolve any committers still blocked on the group flusher before the
+    // final flushes below.
+    wal_->Shutdown();
+    if (!wal_->poison_status().ok()) {
+      // Fail-stopped: a shared flush failed after its waiters had released
+      // their locks, so in-memory pages may hold effects the durable log
+      // cannot justify. Close like a crash — write nothing back — and let
+      // the next open recover from the log.
+      return;
+    }
+  }
   if (buffer_pool_ != nullptr) {
     (void)buffer_pool_->FlushAll();
   }
@@ -154,6 +166,11 @@ Result<BPlusTree*> Database::GetIndex(const std::string& name) const {
 }
 
 Status Database::Checkpoint() {
+  if (wal_ != nullptr) {
+    Status poisoned = wal_->poison_status();
+    // A checkpoint must not write back pages the log cannot justify.
+    if (!poisoned.ok()) return poisoned;
+  }
   if (txn_manager_->ActiveCount() > 0) {
     return Status::FailedPrecondition(
         "checkpoint requires a quiescent database");

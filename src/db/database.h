@@ -28,6 +28,10 @@ struct DatabaseOptions {
   size_t buffer_pool_pages = 4096;
   /// Whether commits wait for the log flush.
   bool sync_commit = true;
+  /// How commit flushes are serviced (per-commit vs group commit); the
+  /// flusher thread, when configured, lives inside the Wal and is drained
+  /// on close. See `GroupCommitOptions`.
+  GroupCommitOptions group_commit;
   /// Lock wait timeout before a Conflict error.
   std::chrono::milliseconds lock_timeout{2000};
   /// Time source for all metadata stamps; defaults to the system clock.

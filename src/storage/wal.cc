@@ -153,7 +153,8 @@ Status FileLogStorage::Truncate() {
   return Status::OK();
 }
 
-Wal::Wal(std::shared_ptr<LogStorage> storage) : storage_(std::move(storage)) {
+Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit)
+    : storage_(std::move(storage)), gc_options_(std::move(group_commit)) {
   // Continue LSN numbering after any records already in the log.
   std::string buffer;
   if (storage_->ReadAll(&buffer).ok()) {
@@ -161,9 +162,23 @@ Wal::Wal(std::shared_ptr<LogStorage> storage) : storage_(std::move(storage)) {
     next_lsn_ = DecodeLogBuffer(buffer, &records);
     flushed_lsn_ = next_lsn_ - 1;
   }
+  gc_durable_ = flushed_lsn_;
+  if (gc_options_.mode == CommitFlushMode::kFlusherThread) {
+    flusher_ = std::thread(&Wal::FlusherLoop, this);
+  }
+}
+
+Wal::~Wal() {
+  // Note: deliberately no flush here — dropping a Wal with buffered records
+  // models a crash that loses them (see the constructor comment). Shutdown
+  // only resolves committers still blocked on the flusher.
+  Shutdown();
 }
 
 Result<Lsn> Wal::Append(LogRecord* rec) {
+  if (gc_poisoned_.load(std::memory_order_acquire)) {
+    return gc_poison_status_;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   rec->lsn = next_lsn_++;
   std::string payload;
@@ -174,17 +189,42 @@ Result<Lsn> Wal::Append(LogRecord* rec) {
   return rec->lsn;
 }
 
-Status Wal::Flush(Lsn up_to) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (up_to <= flushed_lsn_) return Status::OK();
-  // Group commit: flush everything buffered.
-  if (!pending_.empty()) {
-    TENDAX_RETURN_IF_ERROR(storage_->Append(pending_));
-    pending_.clear();
+Status Wal::Flush(Lsn up_to) { return FlushInternal(up_to, false); }
+
+Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
+  std::unique_lock<std::mutex> l(mu_);
+  for (;;) {
+    if (!force_sync && up_to <= flushed_lsn_) return Status::OK();
+    if (!flush_in_flight_) break;
+    flush_cv_.wait(l);
   }
-  TENDAX_RETURN_IF_ERROR(storage_->Sync());
-  flushed_lsn_ = next_lsn_ - 1;
-  return Status::OK();
+  flush_in_flight_ = true;
+  std::string batch;
+  batch.swap(pending_);
+  const Lsn target = next_lsn_ - 1;
+  l.unlock();
+
+  // Storage I/O runs without mu_ so appenders keep flowing during a slow
+  // fsync; flush_in_flight_ keeps the batches themselves serialized.
+  Status st = Status::OK();
+  if (!batch.empty()) st = storage_->Append(batch);
+  const bool appended = st.ok();
+  if (appended) st = storage_->Sync();
+
+  l.lock();
+  if (appended) {
+    // The bytes reached storage even if the Sync failed; a retry only needs
+    // to Sync again, so the batch stays out of pending_.
+    ++syncs_issued_;
+    if (st.ok() && target > flushed_lsn_) flushed_lsn_ = target;
+  } else {
+    // Nothing new became durable; put the batch back ahead of any records
+    // appended meanwhile so log order is preserved for the retry.
+    pending_.insert(0, batch);
+  }
+  flush_in_flight_ = false;
+  flush_cv_.notify_all();
+  return st;
 }
 
 Status Wal::FlushAll() {
@@ -194,6 +234,184 @@ Status Wal::FlushAll() {
     last = next_lsn_ - 1;
   }
   return Flush(last);
+}
+
+Status Wal::CommitFlush(Lsn lsn) {
+  std::unique_lock<std::mutex> l(gc_mu_);
+  ++gc_stats_.commits;
+  if (gc_poisoned_.load(std::memory_order_relaxed)) {
+    return gc_poison_status_;
+  }
+  switch (gc_options_.mode) {
+    case CommitFlushMode::kInline:
+      l.unlock();
+      return FlushInternal(lsn, /*force_sync=*/false);
+    case CommitFlushMode::kPerCommit:
+      l.unlock();
+      return FlushInternal(lsn, /*force_sync=*/true);
+    case CommitFlushMode::kLeader:
+    case CommitFlushMode::kFlusherThread:
+      break;
+  }
+  if (gc_shutdown_) {
+    // Engine is closing; degrade to an inline flush rather than block on a
+    // flusher that is gone.
+    l.unlock();
+    return FlushInternal(lsn, /*force_sync=*/false);
+  }
+
+  ++gc_waiters_;
+  if (lsn > gc_max_requested_) gc_max_requested_ = lsn;
+  const uint64_t start_gen = gc_gen_;
+  if (gc_options_.hooks) gc_options_.hooks->OnCommitEnqueued(gc_waiters_, lsn);
+
+  Status result = Status::OK();
+  if (gc_options_.mode == CommitFlushMode::kFlusherThread) {
+    gc_work_ = true;
+    gc_flusher_cv_.notify_one();
+    // Wake when a flush covers us — or when a flush attempt that covered us
+    // fails, in which case its error fans out to the whole batch.
+    gc_waiter_cv_.wait(l, [&] {
+      return gc_durable_ >= lsn ||
+             (gc_fail_gen_ > start_gen && gc_fail_target_ >= lsn);
+    });
+    if (gc_fail_gen_ > start_gen && gc_fail_target_ >= lsn) {
+      // A shared flush attempt that covered this commit failed. Take the
+      // error even if a later attempt made the bytes durable (the flusher
+      // may re-sync an already-appended batch): every waiter of a failed
+      // batch reports failure and rolls back, and recovery resolves the
+      // durability ambiguity from the surviving log — the rollback's CLRs
+      // net out a commit record that did reach storage.
+      result = gc_fail_status_;
+    }
+  } else {
+    // kLeader: the first waiter to find no flush in progress flushes for
+    // the whole group; everyone else blocks until an outcome covers them.
+    // Failure coverage is checked first for the same reason as above: a
+    // failed attempt fans out to its whole batch even if a later attempt
+    // succeeded.
+    for (;;) {
+      if (gc_fail_gen_ > start_gen && gc_fail_target_ >= lsn) {
+        result = gc_fail_status_;
+        break;
+      }
+      if (gc_durable_ >= lsn) break;
+      if (!gc_flush_active_) {
+        gc_flush_active_ = true;
+        GroupFlushLocked(l);
+        gc_flush_active_ = false;
+        // Loop to evaluate our own fate against the published outcome.
+      } else {
+        gc_waiter_cv_.wait(l);
+      }
+    }
+  }
+  --gc_waiters_;
+  if (gc_waiters_ == 0) gc_flusher_cv_.notify_all();
+  return result;
+}
+
+void Wal::GroupFlushLocked(std::unique_lock<std::mutex>& l) {
+  const uint64_t index = ++gc_flush_seq_;
+  GroupCommitHooks* hooks = gc_options_.hooks.get();
+  if (hooks != nullptr) {
+    const size_t announced_waiters = gc_waiters_;
+    const Lsn announced_target = gc_max_requested_;
+    l.unlock();  // the hook may block (it is the test pause gate)
+    hooks->OnGroupFlushStart(index, announced_waiters, announced_target);
+    l.lock();
+  }
+  // Snapshot after the hook gate so commits that piled up while a test held
+  // the flusher paused belong to this attempt's outcome (success or error).
+  const Lsn target = gc_max_requested_;
+  const size_t batch = gc_waiters_;
+  l.unlock();
+  Status st = FlushInternal(target, /*force_sync=*/false);
+  if (hooks != nullptr) hooks->OnGroupFlushEnd(index, st);
+  const Lsn durable = flushed_lsn();
+  l.lock();
+  ++gc_gen_;
+  ++gc_stats_.group_flushes;
+  if (batch > gc_stats_.max_batch) gc_stats_.max_batch = batch;
+  if (st.ok()) {
+    if (durable > gc_durable_) gc_durable_ = durable;
+  } else {
+    ++gc_stats_.failed_flushes;
+    gc_fail_gen_ = gc_gen_;
+    gc_fail_target_ = target;
+    gc_fail_status_ = st;
+    if (gc_options_.early_lock_release &&
+        !gc_poisoned_.load(std::memory_order_relaxed)) {
+      // The waiters of this batch released their locks when they appended
+      // their commit records, so other transactions may already have built
+      // on writes we now cannot make durable — rolling the batch back
+      // in place would be unsound. Fail-stop instead: every further
+      // Append/CommitFlush returns this error, and reopen + recovery
+      // re-establishes a consistent state from whatever the log retained.
+      gc_poison_status_ = st;
+      gc_poisoned_.store(true, std::memory_order_release);
+      // Fail-stop covers every waiter currently parked, not just the ones
+      // the failed attempt targeted — no later attempt may hand any of
+      // them a success once the pipeline is poisoned.
+      if (gc_max_requested_ > gc_fail_target_) {
+        gc_fail_target_ = gc_max_requested_;
+      }
+    }
+  }
+  gc_waiter_cv_.notify_all();
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> l(gc_mu_);
+  for (;;) {
+    gc_flusher_cv_.wait(l, [&] { return gc_shutdown_ || gc_work_; });
+    if (gc_shutdown_) {
+      // Drain: every remaining waiter gets an outcome (durable or the
+      // fanned-out flush error) before the thread exits.
+      while (gc_waiters_ > 0) {
+        gc_work_ = false;
+        GroupFlushLocked(l);
+        gc_flusher_cv_.wait(l, [&] { return gc_waiters_ == 0 || gc_work_; });
+      }
+      return;
+    }
+    // Batching window: give concurrent committers a beat to pile on before
+    // paying the fsync, unless the batch is already full.
+    if (gc_options_.flush_interval.count() > 0 &&
+        gc_waiters_ < gc_options_.max_batch_waiters) {
+      gc_flusher_cv_.wait_for(l, gc_options_.flush_interval, [&] {
+        return gc_shutdown_ || gc_waiters_ >= gc_options_.max_batch_waiters;
+      });
+    }
+    gc_work_ = false;
+    if (gc_waiters_ > 0) GroupFlushLocked(l);
+  }
+}
+
+void Wal::Shutdown() {
+  {
+    std::lock_guard<std::mutex> l(gc_mu_);
+    gc_shutdown_ = true;
+  }
+  gc_flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+Status Wal::poison_status() const {
+  std::lock_guard<std::mutex> l(gc_mu_);
+  return gc_poisoned_.load(std::memory_order_relaxed) ? gc_poison_status_
+                                                      : Status::OK();
+}
+
+WalGroupCommitStats Wal::group_commit_stats() const {
+  WalGroupCommitStats out;
+  {
+    std::lock_guard<std::mutex> l(gc_mu_);
+    out = gc_stats_;
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  out.syncs = syncs_issued_;
+  return out;
 }
 
 Lsn Wal::next_lsn() const {
@@ -215,7 +433,10 @@ Status Wal::ReadAll(std::vector<LogRecord>* out) {
 }
 
 Status Wal::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // An in-flight flush would append its batch after the truncate; wait it
+  // out so the log restarts empty.
+  flush_cv_.wait(lock, [&] { return !flush_in_flight_; });
   pending_.clear();
   TENDAX_RETURN_IF_ERROR(storage_->Truncate());
   flushed_lsn_ = next_lsn_ - 1;

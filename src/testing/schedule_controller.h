@@ -1,0 +1,103 @@
+#ifndef TENDAX_TESTING_SCHEDULE_CONTROLLER_H_
+#define TENDAX_TESTING_SCHEDULE_CONTROLLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "storage/wal.h"
+#include "util/random.h"
+
+namespace tendax {
+
+/// A seeded concurrency-schedule controller for the group-commit pipeline.
+///
+/// Plugged into `GroupCommitOptions::hooks`, it lets a test pause the
+/// flusher (background thread or leader committer) at chosen coalesced
+/// flush indices, pile up concurrent committers and storage faults behind
+/// the closed gate, and then release the flush into the prepared
+/// interleaving. Combined with `FaultPlan`'s op-index machinery this makes
+/// schedules like "commit waiting when the crash fires", "batch torn
+/// mid-append" and "flush error fans out to K waiters" deterministic.
+///
+/// Control flow of a typical test:
+///
+///   auto sched = std::make_shared<ScheduleController>(seed);
+///   sched->PauseAtFlush(1);                  // gate the first group flush
+///   ... start K committing threads ...
+///   ASSERT_TRUE(sched->WaitForWaiters(K));   // all K are enqueued
+///   plan->FailNthSync(plan->syncs_seen() + 1);
+///   sched->ReleaseFlush();                   // open the gate
+///   ... join threads, assert the fan-out ...
+///
+/// Thread-safe. `seed` only drives `PickFlush` and is echoed by
+/// `Describe()` so failures are reproducible.
+class ScheduleController : public GroupCommitHooks {
+ public:
+  explicit ScheduleController(uint64_t seed = 1) : seed_(seed), rng_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  // --- scheduling (call before / between flushes) ---
+
+  /// Gates coalesced flush attempt number `n` (1-based): the flusher blocks
+  /// in its start hook until `ReleaseFlush()`.
+  void PauseAtFlush(uint64_t n);
+
+  /// Seeded inclusive pick in [lo, hi] for choosing a flush index to gate.
+  uint64_t PickFlush(uint64_t lo, uint64_t hi);
+
+  // --- control (test side) ---
+
+  /// Blocks until the flusher is parked at a gated flush. False on timeout.
+  bool WaitUntilPaused(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Blocks until at least `k` committers are enqueued behind the group
+  /// (as observed by enqueue hooks). False on timeout.
+  bool WaitForWaiters(
+      size_t k,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Opens the gate for the currently parked flush (and, if the released
+  /// index was the only scheduled pause, lets later flushes run freely).
+  void ReleaseFlush();
+
+  // --- observation ---
+
+  uint64_t flushes_started() const;
+  uint64_t flushes_finished() const;
+  /// Largest waiter group observed at any enqueue.
+  size_t max_waiters_seen() const;
+  /// One-line reproduction recipe, e.g.
+  /// "ScheduleController{seed=7, flushes=3/3, max_waiters=8}".
+  std::string Describe() const;
+
+  // --- GroupCommitHooks ---
+
+  void OnCommitEnqueued(size_t waiters, Lsn lsn) override;
+  void OnGroupFlushStart(uint64_t flush_index, size_t waiters,
+                         Lsn target) override;
+  void OnGroupFlushEnd(uint64_t flush_index, const Status& status) override;
+
+ private:
+  const uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Random rng_;
+  std::set<uint64_t> pause_at_;  // flush indices with a closed gate
+  bool paused_ = false;          // flusher is parked at a gate right now
+  uint64_t released_through_ = 0;  // gates at or below this index are open
+  uint64_t started_ = 0;
+  uint64_t finished_ = 0;
+  size_t waiters_now_ = 0;
+  size_t max_waiters_ = 0;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TESTING_SCHEDULE_CONTROLLER_H_

@@ -35,9 +35,46 @@ Status TxnManager::Commit(Transaction* txn) {
     rec.txn = txn->id();
     rec.prev_lsn = txn->prev_lsn();
     auto lsn = wal_->Append(&rec);
-    if (!lsn.ok()) return lsn.status();
+    if (!lsn.ok()) {
+      (void)Abort(txn);
+      return lsn.status();
+    }
     if (sync_commit_) {
-      TENDAX_RETURN_IF_ERROR(wal_->Flush(*lsn));
+      bool early_released = false;
+      if (wal_->ReleasesLocksEarly()) {
+        // Early lock release: the commit record has its place in the log,
+        // and group-commit durability is a prefix of commit-LSN order, so
+        // any transaction that builds on these writes commits strictly
+        // later and can never outlive this one across a crash. Releasing
+        // now lets the next writer of a hot document run while this commit
+        // waits for the shared fsync — without it, a document-level X lock
+        // serializes committers through the flush and there is never a
+        // group to coalesce.
+        locks_->ReleaseAll(txn->id());
+        early_released = true;
+      }
+      Status flushed = wal_->CommitFlush(*lsn);
+      if (!flushed.ok()) {
+        if (early_released) {
+          // Locks are gone, so another transaction may already have built
+          // on this one's writes — in-place undo would be unsound. The Wal
+          // has fail-stopped (poisoned) itself: no further commit can
+          // succeed, and reopen + recovery re-establishes consistency from
+          // whatever the log retained. Finalize without undo so no locks
+          // or transaction slots leak.
+          Finalize(txn, TxnState::kAborted);
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.aborted;
+          return flushed;
+        }
+        // The flush may have been shared with other committers (group
+        // commit); its error fans out to every waiter of the batch, and
+        // each one rolls back here — effects undone, locks released, no
+        // listeners run. Whether the commit record reached durable storage
+        // is ambiguous; recovery resolves it from the surviving log.
+        (void)Abort(txn);
+        return flushed;
+      }
     }
   }
   // Copy what listeners need before the transaction object is destroyed.
@@ -144,14 +181,9 @@ Status TxnManager::RunInTxn(UserId user,
     Transaction* txn = Begin(user);
     Status st = body(txn);
     if (st.ok()) {
-      st = Commit(txn);
-      if (st.ok()) return st;
-      // A failed commit flush leaves the transaction active with locks held
-      // and its effects applied in memory; roll it back so the engine stays
-      // usable. Whether the commit record reached durable storage is
-      // ambiguous — recovery resolves it from whatever log suffix survived.
-      (void)Abort(txn);
-      return st;
+      // Commit rolls the transaction back itself on a failed append/flush,
+      // so there is nothing left to abort here.
+      return Commit(txn);
     }
     Status aborted = Abort(txn);
     if (!aborted.ok()) return aborted;

@@ -52,8 +52,11 @@ class TxnManager {
   /// Starts a transaction on behalf of `user`.
   Transaction* Begin(UserId user);
 
-  /// Commits: appends + flushes the commit record, releases locks, then
-  /// publishes the transaction's change events to commit listeners.
+  /// Commits: appends the commit record, waits for its (possibly group)
+  /// flush, releases locks, then publishes the transaction's change events
+  /// to commit listeners. On a failed append or flush the transaction is
+  /// rolled back before returning — callers must not touch `txn` after a
+  /// Commit call regardless of the outcome.
   Status Commit(Transaction* txn);
 
   /// Aborts: undoes the write set in reverse order through the applier

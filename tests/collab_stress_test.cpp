@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/tendax.h"
+#include "storage/wal.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
@@ -20,8 +21,10 @@ namespace {
 // the assertions cover convergence, the sanitizer covers data races.
 //
 // Scale knobs (bounded defaults for tier-1):
-//   TENDAX_STRESS_THREADS  concurrent editors  (default 4)
-//   TENDAX_STRESS_OPS      edits per editor    (default 60)
+//   TENDAX_STRESS_THREADS       concurrent editors  (default 4)
+//   TENDAX_STRESS_OPS           edits per editor    (default 60)
+//   TENDAX_STRESS_GROUP_COMMIT  group-commit case: 0 skip, 1 flusher
+//                               thread (default), 2 leader mode
 
 uint64_t EnvU64(const char* name, uint64_t def) {
   const char* v = std::getenv(name);
@@ -29,12 +32,16 @@ uint64_t EnvU64(const char* name, uint64_t def) {
   return std::strtoull(v, nullptr, 10);
 }
 
-TEST(CollabStressTest, ConcurrentEditorsConvergeOnSharedDocument) {
+// The shared-document stress workload, parameterized by the commit-flush
+// pipeline so the same convergence + integrity assertions (and the same
+// TSAN coverage) apply to inline flushing and both group-commit flavors.
+void RunSharedDocumentStress(const GroupCommitOptions& group_commit) {
   const size_t kThreads = static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
   const size_t kOpsPerThread = static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
 
   TendaxOptions options;
   options.db.buffer_pool_pages = 1024;
+  options.db.group_commit = group_commit;
   auto server_res = TendaxServer::Open(std::move(options));
   ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
   TendaxServer* server = server_res->get();
@@ -114,6 +121,36 @@ TEST(CollabStressTest, ConcurrentEditorsConvergeOnSharedDocument) {
   EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
   Status integrity = server->CheckIntegrity();
   EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+
+  if (group_commit.mode != CommitFlushMode::kInline) {
+    // Every applied edit's commit went through the group pipeline.
+    const WalGroupCommitStats stats =
+        server->db()->wal()->group_commit_stats();
+    EXPECT_GE(stats.commits, applied.load());
+    EXPECT_EQ(stats.failed_flushes, 0u);
+  }
+}
+
+TEST(CollabStressTest, ConcurrentEditorsConvergeOnSharedDocument) {
+  RunSharedDocumentStress(GroupCommitOptions{});  // seed behavior: inline
+}
+
+// Satellite: the group-commit flusher under the full multi-writer stack —
+// committers block on the flusher (or elect a leader) while other editors
+// keep mutating the shared document. Run under TENDAX_SANITIZE=thread this
+// is the race check for the pipeline's cross-thread handoffs.
+TEST(CollabStressTest, GroupCommitFlusherUnderConcurrentEditors) {
+  const uint64_t knob = EnvU64("TENDAX_STRESS_GROUP_COMMIT", 1);
+  if (knob == 0) {
+    GTEST_SKIP() << "disabled via TENDAX_STRESS_GROUP_COMMIT=0";
+  }
+  GroupCommitOptions gc;
+  gc.mode = knob == 2 ? CommitFlushMode::kLeader
+                      : CommitFlushMode::kFlusherThread;
+  // A small nonzero window so concurrent commits actually coalesce instead
+  // of racing one-commit flushes.
+  gc.flush_interval = std::chrono::microseconds(50);
+  RunSharedDocumentStress(gc);
 }
 
 }  // namespace

@@ -1,0 +1,569 @@
+// Group-commit pipeline tests: deterministic interleavings forced by the
+// seeded ScheduleController (pause/release the flusher at chosen flush
+// indices) combined with FaultPlan's op-index fault machinery, plus the
+// durability-ordering property under a crash-point sweep.
+//
+// Scale knobs (shared with the other torture suites):
+//   TENDAX_TORTURE_SEED    schedule + fault seed          (default 7)
+//   TENDAX_TORTURE_POINTS  sweep crash-point budget       (default 120)
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "storage/disk_manager.h"
+#include "storage/wal.h"
+#include "testing/fault_injection.h"
+#include "testing/fault_plan.h"
+#include "testing/schedule_controller.h"
+#include "txn/lock_manager.h"
+
+namespace tendax {
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+
+Schema ValueSchema() { return Schema({{"value", ColumnType::kUint64}}); }
+
+// Everything a group-commit test needs in one bundle: a Database whose
+// storage goes through fault injectors, the inner backends (kept to survive
+// a simulated crash), the fault plan and the schedule controller.
+struct Rig {
+  std::shared_ptr<InMemoryDiskManager> disk;
+  std::shared_ptr<InMemoryLogStorage> log;
+  std::shared_ptr<FaultPlan> plan;
+  std::shared_ptr<ScheduleController> sched;
+  std::unique_ptr<Database> db;
+  std::vector<HeapTable*> tables;  // t0..t{k-1}, schema {value: uint64}
+};
+
+Rig OpenRig(CommitFlushMode mode, size_t num_tables, uint64_t seed,
+            bool early_lock_release = true) {
+  Rig rig;
+  rig.disk = std::make_shared<InMemoryDiskManager>();
+  rig.log = std::make_shared<InMemoryLogStorage>();
+  rig.plan = std::make_shared<FaultPlan>(seed);
+  rig.sched = std::make_shared<ScheduleController>(seed);
+
+  DatabaseOptions options;
+  options.buffer_pool_pages = 64;
+  options.disk = std::make_shared<FaultInjectingDiskManager>(rig.disk, rig.plan);
+  options.log_storage =
+      std::make_shared<FaultInjectingLogStorage>(rig.log, rig.plan);
+  options.group_commit.mode = mode;
+  options.group_commit.flush_interval = std::chrono::microseconds(0);
+  options.group_commit.early_lock_release = early_lock_release;
+  options.group_commit.hooks = rig.sched;
+  auto db = Database::Open(std::move(options));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  if (!db.ok()) return rig;
+  rig.db = std::move(*db);
+  for (size_t i = 0; i < num_tables; ++i) {
+    auto table = rig.db->CreateTable("t" + std::to_string(i), ValueSchema());
+    EXPECT_TRUE(table.ok()) << table.status().ToString();
+    if (!table.ok()) return rig;
+    rig.tables.push_back(*table);
+  }
+  return rig;
+}
+
+// Decodes the surviving (inner) log and returns the set of transaction ids
+// with a durable commit record. Because decoding stops at the first torn or
+// LSN-discontiguous record, this set is by construction a prefix of the
+// commit-LSN order — the durability-ordering property is that the recovered
+// table contents match it exactly, never a subset with holes.
+std::set<uint64_t> DurableCommits(
+    const std::shared_ptr<InMemoryLogStorage>& log) {
+  std::string buffer;
+  EXPECT_TRUE(log->ReadAll(&buffer).ok());
+  std::vector<LogRecord> records;
+  Wal::DecodeLogBuffer(buffer, &records);
+  std::set<uint64_t> commits;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogType::kCommit) commits.insert(rec.txn.value);
+  }
+  return commits;
+}
+
+// Scans a table into the set of its uint64 values.
+std::set<uint64_t> TableValues(HeapTable* table) {
+  std::set<uint64_t> values;
+  EXPECT_TRUE(table
+                  ->Scan([&](RecordId, const Record& rec) {
+                    values.insert(rec.GetUint(0));
+                    return true;
+                  })
+                  .ok());
+  return values;
+}
+
+// One committing thread's bookkeeping.
+struct CommitAttempt {
+  uint64_t txn_id = 0;
+  Status status;
+};
+
+// Runs K threads, each inserting `base + i` into its own table inside a
+// manually driven transaction, committing concurrently so the commits pile
+// up into one group. Returns per-thread outcomes.
+std::vector<CommitAttempt> CommitConcurrently(Rig& rig, size_t k,
+                                              uint64_t base) {
+  std::vector<CommitAttempt> attempts(k);
+  std::vector<std::thread> threads;
+  threads.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    threads.emplace_back([&rig, &attempts, i, base] {
+      TxnManager* txns = rig.db->txns();
+      Transaction* txn = txns->Begin(UserId(100 + i));
+      attempts[i].txn_id = txn->id().value;
+      Status st = rig.db->locks()->Acquire(
+          txn->id(), MakeResource(ResourceKind::kDocument, 1 + i),
+          LockMode::kX);
+      if (st.ok()) {
+        st = rig.tables[i]
+                 ->Insert(txn, Record({base + static_cast<uint64_t>(i)}))
+                 .status();
+      }
+      attempts[i].status = st.ok() ? txns->Commit(txn) : (txns->Abort(txn), st);
+    });
+  }
+  for (auto& th : threads) th.join();
+  return attempts;
+}
+
+// K concurrent commits gated behind one paused flush must be made durable
+// by a single coalesced Append+Sync.
+TEST(GroupCommitTest, BatchesConcurrentCommitsIntoOneSync) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const size_t kWriters = 6;
+  Rig rig = OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed);
+  ASSERT_NE(rig.db, nullptr);
+
+  const WalGroupCommitStats before = rig.db->wal()->group_commit_stats();
+  rig.sched->PauseAtFlush(rig.sched->flushes_finished() + 1);
+
+  std::vector<CommitAttempt> attempts;
+  std::thread runner(
+      [&] { attempts = CommitConcurrently(rig, kWriters, 1000); });
+  ASSERT_TRUE(rig.sched->WaitUntilPaused()) << rig.sched->Describe();
+  ASSERT_TRUE(rig.sched->WaitForWaiters(kWriters)) << rig.sched->Describe();
+  rig.sched->ReleaseFlush();
+  runner.join();
+
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_TRUE(attempts[i].status.ok())
+        << "writer " << i << ": " << attempts[i].status.ToString();
+  }
+  const WalGroupCommitStats after = rig.db->wal()->group_commit_stats();
+  // The core claim: six durable commits, one fsync. (The flusher may run a
+  // trailing no-op attempt if it observes the already-covered waiters before
+  // they exit, so group_flushes is >= 1, but a no-op never syncs.)
+  EXPECT_EQ(after.syncs - before.syncs, 1u) << rig.sched->Describe();
+  EXPECT_GE(after.group_flushes - before.group_flushes, 1u);
+  EXPECT_EQ(after.max_batch, kWriters);
+  EXPECT_EQ(after.commits - before.commits, kWriters);
+  EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_EQ(TableValues(rig.tables[i]), std::set<uint64_t>{1000 + i});
+  }
+}
+
+// Satellite regression: a failed shared flush must fan its error out to
+// every waiter of the batch — all K commits return the error, every
+// transaction is rolled back, no locks leak, and the TxnManager's books
+// balance. The fault is transient, so the engine stays usable. Strict lock
+// retention (early_lock_release off) is what makes the in-place rollback
+// sound; the early-release flavour of this contract is fail-stop and is
+// covered by EarlyReleaseFlushErrorFailsStop below.
+TEST(GroupCommitTest, FlushErrorFansOutToAllWaiters) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const size_t kWriters = 8;
+  Rig rig = OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed,
+                    /*early_lock_release=*/false);
+  ASSERT_NE(rig.db, nullptr);
+
+  const TxnManagerStats txn_before = rig.db->txns()->stats();
+  rig.sched->PauseAtFlush(rig.sched->flushes_finished() + 1);
+
+  std::vector<CommitAttempt> attempts;
+  std::thread runner(
+      [&] { attempts = CommitConcurrently(rig, kWriters, 2000); });
+  ASSERT_TRUE(rig.sched->WaitUntilPaused()) << rig.sched->Describe();
+  ASSERT_TRUE(rig.sched->WaitForWaiters(kWriters)) << rig.sched->Describe();
+  // All K are enqueued behind the gate; the very next sync is the shared
+  // group flush. Fail it.
+  rig.plan->FailNthSync(rig.plan->syncs_seen() + 1);
+  rig.sched->ReleaseFlush();
+  runner.join();
+
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_TRUE(attempts[i].status.IsIOError())
+        << "writer " << i << " got: " << attempts[i].status.ToString() << " "
+        << rig.plan->Describe();
+  }
+  // Books balance: K more begun, K more aborted, none committed, nothing
+  // active, no lock leaked.
+  const TxnManagerStats txn_after = rig.db->txns()->stats();
+  EXPECT_EQ(txn_after.begun, txn_before.begun + kWriters);
+  EXPECT_EQ(txn_after.aborted, txn_before.aborted + kWriters);
+  EXPECT_EQ(txn_after.committed, txn_before.committed);
+  EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+  EXPECT_EQ(rig.db->locks()->LockedResourceCount(), 0u);
+  const WalGroupCommitStats wal_stats = rig.db->wal()->group_commit_stats();
+  EXPECT_GE(wal_stats.failed_flushes, 1u);
+  EXPECT_EQ(wal_stats.max_batch, kWriters);
+
+  // The sync failure was transient: the same rows commit on retry.
+  auto retry = CommitConcurrently(rig, kWriters, 3000);
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_TRUE(retry[i].status.ok()) << retry[i].status.ToString();
+    EXPECT_EQ(TableValues(rig.tables[i]), std::set<uint64_t>{3000 + i});
+  }
+
+  // End to end: reopen over the surviving log. The failed batch's commit
+  // records did reach storage (only their sync failed) and were followed by
+  // durable CLR + abort records from the rollbacks; recovery must net them
+  // out to the same state the live engine converged to — one retry row per
+  // table.
+  rig.db.reset();
+  rig.plan->Disarm();
+  DatabaseOptions reopen;
+  reopen.buffer_pool_pages = 64;
+  reopen.disk = rig.disk;
+  reopen.log_storage = rig.log;
+  auto db2 = Database::Open(std::move(reopen));
+  ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+  ASSERT_TRUE((*db2)->CheckIntegrity().ok());
+  for (size_t i = 0; i < kWriters; ++i) {
+    auto table = (*db2)->GetTable("t" + std::to_string(i));
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(TableValues(*table), std::set<uint64_t>{3000 + i})
+        << "table t" << i << " after recovery";
+  }
+}
+
+// Same fan-out contract in leader mode, where one of the committers itself
+// runs the shared flush: the leader and every follower get the error.
+TEST(GroupCommitTest, LeaderModeFansOutFlushError) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const size_t kWriters = 4;
+  Rig rig = OpenRig(CommitFlushMode::kLeader, kWriters, seed,
+                    /*early_lock_release=*/false);
+  ASSERT_NE(rig.db, nullptr);
+
+  rig.sched->PauseAtFlush(rig.sched->flushes_finished() + 1);
+  std::vector<CommitAttempt> attempts;
+  std::thread runner(
+      [&] { attempts = CommitConcurrently(rig, kWriters, 4000); });
+  ASSERT_TRUE(rig.sched->WaitUntilPaused()) << rig.sched->Describe();
+  ASSERT_TRUE(rig.sched->WaitForWaiters(kWriters)) << rig.sched->Describe();
+  rig.plan->FailNthSync(rig.plan->syncs_seen() + 1);
+  rig.sched->ReleaseFlush();
+  runner.join();
+
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_TRUE(attempts[i].status.IsIOError())
+        << "writer " << i << " got: " << attempts[i].status.ToString();
+  }
+  EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+  EXPECT_EQ(rig.db->locks()->LockedResourceCount(), 0u);
+}
+
+// Under early lock release (the default for the batching modes) a failed
+// shared flush cannot roll its batch back in place — other transactions may
+// already have built on the released writes. The contract is fail-stop:
+// every waiter gets the error, no locks or transaction slots leak, the Wal
+// poisons itself so every later commit fails with the same error, and a
+// reopen recovers exactly what the surviving log says.
+TEST(GroupCommitTest, EarlyReleaseFlushErrorFailsStop) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const size_t kWriters = 8;
+  Rig rig = OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed);
+  ASSERT_NE(rig.db, nullptr);
+
+  const TxnManagerStats txn_before = rig.db->txns()->stats();
+  rig.sched->PauseAtFlush(rig.sched->flushes_finished() + 1);
+
+  std::vector<CommitAttempt> attempts;
+  std::thread runner(
+      [&] { attempts = CommitConcurrently(rig, kWriters, 7000); });
+  ASSERT_TRUE(rig.sched->WaitUntilPaused()) << rig.sched->Describe();
+  ASSERT_TRUE(rig.sched->WaitForWaiters(kWriters)) << rig.sched->Describe();
+  rig.plan->FailNthSync(rig.plan->syncs_seen() + 1);
+  rig.sched->ReleaseFlush();
+  runner.join();
+
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_TRUE(attempts[i].status.IsIOError())
+        << "writer " << i << " got: " << attempts[i].status.ToString();
+  }
+  const TxnManagerStats txn_after = rig.db->txns()->stats();
+  EXPECT_EQ(txn_after.begun, txn_before.begun + kWriters);
+  EXPECT_EQ(txn_after.aborted, txn_before.aborted + kWriters);
+  EXPECT_EQ(txn_after.committed, txn_before.committed);
+  EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+  EXPECT_EQ(rig.db->locks()->LockedResourceCount(), 0u);
+  EXPECT_TRUE(rig.db->wal()->poison_status().IsIOError());
+
+  // Fail-stopped: a later commit attempt must fail fast with the same
+  // error, even though the injected fault was one-shot.
+  rig.plan->Disarm();
+  auto late = CommitConcurrently(rig, 1, 8000);
+  EXPECT_TRUE(late[0].status.IsIOError()) << late[0].status.ToString();
+
+  // Reopen over the surviving log. The failed batch's commit records did
+  // reach storage (only their sync failed, and the in-memory backend keeps
+  // appended bytes), so recovery replays them as committed — "commit
+  // returned an error" under fail-stop means durability-unknown, and the
+  // log is the arbiter. Exactness: recovered contents match the decoded
+  // commit set, whatever it is.
+  std::vector<uint64_t> txn_ids;
+  for (const auto& a : attempts) txn_ids.push_back(a.txn_id);
+  rig.db.reset();
+  std::set<uint64_t> durable = DurableCommits(rig.log);
+  DatabaseOptions reopen;
+  reopen.buffer_pool_pages = 64;
+  reopen.disk = rig.disk;
+  reopen.log_storage = rig.log;
+  auto db2 = Database::Open(std::move(reopen));
+  ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+  ASSERT_TRUE((*db2)->CheckIntegrity().ok());
+  for (size_t i = 0; i < kWriters; ++i) {
+    auto table = (*db2)->GetTable("t" + std::to_string(i));
+    ASSERT_TRUE(table.ok());
+    std::set<uint64_t> expected;
+    if (durable.count(txn_ids[i]) != 0) expected.insert(7000 + i);
+    EXPECT_EQ(TableValues(*table), expected) << "table t" << i;
+  }
+}
+
+// "Commit waiting when the crash fires": K commits are parked behind the
+// gated flush when the machine dies. None of their bytes reached storage,
+// so recovery must come back without any of them — and with everything
+// durable before the crash intact.
+TEST(GroupCommitTest, CrashWhileCommitsWaitingRecoversCleanly) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const size_t kWriters = 4;
+  Rig rig = OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed);
+  ASSERT_NE(rig.db, nullptr);
+
+  rig.sched->PauseAtFlush(rig.sched->flushes_finished() + 1);
+  std::vector<CommitAttempt> attempts;
+  std::thread runner(
+      [&] { attempts = CommitConcurrently(rig, kWriters, 5000); });
+  ASSERT_TRUE(rig.sched->WaitUntilPaused()) << rig.sched->Describe();
+  ASSERT_TRUE(rig.sched->WaitForWaiters(kWriters)) << rig.sched->Describe();
+  // Power cut: every I/O from the gated flush on fails.
+  rig.plan->CrashAtOp(rig.plan->ops_seen() + 1);
+  rig.sched->ReleaseFlush();
+  runner.join();
+
+  for (size_t i = 0; i < kWriters; ++i) {
+    EXPECT_FALSE(attempts[i].status.ok()) << "writer " << i;
+  }
+  EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+  std::string context = rig.plan->Describe() + " " + rig.sched->Describe();
+
+  std::vector<uint64_t> txn_ids;
+  for (const auto& a : attempts) txn_ids.push_back(a.txn_id);
+  rig.db.reset();  // process dies; buffered bytes are gone
+  rig.plan->Disarm();
+
+  std::set<uint64_t> durable = DurableCommits(rig.log);
+  for (uint64_t id : txn_ids) {
+    EXPECT_EQ(durable.count(id), 0u)
+        << context << ": txn " << id << " was parked at the crash but has a "
+        << "durable commit record";
+  }
+  DatabaseOptions reopen;
+  reopen.buffer_pool_pages = 64;
+  reopen.disk = rig.disk;
+  reopen.log_storage = rig.log;
+  auto db2 = Database::Open(std::move(reopen));
+  ASSERT_TRUE(db2.ok()) << context << ": " << db2.status().ToString();
+  ASSERT_TRUE((*db2)->CheckIntegrity().ok()) << context;
+  for (size_t i = 0; i < kWriters; ++i) {
+    auto table = (*db2)->GetTable("t" + std::to_string(i));
+    ASSERT_TRUE(table.ok()) << context;
+    EXPECT_EQ(TableValues(*table), std::set<uint64_t>{})
+        << context << " table t" << i;
+  }
+}
+
+// "Batch torn mid-append": the coalesced append persists only a prefix of
+// the batch. Recovery must come back with exactly the transactions whose
+// commit record survived in that prefix — a prefix of the commit-LSN
+// order, never a subset with holes.
+TEST(GroupCommitTest, TornBatchAppendRecoversLsnPrefix) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const size_t kWriters = 4;
+  size_t round = 0;
+  for (size_t keep : {size_t{0}, size_t{9}, size_t{40}, size_t{120},
+                      FaultPlan::kAutoTear}) {
+    Rig rig =
+        OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed + round++);
+    ASSERT_NE(rig.db, nullptr);
+
+    rig.sched->PauseAtFlush(rig.sched->flushes_finished() + 1);
+    std::vector<CommitAttempt> attempts;
+    std::thread runner(
+        [&] { attempts = CommitConcurrently(rig, kWriters, 6000); });
+    ASSERT_TRUE(rig.sched->WaitUntilPaused()) << rig.sched->Describe();
+    ASSERT_TRUE(rig.sched->WaitForWaiters(kWriters)) << rig.sched->Describe();
+    // The gated flush's Append is the next log append; tear it mid-batch.
+    rig.plan->TearNthLogAppend(rig.plan->appends_seen() + 1, keep);
+    rig.sched->ReleaseFlush();
+    runner.join();
+
+    for (size_t i = 0; i < kWriters; ++i) {
+      EXPECT_FALSE(attempts[i].status.ok()) << "writer " << i;
+    }
+    EXPECT_TRUE(rig.plan->crashed());
+    EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+    std::string context = rig.plan->Describe() + " " + rig.sched->Describe();
+
+    std::vector<uint64_t> txn_ids;
+    for (const auto& a : attempts) txn_ids.push_back(a.txn_id);
+    rig.db.reset();
+    rig.plan->Disarm();
+
+    // DurableCommits decodes the surviving prefix, so `durable` is by
+    // construction hole-free in LSN order; the recovered tables must match
+    // it exactly.
+    std::set<uint64_t> durable = DurableCommits(rig.log);
+    DatabaseOptions reopen;
+    reopen.buffer_pool_pages = 64;
+    reopen.disk = rig.disk;
+    reopen.log_storage = rig.log;
+    auto db2 = Database::Open(std::move(reopen));
+    ASSERT_TRUE(db2.ok()) << context << ": " << db2.status().ToString();
+    ASSERT_TRUE((*db2)->CheckIntegrity().ok()) << context;
+    for (size_t i = 0; i < kWriters; ++i) {
+      auto table = (*db2)->GetTable("t" + std::to_string(i));
+      ASSERT_TRUE(table.ok()) << context;
+      std::set<uint64_t> expected;
+      if (durable.count(txn_ids[i]) != 0) expected.insert(6000 + i);
+      EXPECT_EQ(TableValues(*table), expected) << context << " table t" << i;
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Durability-ordering property sweep: crash a multi-writer group-commit
+// workload at strided I/O points. After every crash, the recovered state
+// must contain exactly the transactions whose commit record survives in
+// the log prefix — never a commit reported OK missing, never a torn-off
+// commit present.
+TEST(GroupCommitTest, DurabilityPrefixHoldsAtEveryCrashPoint) {
+  const uint64_t seed = EnvU64("TENDAX_TORTURE_SEED", 7);
+  const uint64_t points =
+      std::max<uint64_t>(10, EnvU64("TENDAX_TORTURE_POINTS", 120) / 4);
+  const size_t kWriters = 3;
+  const size_t kCommitsPerWriter = 4;
+
+  // The sweep workload: kWriters threads, kCommitsPerWriter transactions
+  // each, all into the thread's own table. Threads keep going after a
+  // failure — the engine must stay usable until the process "dies".
+  auto run_workload = [&](Rig& rig,
+                          std::vector<std::vector<CommitAttempt>>& outcomes) {
+    outcomes.assign(kWriters,
+                    std::vector<CommitAttempt>(kCommitsPerWriter));
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kWriters; ++i) {
+      threads.emplace_back([&, i] {
+        TxnManager* txns = rig.db->txns();
+        for (size_t j = 0; j < kCommitsPerWriter; ++j) {
+          Transaction* txn = txns->Begin(UserId(100 + i));
+          outcomes[i][j].txn_id = txn->id().value;
+          Status st =
+              rig.tables[i]
+                  ->Insert(txn, Record({uint64_t(1000 + i * 100 + j)}))
+                  .status();
+          outcomes[i][j].status =
+              st.ok() ? txns->Commit(txn) : (txns->Abort(txn), st);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  };
+
+  // Profile a fault-free run to learn the workload's op space (measured
+  // relative to the end of table setup, which is identical in every run).
+  uint64_t workload_ops = 0;
+  {
+    Rig rig = OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed);
+    ASSERT_NE(rig.db, nullptr);
+    const uint64_t base = rig.plan->ops_seen();
+    std::vector<std::vector<CommitAttempt>> outcomes;
+    run_workload(rig, outcomes);
+    for (const auto& per_thread : outcomes) {
+      for (const auto& a : per_thread) {
+        ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+      }
+    }
+    rig.db.reset();  // close I/O (dirty page writeback) is sweep space too
+    workload_ops = rig.plan->ops_seen() - base;
+  }
+  ASSERT_GT(workload_ops, 0u);
+
+  const uint64_t stride = std::max<uint64_t>(1, workload_ops / points);
+  for (uint64_t k = 1; k <= workload_ops; k += stride) {
+    Rig rig = OpenRig(CommitFlushMode::kFlusherThread, kWriters, seed + k);
+    ASSERT_NE(rig.db, nullptr);
+    // Crash k ops into the workload proper (setup is already behind us).
+    rig.plan->CrashAtOp(rig.plan->ops_seen() + k);
+
+    std::vector<std::vector<CommitAttempt>> outcomes;
+    run_workload(rig, outcomes);
+    EXPECT_EQ(rig.db->txns()->ActiveCount(), 0u);
+    std::string context = "crash@+" + std::to_string(k) + " " +
+                          rig.plan->Describe() +
+                          " seed=" + std::to_string(seed + k);
+    rig.db.reset();
+    rig.plan->Disarm();
+
+    std::set<uint64_t> durable = DurableCommits(rig.log);
+    DatabaseOptions reopen;
+    reopen.buffer_pool_pages = 64;
+    reopen.disk = rig.disk;
+    reopen.log_storage = rig.log;
+    auto db2 = Database::Open(std::move(reopen));
+    ASSERT_TRUE(db2.ok()) << context << ": " << db2.status().ToString();
+    ASSERT_TRUE((*db2)->CheckIntegrity().ok()) << context;
+    for (size_t i = 0; i < kWriters; ++i) {
+      auto table = (*db2)->GetTable("t" + std::to_string(i));
+      ASSERT_TRUE(table.ok()) << context;
+      std::set<uint64_t> values = TableValues(*table);
+      for (size_t j = 0; j < kCommitsPerWriter; ++j) {
+        const uint64_t value = 1000 + i * 100 + j;
+        const bool present = values.count(value) != 0;
+        const bool in_log = durable.count(outcomes[i][j].txn_id) != 0;
+        // Durability: a commit reported OK must survive. (The converse is
+        // allowed — a commit whose fsync died mid-call may still be
+        // durable; the log decides.)
+        if (outcomes[i][j].status.ok()) {
+          EXPECT_TRUE(present)
+              << context << ": committed value " << value << " lost";
+        }
+        // Exactness: recovered contents == the durable commit prefix.
+        EXPECT_EQ(present, in_log)
+            << context << ": value " << value << " present=" << present
+            << " but commit record durable=" << in_log;
+      }
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace tendax
