@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 
+#include "collab/retrying_client.h"
 #include "core/tendax.h"
 #include "storage/wal.h"
 
@@ -260,6 +261,93 @@ BENCHMARK(BM_GroupCommit_Flusher)
     ->Threads(8)
     ->Threads(16)
     ->UseRealTime();
+
+// Session resilience: the cost of a reconnect that resumes a backlog
+// of missed change events, and fan-out throughput when slow consumers hit
+// the bounded-inbox backpressure path.
+
+// One reconnect = fresh endpoint + transport + client over the surviving
+// session, then a single resumable poll that redelivers the whole retained
+// backlog (Arg = backlog size in events). The backlog is never
+// acknowledged, so every iteration resumes the same suffix — exactly the
+// reconnect-after-partition hot path.
+void BM_ReconnectResume(benchmark::State& state) {
+  const size_t backlog = static_cast<size_t>(state.range(0));
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 16384;
+  options.session.max_inbox_events = backlog + 64;
+  auto server = *TendaxServer::Open(std::move(options));
+  auto user = *server->accounts()->CreateUser("resumer");
+  auto doc = *server->text()->CreateDocument(user, "backlog");
+  auto watcher = *server->AttachEditor(user, "watcher");
+  if (!watcher->Open(doc).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  auto typist = *server->AttachEditor(user, "typist");
+  for (size_t i = 0; i < backlog; ++i) {
+    auto r = typist->Type(doc, 0, "x");
+    if (!r.ok()) {
+      state.SkipWithError(r.ToString().c_str());
+      return;
+    }
+  }
+
+  size_t resumed = 0;
+  for (auto _ : state) {
+    RemoteEditorEndpoint endpoint(watcher.get());
+    DirectTransport transport(&endpoint);
+    RetryingClient client(&transport);
+    auto changes = client.PollChanges();
+    if (!changes.ok()) {
+      state.SkipWithError(changes.status().ToString().c_str());
+      return;
+    }
+    resumed = changes->events.size();
+    benchmark::DoNotOptimize(resumed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(backlog));
+  state.counters["events_resumed"] = static_cast<double>(resumed);
+}
+BENCHMARK(BM_ReconnectResume)->Arg(16)->Arg(256)->Arg(2048)->UseRealTime();
+
+// One typist, Arg watcher sessions that never poll, tiny inboxes: every
+// insert fans out to every watcher and keeps tripping the overflow ->
+// coalesce-to-resync path. Measures whether backpressure bookkeeping stays
+// off the writer's critical path.
+void BM_FanoutBackpressure(benchmark::State& state) {
+  const int watchers = static_cast<int>(state.range(0));
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 16384;
+  options.session.max_inbox_events = 32;  // overflow early and often
+  auto server = *TendaxServer::Open(std::move(options));
+  auto user = *server->accounts()->CreateUser("firehose");
+  auto doc = *server->text()->CreateDocument(user, "fanout");
+  std::vector<std::unique_ptr<Editor>> sleepers;
+  for (int w = 0; w < watchers; ++w) {
+    auto editor = *server->AttachEditor(user, "sleeper" + std::to_string(w));
+    if (!editor->Open(doc).ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    sleepers.push_back(std::move(editor));
+  }
+
+  for (auto _ : state) {
+    auto r = server->text()->InsertText(user, doc, 0, "a");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["resyncs_emitted"] =
+      static_cast<double>(server->sessions()->resyncs_emitted());
+  state.counters["events_delivered"] =
+      static_cast<double>(server->sessions()->events_delivered());
+}
+BENCHMARK(BM_FanoutBackpressure)->Arg(4)->Arg(16)->UseRealTime();
 
 }  // namespace
 }  // namespace tendax

@@ -144,4 +144,10 @@ Result<std::vector<ChangeEvent>> Editor::PollEvents() {
   return services_.sessions->Poll(session_);
 }
 
+Status Editor::Heartbeat() { return services_.sessions->Heartbeat(session_); }
+
+Result<std::vector<SeqEvent>> Editor::ResumeEvents(uint64_t last_seq) {
+  return services_.sessions->Resume(session_, last_seq);
+}
+
 }  // namespace tendax

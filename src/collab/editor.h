@@ -84,6 +84,13 @@ class Editor {
   /// Change notifications accumulated since the last call.
   Result<std::vector<ChangeEvent>> PollEvents();
 
+  // --- session resilience ---
+  /// Renews the session lease (a liveness ping with no other effect).
+  Status Heartbeat();
+  /// Resumable delivery: acknowledges events up to `last_seq` and returns
+  /// the retained suffix with sequence numbers. See SessionManager::Resume.
+  Result<std::vector<SeqEvent>> ResumeEvents(uint64_t last_seq);
+
  private:
   CollabServices services_;
   SessionId session_;

@@ -1,0 +1,138 @@
+#include "collab/retrying_client.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+RetryingClient::RetryingClient(WireTransport* transport, RetryOptions options)
+    : transport_(transport),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      // Salt keys with the seed so two clients sharing one endpoint (a
+      // reconnect) do not collide on key 1, 2, 3, ...
+      key_salt_(options_.seed * 0x9E3779B97F4A7C15ULL) {}
+
+Result<WireResponse> RetryingClient::Call(EditCommand command) {
+  ++stats_.calls;
+  const bool exempt = command.kind == CommandKind::kResume ||
+                      command.kind == CommandKind::kHeartbeat;
+  if (command.request_id == 0 && !exempt) {
+    command.request_id = key_salt_ ^ ++next_key_;
+    if (command.request_id == 0) command.request_id = ++next_key_;
+  }
+  const std::string frame = SealFrame(EncodeCommand(command));
+  uint64_t backoff = options_.base_backoff_micros;
+  Status last_error = Status::IOError("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Full jitter: wait a uniform slice of the current window, then
+      // double it. Keeps retry storms from synchronizing across clients.
+      const uint64_t wait = backoff > 0 ? 1 + rng_.Uniform(backoff) : 0;
+      stats_.backoff_micros += wait;
+      if (options_.sleep_fn) options_.sleep_fn(wait);
+      backoff = std::min(backoff * 2, options_.max_backoff_micros);
+    }
+    ++stats_.attempts;
+    auto raw = transport_->RoundTrip(frame);
+    if (!raw.ok()) {
+      last_error = raw.status();
+      ++stats_.timeouts;
+      continue;
+    }
+    auto body = OpenFrame(*raw);
+    if (!body.ok()) {
+      last_error = body.status();
+      ++stats_.wire_errors;
+      continue;
+    }
+    auto response = DecodeResponse(*body);
+    if (!response.ok()) {
+      last_error = response.status();
+      ++stats_.wire_errors;
+      continue;
+    }
+    return *response;
+  }
+  ++stats_.exhausted;
+  return Status::FromCode(last_error.code(),
+                          "retries exhausted: " + last_error.message());
+}
+
+namespace {
+Status ToStatus(const WireResponse& response) {
+  return Status::FromCode(response.code, response.message);
+}
+
+EditCommand MakeCommand(CommandKind kind, DocumentId doc, uint64_t pos = 0,
+                        uint64_t len = 0, std::string text = "") {
+  EditCommand command;
+  command.kind = kind;
+  command.doc = doc;
+  command.pos = pos;
+  command.len = len;
+  command.text = std::move(text);
+  return command;
+}
+}  // namespace
+
+Status RetryingClient::Open(DocumentId doc) {
+  auto r = Call(MakeCommand(CommandKind::kOpen, doc));
+  return r.ok() ? ToStatus(*r) : r.status();
+}
+
+Status RetryingClient::Close(DocumentId doc) {
+  auto r = Call(MakeCommand(CommandKind::kClose, doc));
+  return r.ok() ? ToStatus(*r) : r.status();
+}
+
+Status RetryingClient::Type(DocumentId doc, uint64_t pos,
+                            const std::string& text) {
+  auto r = Call(MakeCommand(CommandKind::kType, doc, pos, 0, text));
+  return r.ok() ? ToStatus(*r) : r.status();
+}
+
+Status RetryingClient::Erase(DocumentId doc, uint64_t pos, uint64_t len) {
+  auto r = Call(MakeCommand(CommandKind::kErase, doc, pos, len));
+  return r.ok() ? ToStatus(*r) : r.status();
+}
+
+Result<std::string> RetryingClient::GetText(DocumentId doc) {
+  auto r = Call(MakeCommand(CommandKind::kGetText, doc));
+  if (!r.ok()) return r.status();
+  if (r->code != StatusCode::kOk) return ToStatus(*r);
+  return r->payload;
+}
+
+Status RetryingClient::SetCursor(DocumentId doc, uint64_t pos) {
+  auto r = Call(MakeCommand(CommandKind::kSetCursor, doc, pos));
+  return r.ok() ? ToStatus(*r) : r.status();
+}
+
+Status RetryingClient::Heartbeat() {
+  auto r = Call(MakeCommand(CommandKind::kHeartbeat, DocumentId()));
+  return r.ok() ? ToStatus(*r) : r.status();
+}
+
+Result<RetryingClient::Changes> RetryingClient::PollChanges() {
+  auto r = Call(MakeCommand(CommandKind::kResume, DocumentId(), last_seq_));
+  if (!r.ok()) return r.status();
+  if (r->code != StatusCode::kOk) return ToStatus(*r);
+  auto batch = DecodeSeqEventBatch(r->payload);
+  if (!batch.ok()) return batch.status();
+  Changes out;
+  for (SeqEvent& entry : *batch) {
+    // The server delivers a contiguous suffix; a gap means events between
+    // the cursor and this entry were trimmed server-side.
+    if (entry.seq > last_seq_ + 1) out.resync_required = true;
+    if (entry.seq > last_seq_) last_seq_ = entry.seq;
+    if (entry.event.kind == ChangeKind::kResync) {
+      out.resync_required = true;
+    } else {
+      out.events.push_back(std::move(entry.event));
+    }
+  }
+  if (out.resync_required) ++stats_.resyncs;
+  return out;
+}
+
+}  // namespace tendax

@@ -1,14 +1,12 @@
 #include "collab/session_manager.h"
 
+#include <algorithm>
+
 namespace tendax {
 
-namespace {
-/// Cap per-session inboxes so an idle session cannot grow without bound.
-constexpr size_t kMaxInbox = 10000;
-}  // namespace
-
-SessionManager::SessionManager(Database* db, MetaStore* meta)
-    : db_(db), meta_(meta) {}
+SessionManager::SessionManager(Database* db, MetaStore* meta,
+                               SessionOptions options)
+    : db_(db), meta_(meta), options_(options) {}
 
 Status SessionManager::Init() {
   db_->txns()->AddCommitListener(
@@ -16,15 +14,46 @@ Status SessionManager::Init() {
   return Status::OK();
 }
 
+void SessionManager::TouchLocked(Session* session) {
+  if (options_.lease_ttl_micros == 0) return;
+  session->lease_expires_at =
+      db_->clock()->NowMicros() + options_.lease_ttl_micros;
+}
+
+bool SessionManager::ExpiredLocked(const Session& session,
+                                   Timestamp now) const {
+  return session.lease_expires_at != 0 && session.lease_expires_at < now;
+}
+
+void SessionManager::EmitResyncLocked(Session* session, DocumentId doc) {
+  session->outbox.clear();
+  ChangeEvent marker;
+  marker.kind = ChangeKind::kResync;
+  marker.doc = doc;
+  marker.at = db_->clock()->NowMicros();
+  session->outbox.push_back(SeqEvent{session->next_seq++, std::move(marker)});
+  resyncs_emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void SessionManager::Dispatch(const ChangeBatch& batch) {
   if (batch.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
+  const Timestamp now =
+      options_.lease_ttl_micros != 0 ? db_->clock()->NowMicros() : 0;
   for (const ChangeEvent& ev : batch) {
     if (!ev.doc.valid()) continue;
     for (auto& [id, session] : sessions_) {
       if (!session->info.open_docs.count(ev.doc)) continue;
-      if (session->inbox.size() >= kMaxInbox) session->inbox.pop_front();
-      session->inbox.push_back(ev);
+      // Dead sessions get no deliveries; the reaper will collect them.
+      if (ExpiredLocked(*session, now)) continue;
+      if (session->outbox.size() >= options_.max_inbox_events) {
+        // Slow consumer: replace the whole backlog with one resync marker
+        // instead of growing (or silently dropping the front of) the
+        // stream. The current event is folded into the marker too.
+        EmitResyncLocked(session.get(), ev.doc);
+        continue;
+      }
+      session->outbox.push_back(SeqEvent{session->next_seq++, ev});
       events_delivered_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -32,6 +61,7 @@ void SessionManager::Dispatch(const ChangeBatch& batch) {
 
 Result<SessionId> SessionManager::Connect(UserId user,
                                           const std::string& client) {
+  ReapExpired();
   SessionId id(next_session_id_.fetch_add(1));
   auto session = std::make_unique<Session>();
   session->info.id = id;
@@ -39,16 +69,39 @@ Result<SessionId> SessionManager::Connect(UserId user,
   session->info.client = client;
   session->info.connected_at = db_->clock()->NowMicros();
   std::lock_guard<std::mutex> lock(mu_);
+  TouchLocked(session.get());
   sessions_[id.value] = std::move(session);
   return id;
 }
 
 Status SessionManager::Disconnect(SessionId session) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.erase(session.value) == 0) {
-    return Status::NotFound("unknown session");
-  }
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  // Drop awareness state with the session: open-document registrations and
+  // cursors live inside the Session object, so erasing it guarantees
+  // SessionsViewing/CursorsFor never report a dead editor.
+  it->second->cursors.clear();
+  it->second->info.open_docs.clear();
+  sessions_.erase(it);
   return Status::OK();
+}
+
+size_t SessionManager::ReapExpired() {
+  if (options_.lease_ttl_micros == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Timestamp now = db_->clock()->NowMicros();
+  size_t reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (ExpiredLocked(*it->second, now)) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  sessions_reaped_.fetch_add(reaped, std::memory_order_relaxed);
+  return reaped;
 }
 
 Status SessionManager::OpenDocument(SessionId session, DocumentId doc) {
@@ -58,6 +111,7 @@ Status SessionManager::OpenDocument(SessionId session, DocumentId doc) {
     auto it = sessions_.find(session.value);
     if (it == sessions_.end()) return Status::NotFound("unknown session");
     it->second->info.open_docs.insert(doc);
+    TouchLocked(it->second.get());
     user = it->second->info.user;
   }
   // Opening is a read: it lands in the audit trail and powers dynamic
@@ -71,6 +125,7 @@ Status SessionManager::CloseDocument(SessionId session, DocumentId doc) {
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   it->second->info.open_docs.erase(doc);
   it->second->cursors.erase(doc.value);
+  TouchLocked(it->second.get());
   return Status::OK();
 }
 
@@ -83,6 +138,7 @@ Status SessionManager::SetCursor(SessionId session, DocumentId doc,
     return Status::FailedPrecondition("document not open in session");
   }
   it->second->cursors[doc.value] = pos;
+  TouchLocked(it->second.get());
   return Status::OK();
 }
 
@@ -90,17 +146,62 @@ Result<std::vector<ChangeEvent>> SessionManager::Poll(SessionId session) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
-  std::vector<ChangeEvent> out(it->second->inbox.begin(),
-                               it->second->inbox.end());
-  it->second->inbox.clear();
+  Session* s = it->second.get();
+  TouchLocked(s);
+  std::vector<ChangeEvent> out;
+  out.reserve(s->outbox.size());
+  for (const SeqEvent& e : s->outbox) out.push_back(e.event);
+  // Fire-and-forget: delivery is the acknowledgement.
+  s->acked = s->next_seq - 1;
+  s->outbox.clear();
   return out;
+}
+
+Result<std::vector<SeqEvent>> SessionManager::Resume(SessionId session,
+                                                     uint64_t last_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  Session* s = it->second.get();
+  TouchLocked(s);
+  if (last_seq >= s->next_seq) {
+    return Status::InvalidArgument("resume seq " + std::to_string(last_seq) +
+                                   " was never delivered");
+  }
+  if (last_seq < s->acked) {
+    // The client lost state the server already discarded (it acked these
+    // events in a previous life): per-event redelivery is impossible, so
+    // collapse the stream into a snapshot-resync. `acked` moves back so an
+    // idempotent retry of this same Resume returns the same marker.
+    EmitResyncLocked(s, DocumentId());
+    s->acked = last_seq;
+    std::vector<SeqEvent> out(s->outbox.begin(), s->outbox.end());
+    return out;
+  }
+  // Acknowledge the prefix the client has applied...
+  while (!s->outbox.empty() && s->outbox.front().seq <= last_seq) {
+    s->outbox.pop_front();
+  }
+  s->acked = std::max(s->acked, last_seq);
+  // ...and redeliver the retained suffix without acking it: the client
+  // acks by quoting these seqs in its next Resume.
+  std::vector<SeqEvent> out(s->outbox.begin(), s->outbox.end());
+  return out;
+}
+
+Status SessionManager::Heartbeat(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session.value);
+  if (it == sessions_.end()) return Status::NotFound("unknown session");
+  TouchLocked(it->second.get());
+  return Status::OK();
 }
 
 Result<size_t> SessionManager::PendingCount(SessionId session) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
-  return it->second->inbox.size();
+  return it->second->outbox.size();
 }
 
 std::vector<SessionInfo> SessionManager::OnlineSessions() const {

@@ -36,14 +36,44 @@ struct CursorInfo {
   Timestamp at = 0;
 };
 
+/// A change notification stamped with its per-session delivery sequence
+/// number. Sequence numbers are monotone and contiguous as assigned; a gap
+/// observed by a client means events were trimmed and a resync is needed.
+struct SeqEvent {
+  uint64_t seq = 0;
+  ChangeEvent event;
+};
+
+/// Session-resilience knobs.
+struct SessionOptions {
+  /// Lease time-to-live in microseconds. A session whose lease is not
+  /// renewed (by a heartbeat or any session-keyed call) within this window
+  /// is eligible for reaping: it is removed together with its cursors and
+  /// open-document registrations. 0 disables leases (sessions are immortal
+  /// until Disconnect), which is the in-process demo default.
+  uint64_t lease_ttl_micros = 0;
+  /// Cap on a session's undelivered/unacknowledged change events. When the
+  /// outbox would exceed this, it is coalesced into a single `kResync`
+  /// marker instead of growing without bound; the client re-reads a
+  /// snapshot.
+  size_t max_inbox_events = 10000;
+};
+
 /// Editor sessions, awareness (who is online, who views which document,
 /// where their cursors are) and real-time change propagation: committed
 /// transactions fan out to every session that has the document open, which
 /// is how "everything typed appears within the other editors as soon as it
 /// is stored persistently".
+///
+/// Delivery is resumable: every event enqueued for a session carries a
+/// per-session monotone sequence number, and events are retained (bounded
+/// by `max_inbox_events`) until the client acknowledges them via
+/// `Resume(session, last_seq)`. A client that reconnects re-issues Resume
+/// with the last sequence it applied and receives exactly the missed
+/// suffix — or a single `kResync` marker when the suffix was trimmed.
 class SessionManager {
  public:
-  SessionManager(Database* db, MetaStore* meta);
+  SessionManager(Database* db, MetaStore* meta, SessionOptions options = {});
 
   /// Hooks the commit-event stream. Call once.
   Status Init();
@@ -58,8 +88,26 @@ class SessionManager {
 
   Status SetCursor(SessionId session, DocumentId doc, size_t pos);
 
-  /// Drains the session's pending change notifications.
+  /// Drains the session's pending change notifications and acknowledges
+  /// them (fire-and-forget delivery, the pre-resilience protocol).
   Result<std::vector<ChangeEvent>> Poll(SessionId session);
+
+  /// Resumable delivery: acknowledges everything up to `last_seq`
+  /// (dropping it from the retained outbox) and returns every retained
+  /// event after it, without acknowledging the returned events — they stay
+  /// buffered until a later Resume acks them, so a lost response frame
+  /// costs nothing. If `last_seq` predates the retained window (the client
+  /// fell too far behind), the stream is replaced by one `kResync` marker.
+  Result<std::vector<SeqEvent>> Resume(SessionId session, uint64_t last_seq);
+
+  /// Renews the session's lease without any other effect.
+  Status Heartbeat(SessionId session);
+
+  /// Removes every session whose lease has expired, dropping its cursors
+  /// and open-document registrations. Returns the number reaped. A no-op
+  /// when leases are disabled. Also invoked opportunistically on Connect.
+  size_t ReapExpired();
+
   /// Number of undelivered notifications.
   Result<size_t> PendingCount(SessionId session) const;
 
@@ -70,23 +118,42 @@ class SessionManager {
 
   /// Total events fanned out (for the concurrency bench).
   uint64_t events_delivered() const { return events_delivered_.load(); }
+  /// Times a session's outbox overflowed and was coalesced into a
+  /// `kResync` marker (backpressure observability).
+  uint64_t resyncs_emitted() const { return resyncs_emitted_.load(); }
+  /// Sessions removed by lease expiry.
+  uint64_t sessions_reaped() const { return sessions_reaped_.load(); }
+
+  const SessionOptions& options() const { return options_; }
 
  private:
   struct Session {
     SessionInfo info;
     std::map<uint64_t, size_t> cursors;  // doc -> pos
-    std::deque<ChangeEvent> inbox;
+    std::deque<SeqEvent> outbox;         // retained, seq-ascending
+    uint64_t next_seq = 1;               // seq assigned to the next event
+    uint64_t acked = 0;                  // highest acknowledged seq
+    Timestamp lease_expires_at = 0;      // 0 = immortal (leases disabled)
   };
 
   void Dispatch(const ChangeBatch& batch);
+  /// Renews the lease; call with mu_ held.
+  void TouchLocked(Session* session);
+  /// True if the session's lease has lapsed; call with mu_ held.
+  bool ExpiredLocked(const Session& session, Timestamp now) const;
+  /// Coalesces the outbox into a single kResync marker; call with mu_ held.
+  void EmitResyncLocked(Session* session, DocumentId doc);
 
   Database* const db_;
   MetaStore* const meta_;
+  const SessionOptions options_;
 
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
   std::atomic<uint64_t> next_session_id_{1};
   std::atomic<uint64_t> events_delivered_{0};
+  std::atomic<uint64_t> resyncs_emitted_{0};
+  std::atomic<uint64_t> sessions_reaped_{0};
 };
 
 }  // namespace tendax

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "storage/page.h"  // PageChecksum (FNV-1a), reused for frames
 #include "util/coding.h"
 
 namespace tendax {
@@ -9,6 +10,7 @@ namespace tendax {
 std::string EncodeCommand(const EditCommand& command) {
   std::string out;
   out.push_back(static_cast<char>(command.kind));
+  PutVarint64(&out, command.request_id);
   PutVarint64(&out, command.doc.value);
   PutVarint64(&out, command.pos);
   PutVarint64(&out, command.len);
@@ -19,16 +21,25 @@ std::string EncodeCommand(const EditCommand& command) {
 
 Result<EditCommand> DecodeCommand(Slice bytes) {
   if (bytes.empty()) return Status::Corruption("empty command");
+  const uint8_t kind = static_cast<uint8_t>(bytes[0]);
+  if (kind < 1 || kind > kCommandKindMax) {
+    return Status::InvalidArgument("unknown command kind " +
+                                   std::to_string(kind));
+  }
   EditCommand command;
-  command.kind = static_cast<CommandKind>(bytes[0]);
+  command.kind = static_cast<CommandKind>(kind);
   bytes.remove_prefix(1);
   uint64_t doc;
   Slice text, extra;
-  if (!GetVarint64(&bytes, &doc) || !GetVarint64(&bytes, &command.pos) ||
+  if (!GetVarint64(&bytes, &command.request_id) ||
+      !GetVarint64(&bytes, &doc) || !GetVarint64(&bytes, &command.pos) ||
       !GetVarint64(&bytes, &command.len) ||
       !GetLengthPrefixed(&bytes, &text) ||
       !GetLengthPrefixed(&bytes, &extra)) {
     return Status::Corruption("truncated command");
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after command");
   }
   command.doc = DocumentId(doc);
   command.text = text.ToString();
@@ -46,13 +57,21 @@ std::string EncodeResponse(const WireResponse& response) {
 
 Result<WireResponse> DecodeResponse(Slice bytes) {
   if (bytes.empty()) return Status::Corruption("empty response");
+  const uint8_t code = static_cast<uint8_t>(bytes[0]);
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
   WireResponse response;
-  response.code = static_cast<StatusCode>(bytes[0]);
+  response.code = static_cast<StatusCode>(code);
   bytes.remove_prefix(1);
   Slice message, payload;
   if (!GetLengthPrefixed(&bytes, &message) ||
       !GetLengthPrefixed(&bytes, &payload)) {
     return Status::Corruption("truncated response");
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after response");
   }
   response.message = message.ToString();
   response.payload = payload.ToString();
@@ -83,6 +102,13 @@ Result<ChangeEvent> DecodeEvent(Slice bytes) {
       !GetVarint64(&bytes, &event.count) ||
       !GetLengthPrefixed(&bytes, &detail)) {
     return Status::Corruption("truncated event");
+  }
+  if (kind < 1 || kind > kChangeKindMax) {
+    return Status::InvalidArgument("unknown change kind " +
+                                   std::to_string(kind));
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after event");
   }
   event.kind = static_cast<ChangeKind>(kind);
   event.doc = DocumentId(doc);
@@ -119,7 +145,67 @@ Result<ChangeBatch> DecodeEventBatch(Slice bytes) {
     if (!event.ok()) return event.status();
     batch.push_back(std::move(*event));
   }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after batch");
+  }
   return batch;
+}
+
+std::string EncodeSeqEventBatch(const std::vector<SeqEvent>& events) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(events.size()));
+  for (const SeqEvent& entry : events) {
+    PutVarint64(&out, entry.seq);
+    PutLengthPrefixed(&out, EncodeEvent(entry.event));
+  }
+  return out;
+}
+
+Result<std::vector<SeqEvent>> DecodeSeqEventBatch(Slice bytes) {
+  uint32_t n;
+  if (!GetVarint32(&bytes, &n)) {
+    return Status::Corruption("truncated seq batch");
+  }
+  std::vector<SeqEvent> events;
+  events.reserve(std::min<size_t>(n, bytes.size()));
+  for (uint32_t i = 0; i < n; ++i) {
+    SeqEvent entry;
+    Slice one;
+    if (!GetVarint64(&bytes, &entry.seq) || !GetLengthPrefixed(&bytes, &one)) {
+      return Status::Corruption("truncated seq batch entry");
+    }
+    auto event = DecodeEvent(one);
+    if (!event.ok()) return event.status();
+    entry.event = std::move(*event);
+    events.push_back(std::move(entry));
+  }
+  if (!bytes.empty()) {
+    return Status::InvalidArgument("trailing bytes after seq batch");
+  }
+  return events;
+}
+
+std::string SealFrame(const std::string& body) {
+  std::string out;
+  PutFixed32(&out, PageChecksum(body.data(), body.size()));
+  out.append(body);
+  return out;
+}
+
+Result<std::string> OpenFrame(Slice frame) {
+  if (frame.size() < 4) return Status::Corruption("frame shorter than header");
+  uint32_t stored;
+  if (!GetFixed32(&frame, &stored)) {
+    return Status::Corruption("frame shorter than header");
+  }
+  if (stored != PageChecksum(frame.data(), frame.size())) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  return frame.ToString();
+}
+
+Result<std::string> DirectTransport::RoundTrip(const std::string& request) {
+  return endpoint_->HandleFrame(request);
 }
 
 std::string RemoteEditorEndpoint::Handle(Slice command_bytes) {
@@ -130,7 +216,38 @@ std::string RemoteEditorEndpoint::Handle(Slice command_bytes) {
     bad.message = command.status().message();
     return EncodeResponse(bad);
   }
-  return EncodeResponse(Execute(*command));
+  // At-most-once execution: a retried command (same idempotency key)
+  // returns the cached response instead of running again. Resume and
+  // heartbeat are exempt — they are idempotent by construction and must
+  // reflect current state, never a cached snapshot of it.
+  const bool dedupable = command->request_id != 0 &&
+                         command->kind != CommandKind::kResume &&
+                         command->kind != CommandKind::kHeartbeat;
+  if (dedupable) {
+    auto it = dedup_.find(command->request_id);
+    if (it != dedup_.end()) {
+      ++dedup_hits_;
+      return it->second;
+    }
+  }
+  std::string encoded = EncodeResponse(Execute(*command));
+  if (dedupable) {
+    if (dedup_.size() >= dedup_capacity_ && !dedup_order_.empty()) {
+      dedup_.erase(dedup_order_.front());
+      dedup_order_.pop_front();
+    }
+    dedup_.emplace(command->request_id, encoded);
+    dedup_order_.push_back(command->request_id);
+  }
+  return encoded;
+}
+
+Result<std::string> RemoteEditorEndpoint::HandleFrame(Slice sealed_request) {
+  auto body = OpenFrame(sealed_request);
+  // A damaged request frame is indistinguishable from a lost one: the
+  // caller must surface a timeout so the client retries.
+  if (!body.ok()) return body.status();
+  return SealFrame(Handle(*body));
 }
 
 WireResponse RemoteEditorEndpoint::Execute(const EditCommand& command) {
@@ -204,9 +321,18 @@ WireResponse RemoteEditorEndpoint::Execute(const EditCommand& command) {
       fail(editor_->ApplyLayout(command.doc, command.pos, command.len,
                                 command.text, command.extra));
       break;
-    default:
-      fail(Status::InvalidArgument("unknown command kind"));
+    case CommandKind::kHeartbeat:
+      fail(editor_->Heartbeat());
       break;
+    case CommandKind::kResume: {
+      auto events = editor_->ResumeEvents(command.pos);
+      if (!events.ok()) {
+        fail(events.status());
+        break;
+      }
+      response.payload = EncodeSeqEventBatch(*events);
+      break;
+    }
   }
   return response;
 }

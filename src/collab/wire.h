@@ -1,7 +1,9 @@
 #ifndef TENDAX_COLLAB_WIRE_H_
 #define TENDAX_COLLAB_WIRE_H_
 
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "collab/editor.h"
@@ -31,11 +33,22 @@ enum class CommandKind : uint8_t {
   kSetCursor = 12,
   kAnnotate = 13,
   kApplyLayout = 14,
+  kHeartbeat = 15,  // lease renewal; no payload
+  kResume = 16,     // `pos` = last applied seq; payload = SeqEvent batch
 };
+
+/// Highest valid `CommandKind` value; `DecodeCommand` rejects anything
+/// outside [1, kCommandKindMax] with kInvalidArgument.
+constexpr uint8_t kCommandKindMax = 16;
 
 /// One editor gesture on the wire.
 struct EditCommand {
   CommandKind kind = CommandKind::kGetText;
+  /// Idempotency key. 0 = none; otherwise the server caches the response
+  /// under this key and a retried duplicate returns the cached response
+  /// instead of executing twice. Clients assign a fresh key per logical
+  /// command and reuse it across retries of that command.
+  uint64_t request_id = 0;
   DocumentId doc;
   uint64_t pos = 0;
   uint64_t len = 0;
@@ -44,7 +57,7 @@ struct EditCommand {
 };
 
 /// The server's answer: a status plus an optional payload (document text,
-/// clipboard id, ...).
+/// clipboard id, encoded SeqEvent batch, ...).
 struct WireResponse {
   StatusCode code = StatusCode::kOk;
   std::string message;
@@ -52,6 +65,10 @@ struct WireResponse {
 };
 
 // --- codec ---
+//
+// Decoders are strict: unknown enum values and trailing bytes are rejected
+// with kInvalidArgument, truncated input with kCorruption. A frame either
+// parses exactly or not at all — there is no best-effort acceptance.
 
 std::string EncodeCommand(const EditCommand& command);
 Result<EditCommand> DecodeCommand(Slice bytes);
@@ -65,25 +82,84 @@ Result<ChangeEvent> DecodeEvent(Slice bytes);
 std::string EncodeEventBatch(const ChangeBatch& batch);
 Result<ChangeBatch> DecodeEventBatch(Slice bytes);
 
+/// Sequence-stamped events for the resumable change stream (kResume).
+std::string EncodeSeqEventBatch(const std::vector<SeqEvent>& events);
+Result<std::vector<SeqEvent>> DecodeSeqEventBatch(Slice bytes);
+
+// --- frame integrity ---
+//
+// Frames crossing a real network carry a checksum envelope so in-flight
+// corruption is detected at the receiving side and handled as frame loss
+// (drop + retry) rather than leaking into command parsing.
+
+/// Prepends a checksum header to `body`.
+std::string SealFrame(const std::string& body);
+/// Verifies and strips the checksum header; kCorruption on damage.
+Result<std::string> OpenFrame(Slice frame);
+
+// --- transport ---
+
+/// One synchronous request/response exchange over sealed frames. A non-OK
+/// result means the request or response frame was lost, damaged, or timed
+/// out — the command may or may not have executed server-side, which is
+/// exactly why commands carry idempotency keys.
+class WireTransport {
+ public:
+  virtual ~WireTransport() = default;
+  virtual Result<std::string> RoundTrip(const std::string& request) = 0;
+};
+
+class RemoteEditorEndpoint;
+
+/// The lossless in-process transport: every frame is delivered intact.
+class DirectTransport : public WireTransport {
+ public:
+  explicit DirectTransport(RemoteEditorEndpoint* endpoint)
+      : endpoint_(endpoint) {}
+  Result<std::string> RoundTrip(const std::string& request) override;
+
+ private:
+  RemoteEditorEndpoint* const endpoint_;
+};
+
 /// Server-side endpoint for one remote editor: decodes command bytes,
 /// executes them against the wrapped `Editor`, and encodes the response.
 /// Clipboards from kCopy stay server-side and are referenced by handle in
 /// kPaste (`text` = handle), exactly like a GUI client would do.
+///
+/// The endpoint also deduplicates retried commands: responses to commands
+/// carrying an idempotency key are cached (bounded, FIFO eviction), and a
+/// duplicate delivery of the same key returns the cached response without
+/// re-executing — at-most-once execution under at-least-once delivery.
 class RemoteEditorEndpoint {
  public:
-  explicit RemoteEditorEndpoint(Editor* editor) : editor_(editor) {}
+  explicit RemoteEditorEndpoint(Editor* editor, size_t dedup_capacity = 1024)
+      : editor_(editor), dedup_capacity_(dedup_capacity) {}
 
-  /// One request/response exchange.
+  /// One request/response exchange on raw (unsealed) command bytes.
   std::string Handle(Slice command_bytes);
+
+  /// One exchange on checksummed frames: verifies the request envelope,
+  /// handles the body, seals the response. A non-OK result means the
+  /// request frame was damaged in flight and must be treated as lost.
+  Result<std::string> HandleFrame(Slice sealed_request);
 
   /// Pending change notifications, encoded for the wire.
   Result<std::string> PollEventsWire();
+
+  /// Duplicate deliveries answered from the cache (at-most-once proof).
+  uint64_t dedup_hits() const { return dedup_hits_; }
+  size_t dedup_entries() const { return dedup_.size(); }
 
  private:
   WireResponse Execute(const EditCommand& command);
 
   Editor* const editor_;
   std::vector<std::vector<PasteChar>> clipboards_;
+  const size_t dedup_capacity_;
+  std::unordered_map<uint64_t, std::string> dedup_;  // key -> encoded response
+  std::deque<uint64_t> dedup_order_;                 // FIFO eviction
+  uint64_t dedup_hits_ = 0;
 };
 
 }  // namespace tendax

@@ -25,8 +25,8 @@ Result<std::unique_ptr<TendaxServer>> TendaxServer::Open(
       std::make_unique<DocumentModel>(raw_db, server->text_.get());
   TENDAX_RETURN_IF_ERROR(server->docs_->Init());
 
-  server->sessions_ =
-      std::make_unique<SessionManager>(raw_db, server->meta_.get());
+  server->sessions_ = std::make_unique<SessionManager>(
+      raw_db, server->meta_.get(), options.session);
   TENDAX_RETURN_IF_ERROR(server->sessions_->Init());
 
   server->undo_ = std::make_unique<UndoManager>(server->text_.get());

@@ -38,6 +38,9 @@ struct TendaxOptions {
   /// Whether documents without explicit grants are open to every user
   /// (the demo's LAN-party default) or restricted to their creator.
   bool default_open_access = true;
+  /// Session-resilience knobs: lease TTL (0 = immortal sessions) and the
+  /// per-session change-stream cap before coalescing into a resync marker.
+  SessionOptions session;
 };
 
 /// The TeNDaX server: one embedded database plus every subsystem of the

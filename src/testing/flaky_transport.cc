@@ -1,0 +1,189 @@
+#include "testing/flaky_transport.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+const char* NetFaultName(NetFault fault) {
+  switch (fault) {
+    case NetFault::kNone:
+      return "None";
+    case NetFault::kDropRequest:
+      return "DropRequest";
+    case NetFault::kDupRequest:
+      return "DupRequest";
+    case NetFault::kDelayRequest:
+      return "DelayRequest";
+    case NetFault::kCorruptRequest:
+      return "CorruptRequest";
+    case NetFault::kDropResponse:
+      return "DropResponse";
+    case NetFault::kDelayResponse:
+      return "DelayResponse";
+    case NetFault::kCorruptResponse:
+      return "CorruptResponse";
+  }
+  return "Unknown";
+}
+
+NetFaultOptions NetFaultOptions::Uniform(uint64_t seed, double rate) {
+  NetFaultOptions options;
+  options.seed = seed;
+  options.drop_request = rate;
+  options.dup_request = rate;
+  options.delay_request = rate;
+  options.corrupt_request = rate;
+  options.drop_response = rate;
+  options.delay_response = rate;
+  options.corrupt_response = rate;
+  return options;
+}
+
+FlakyTransport::FlakyTransport(RemoteEditorEndpoint* endpoint,
+                               NetFaultOptions options)
+    : endpoint_(endpoint), options_(options), rng_(options.seed) {}
+
+void FlakyTransport::Force(uint64_t nth_round_trip, NetFault fault) {
+  forced_[nth_round_trip] = fault;
+}
+
+void FlakyTransport::Disarm() {
+  armed_ = false;
+  ReleaseDue(/*flush_all=*/true);
+}
+
+NetFault FlakyTransport::RollRequestLeg() {
+  const double roll = rng_.NextDouble();
+  double edge = options_.drop_request;
+  if (roll < edge) return NetFault::kDropRequest;
+  if (roll < (edge += options_.dup_request)) return NetFault::kDupRequest;
+  if (roll < (edge += options_.delay_request)) return NetFault::kDelayRequest;
+  if (roll < (edge += options_.corrupt_request)) {
+    return NetFault::kCorruptRequest;
+  }
+  return NetFault::kNone;
+}
+
+NetFault FlakyTransport::RollResponseLeg() {
+  const double roll = rng_.NextDouble();
+  double edge = options_.drop_response;
+  if (roll < edge) return NetFault::kDropResponse;
+  if (roll < (edge += options_.delay_response)) {
+    return NetFault::kDelayResponse;
+  }
+  if (roll < (edge += options_.corrupt_response)) {
+    return NetFault::kCorruptResponse;
+  }
+  return NetFault::kNone;
+}
+
+std::string FlakyTransport::Corrupt(std::string frame) {
+  if (frame.empty()) return frame;
+  const size_t flips = 1 + rng_.Uniform(4);
+  for (size_t i = 0; i < flips; ++i) {
+    const size_t pos = rng_.Uniform(frame.size());
+    frame[pos] = static_cast<char>(frame[pos] ^ (1 << rng_.Uniform(8)));
+  }
+  return frame;
+}
+
+void FlakyTransport::ReleaseDue(bool flush_all) {
+  // Late frames hit the server in arrival order; their responses go
+  // nowhere (the original caller timed out long ago). This is the stale
+  // retry that the server's dedup cache must render harmless.
+  auto it = delayed_.begin();
+  while (it != delayed_.end()) {
+    if (flush_all || it->due <= round_trips_) {
+      (void)endpoint_->HandleFrame(it->frame);
+      ++stats_.late_deliveries;
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<std::string> FlakyTransport::RoundTrip(const std::string& request) {
+  ++round_trips_;
+  ++stats_.round_trips;
+  ReleaseDue(/*flush_all=*/false);
+  if (!armed_) return endpoint_->HandleFrame(request);
+
+  NetFault fault;
+  if (auto it = forced_.find(round_trips_); it != forced_.end()) {
+    fault = it->second;
+  } else {
+    fault = RollRequestLeg();
+    if (fault == NetFault::kNone) fault = RollResponseLeg();
+  }
+
+  // Request leg.
+  Result<std::string> response = Status::IOError("unreachable");
+  switch (fault) {
+    case NetFault::kDropRequest:
+      ++stats_.dropped;
+      return Status::IOError("timeout: request lost");
+    case NetFault::kDelayRequest:
+      ++stats_.delayed;
+      delayed_.push_back(Delayed{
+          request, round_trips_ + 1 +
+                       (options_.max_delay_round_trips != 0
+                            ? rng_.Uniform(options_.max_delay_round_trips)
+                            : 0)});
+      return Status::IOError("timeout: request delayed past deadline");
+    case NetFault::kCorruptRequest:
+      ++stats_.corrupted;
+      // The server's checksum rejects the frame; nothing comes back.
+      (void)endpoint_->HandleFrame(Corrupt(request));
+      return Status::IOError("timeout: request damaged in flight");
+    case NetFault::kDupRequest:
+      ++stats_.duplicated;
+      (void)endpoint_->HandleFrame(request);
+      response = endpoint_->HandleFrame(request);
+      break;
+    default:
+      response = endpoint_->HandleFrame(request);
+      break;
+  }
+  if (!response.ok()) return response.status();
+
+  // Response leg.
+  switch (fault) {
+    case NetFault::kDropResponse:
+      ++stats_.dropped;
+      return Status::IOError("timeout: response lost");
+    case NetFault::kDelayResponse:
+      // The reply exists but arrives after the client's deadline; for a
+      // synchronous round trip that is indistinguishable from loss.
+      ++stats_.delayed;
+      return Status::IOError("timeout: response delayed past deadline");
+    case NetFault::kCorruptResponse:
+      ++stats_.corrupted;
+      return Corrupt(std::move(*response));
+    default:
+      return response;
+  }
+}
+
+std::string FlakyTransport::Describe() const {
+  auto rate = [](double v) {
+    std::string s = std::to_string(v);
+    s.resize(std::min<size_t>(s.size(), 5));
+    return s;
+  };
+  std::string out = "FlakyTransport{seed=" + std::to_string(options_.seed);
+  out += ", drop_req=" + rate(options_.drop_request);
+  out += ", dup_req=" + rate(options_.dup_request);
+  out += ", delay_req=" + rate(options_.delay_request);
+  out += ", corrupt_req=" + rate(options_.corrupt_request);
+  out += ", drop_resp=" + rate(options_.drop_response);
+  out += ", delay_resp=" + rate(options_.delay_response);
+  out += ", corrupt_resp=" + rate(options_.corrupt_response);
+  for (const auto& [n, fault] : forced_) {
+    out += ", force@" + std::to_string(n) + "=" + NetFaultName(fault);
+  }
+  out += ", round_trips=" + std::to_string(stats_.round_trips) + "}";
+  return out;
+}
+
+}  // namespace tendax

@@ -1,0 +1,111 @@
+#ifndef TENDAX_TESTING_FLAKY_TRANSPORT_H_
+#define TENDAX_TESTING_FLAKY_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collab/wire.h"
+#include "util/random.h"
+
+namespace tendax {
+
+/// What the transport does to one round trip. Request-leg faults strike
+/// before the server sees the frame; response-leg faults strike after the
+/// command executed — the difference is exactly what idempotency keys and
+/// resumable streams exist to mask.
+enum class NetFault : uint8_t {
+  kNone = 0,
+  kDropRequest,      // server never sees the command
+  kDupRequest,       // server executes the frame twice
+  kDelayRequest,     // frame held back, redelivered after later round trips
+  kCorruptRequest,   // bit flips in flight; checksum rejects it server-side
+  kDropResponse,     // command executed, reply lost
+  kDelayResponse,    // command executed, reply arrives after the timeout
+  kCorruptResponse,  // reply damaged; checksum rejects it client-side
+};
+
+const char* NetFaultName(NetFault fault);
+
+/// A seeded schedule of network faults, the transport sibling of
+/// `FaultPlan`: per-round-trip fault probabilities, plus exact overrides
+/// ("fault round trip N") for targeted regressions. A given seed plus a
+/// given workload reproduces the same fault sequence bit-for-bit.
+struct NetFaultOptions {
+  uint64_t seed = 1;
+  // Independent per-leg probabilities in [0, 1]. Evaluated in declaration
+  // order; at most one fault fires per leg.
+  double drop_request = 0.0;
+  double dup_request = 0.0;
+  double delay_request = 0.0;
+  double corrupt_request = 0.0;
+  double drop_response = 0.0;
+  double delay_response = 0.0;
+  double corrupt_response = 0.0;
+  /// A delayed request is redelivered after up to this many later round
+  /// trips (seeded choice), i.e. out of order with newer commands.
+  uint32_t max_delay_round_trips = 3;
+
+  /// Every fault kind at the same `rate` — the sweep-test workhorse.
+  static NetFaultOptions Uniform(uint64_t seed, double rate);
+};
+
+/// A deterministic, fault-injecting `WireTransport` over an in-process
+/// `RemoteEditorEndpoint`. Frames are sealed/checksummed; corruption is
+/// surfaced to either side as frame loss, drops and delays as timeouts
+/// (`kIOError`). Delayed request frames are redelivered late — stale
+/// retries landing after newer commands, which the server-side dedup cache
+/// must absorb.
+class FlakyTransport : public WireTransport {
+ public:
+  FlakyTransport(RemoteEditorEndpoint* endpoint, NetFaultOptions options);
+
+  Result<std::string> RoundTrip(const std::string& request) override;
+
+  /// Forces `fault` on the `nth` round trip (1-based), overriding the
+  /// probabilistic roll. Call before the run for targeted regressions.
+  void Force(uint64_t nth_round_trip, NetFault fault);
+
+  /// Faithful delivery from now on; pending delayed frames are flushed to
+  /// the server first (they were already "in the network").
+  void Disarm();
+
+  struct Stats {
+    uint64_t round_trips = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t delayed = 0;
+    uint64_t corrupted = 0;
+    uint64_t late_deliveries = 0;  // delayed frames redelivered
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// One-line reproduction recipe, e.g.
+  /// "FlakyTransport{seed=7, drop_req=0.1, ..., round_trips=42}".
+  std::string Describe() const;
+
+ private:
+  NetFault RollRequestLeg();
+  NetFault RollResponseLeg();
+  std::string Corrupt(std::string frame);
+  /// Redelivers delayed frames whose due round trip has passed.
+  void ReleaseDue(bool flush_all);
+
+  RemoteEditorEndpoint* const endpoint_;
+  const NetFaultOptions options_;
+  Random rng_;
+  bool armed_ = true;
+  uint64_t round_trips_ = 0;
+  std::map<uint64_t, NetFault> forced_;  // round trip -> fault
+  struct Delayed {
+    std::string frame;
+    uint64_t due;  // round trip index after which it is redelivered
+  };
+  std::vector<Delayed> delayed_;
+  Stats stats_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_TESTING_FLAKY_TRANSPORT_H_

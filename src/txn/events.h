@@ -31,7 +31,17 @@ enum class ChangeKind : uint16_t {
   kFolderChanged = 14,
   kUndoApplied = 15,
   kRedoApplied = 16,
+  /// Delivery-layer marker, not a committed change: the session's change
+  /// stream was trimmed (slow consumer / stale resume cursor) and per-event
+  /// redelivery is impossible. The client must re-read a document snapshot;
+  /// events delivered after the marker may predate that snapshot and are
+  /// invalidation hints only.
+  kResync = 17,
 };
+
+/// Highest valid `ChangeKind` value; decoders reject anything outside
+/// [1, kChangeKindMax].
+constexpr uint16_t kChangeKindMax = 17;
 
 /// One domain-level change produced by a transaction.
 struct ChangeEvent {

@@ -7,8 +7,10 @@
 #include <thread>
 #include <vector>
 
+#include "collab/retrying_client.h"
 #include "core/tendax.h"
 #include "storage/wal.h"
+#include "testing/flaky_transport.h"
 #include "util/random.h"
 #include "workload/generators.h"
 
@@ -151,6 +153,146 @@ TEST(CollabStressTest, GroupCommitFlusherUnderConcurrentEditors) {
   // of racing one-commit flushes.
   gc.flush_interval = std::chrono::microseconds(50);
   RunSharedDocumentStress(gc);
+}
+
+// Satellite: reconnect churn over a flaky transport with leases enabled.
+// Every editor drives the server through the wire protocol (idempotency
+// keys, retries, resumable polls) while its connection objects are torn
+// down and rebuilt mid-run, and a reaper thread sweeps leases concurrently
+// with dispatch and heartbeats. Under TENDAX_SANITIZE=thread this is the
+// race check for the session-resilience layer.
+TEST(CollabStressTest, ReconnectChurnOverFlakyTransportConverges) {
+  const size_t kThreads =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
+  const size_t kOpsPerThread =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
+
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 1024;
+  // Leases on, with a TTL far beyond the run so only the lease *machinery*
+  // (touch-on-command, heartbeats, the reaper) is exercised — expiry
+  // itself is covered deterministically in resilience_test.
+  options.session.lease_ttl_micros = 60'000'000;
+  auto server_res = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
+  TendaxServer* server = server_res->get();
+
+  auto owner = server->accounts()->CreateUser("owner");
+  ASSERT_TRUE(owner.ok());
+  auto doc = server->text()->CreateDocument(*owner, "churned.txt");
+  ASSERT_TRUE(doc.ok());
+
+  // Per-thread connection state, owned by the main thread so the final
+  // convergence read can happen after the workers join. Each worker only
+  // touches its own rig; old connections are kept alive (their delayed
+  // frames are still "in the network" until Disarm).
+  struct Rig {
+    std::unique_ptr<Editor> editor;
+    std::vector<std::unique_ptr<RemoteEditorEndpoint>> endpoints;
+    std::vector<std::unique_ptr<FlakyTransport>> transports;
+    std::vector<std::unique_ptr<RetryingClient>> clients;
+    uint64_t incarnations = 0;
+
+    void Connect(uint64_t seed) {
+      endpoints.push_back(
+          std::make_unique<RemoteEditorEndpoint>(editor.get()));
+      transports.push_back(std::make_unique<FlakyTransport>(
+          endpoints.back().get(),
+          NetFaultOptions::Uniform(seed + incarnations, 0.03)));
+      RetryOptions retry;
+      retry.max_attempts = 16;
+      retry.seed = seed * 31 + incarnations;
+      const uint64_t cursor =
+          clients.empty() ? 0 : clients.back()->last_seq();
+      clients.push_back(std::make_unique<RetryingClient>(
+          transports.back().get(), retry));
+      clients.back()->set_last_seq(cursor);
+      ++incarnations;
+    }
+    RetryingClient* client() { return clients.back().get(); }
+  };
+
+  std::vector<Rig> rigs(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto user = server->accounts()->CreateUser("churn" + std::to_string(t));
+    ASSERT_TRUE(user.ok());
+    auto editor = server->AttachEditor(*user, "churn-client");
+    ASSERT_TRUE(editor.ok()) << editor.status().ToString();
+    rigs[t].editor = std::move(*editor);
+    rigs[t].Connect(/*seed=*/5000 + t * 101);
+    ASSERT_TRUE(rigs[t].client()->Open(*doc).ok());
+  }
+
+  std::atomic<size_t> applied{0};
+  std::atomic<bool> stop_reaper{false};
+  std::thread reaper([&] {
+    while (!stop_reaper.load(std::memory_order_relaxed)) {
+      (void)server->sessions()->ReapExpired();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rig& rig = rigs[t];
+      TypingTraceGenerator gen(/*seed=*/7000 + t);
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        auto len = server->text()->Length(*doc);
+        if (!len.ok()) continue;
+        TypingAction a = gen.Next(static_cast<size_t>(*len));
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          Status st = a.kind == TypingAction::Kind::kInsert
+                          ? rig.client()->Type(*doc, a.pos, a.text)
+                          : rig.client()->Erase(*doc, a.pos, a.len);
+          if (st.ok()) {
+            ++applied;
+            break;
+          }
+          if (st.IsOutOfRange()) break;  // lost the length race; skip
+          ASSERT_TRUE(st.IsRetryable() || st.IsConflict() || st.IsIOError())
+              << "thread " << t << " op " << i << ": " << st.ToString();
+          std::this_thread::yield();
+        }
+        if (i % 5 == 4) ASSERT_TRUE(rig.client()->Heartbeat().ok());
+        if (i % 10 == 9) {
+          // The connection dies mid-run; the session and cursor survive.
+          rig.Connect(/*seed=*/5000 + t * 101);
+          auto changes = rig.client()->PollChanges();
+          ASSERT_TRUE(changes.ok()) << changes.status().ToString();
+          if (changes->resync_required) {
+            ASSERT_TRUE(rig.client()->GetText(*doc).ok());
+          }
+        } else {
+          (void)rig.client()->PollChanges();  // keep the outbox draining
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop_reaper.store(true);
+  reaper.join();
+
+  // Quiesce the network, then check convergence through the wire.
+  for (auto& rig : rigs) {
+    for (auto& transport : rig.transports) transport->Disarm();
+  }
+
+  EXPECT_GT(applied.load(), 0u);
+  auto server_text = server->text()->Text(*doc);
+  ASSERT_TRUE(server_text.ok()) << server_text.status().ToString();
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto view = rigs[t].client()->GetText(*doc);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(*view, *server_text) << "client " << t << " diverged";
+  }
+
+  EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
+  EXPECT_EQ(server->sessions()->sessions_reaped(), 0u)
+      << "no lease should lapse under active traffic";
+  Status integrity = server->CheckIntegrity();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
 }
 
 }  // namespace

@@ -180,6 +180,72 @@ TEST_F(CollabTest, OpHistoryTracksUndoState) {
   EXPECT_EQ(history[0].text, "x");
 }
 
+// Ghost-awareness regression: once a session is gone — explicit Disconnect
+// or lease expiry — awareness must never report its cursors or open
+// documents again.
+TEST_F(CollabTest, DisconnectDropsAwarenessState) {
+  SessionManager* sm = server_->sessions();
+  DocumentId doc = MakeDoc(alice_, "haunted", "boo");
+  auto s1 = sm->Connect(alice_, "editor-linux");
+  auto s2 = sm->Connect(bob_, "editor-macos");
+  ASSERT_TRUE(sm->OpenDocument(*s1, doc).ok());
+  ASSERT_TRUE(sm->OpenDocument(*s2, doc).ok());
+  ASSERT_TRUE(sm->SetCursor(*s1, doc, 1).ok());
+  ASSERT_TRUE(sm->SetCursor(*s2, doc, 2).ok());
+  ASSERT_EQ(sm->CursorsFor(doc).size(), 2u);
+
+  ASSERT_TRUE(sm->Disconnect(*s1).ok());
+  auto cursors = sm->CursorsFor(doc);
+  ASSERT_EQ(cursors.size(), 1u);
+  EXPECT_EQ(cursors[0].session, *s2);
+  auto viewing = sm->SessionsViewing(doc);
+  ASSERT_EQ(viewing.size(), 1u);
+  EXPECT_EQ(viewing[0].id, *s2);
+
+  ASSERT_TRUE(sm->Disconnect(*s2).ok());
+  EXPECT_TRUE(sm->CursorsFor(doc).empty());
+  EXPECT_TRUE(sm->SessionsViewing(doc).empty());
+  EXPECT_TRUE(sm->OnlineSessions().empty());
+}
+
+TEST_F(CollabTest, LeaseExpiryReapsSessionAndAwareness) {
+  // Leases need their own server: the fixture's sessions are immortal.
+  TendaxOptions options;
+  auto clock = std::make_shared<ManualClock>(1'000'000'000, /*tick=*/1000);
+  options.db.clock = clock;
+  options.session.lease_ttl_micros = 5'000'000;  // 5s
+  auto server = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server.ok());
+  auto user = (*server)->accounts()->CreateUser("mortal");
+  ASSERT_TRUE(user.ok());
+  SessionManager* sm = (*server)->sessions();
+  auto doc = (*server)->text()->CreateDocument(*user, "doc");
+  ASSERT_TRUE(doc.ok());
+
+  auto dead = sm->Connect(*user, "wedged-editor");
+  auto live = sm->Connect(*user, "healthy-editor");
+  ASSERT_TRUE(dead.ok());
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(sm->OpenDocument(*dead, *doc).ok());
+  ASSERT_TRUE(sm->SetCursor(*dead, *doc, 1).ok());
+  ASSERT_TRUE(sm->OpenDocument(*live, *doc).ok());
+
+  // The healthy editor heartbeats across the TTL; the wedged one goes
+  // silent and its lease lapses.
+  clock->Advance(4'000'000);
+  ASSERT_TRUE(sm->Heartbeat(*live).ok());
+  clock->Advance(4'000'000);
+  EXPECT_EQ(sm->ReapExpired(), 1u);
+
+  EXPECT_TRUE(sm->Heartbeat(*dead).IsNotFound());
+  EXPECT_TRUE(sm->Heartbeat(*live).ok());
+  auto viewing = sm->SessionsViewing(*doc);
+  ASSERT_EQ(viewing.size(), 1u);
+  EXPECT_EQ(viewing[0].id, *live);
+  EXPECT_TRUE(sm->CursorsFor(*doc).empty());  // only `dead` had a cursor
+  EXPECT_EQ(sm->sessions_reaped(), 1u);
+}
+
 TEST_F(CollabTest, ConcurrentEditorsConvergeThroughTheDatabase) {
   DocumentId doc = MakeDoc(alice_, "lan-party", "");
   constexpr int kEditors = 4;

@@ -72,17 +72,22 @@ TEST_F(RobustnessTest, SessionInboxIsBounded) {
   DocumentId doc = MakeDoc(alice_, "firehose", "");
   auto session = server_->sessions()->Connect(bob_, "slowpoke");
   ASSERT_TRUE(server_->sessions()->OpenDocument(*session, doc).ok());
-  // Never polls while 12k events stream past (cap is 10k).
+  // Never polls while 12k events stream past (cap is 10k). On overflow the
+  // backlog coalesces into a single kResync marker — the consumer is told
+  // its replica is stale instead of silently losing the stream head.
   for (int i = 0; i < 12000; ++i) {
     ASSERT_TRUE(server_->text()->InsertText(alice_, doc, 0, "x").ok());
   }
   auto pending = server_->sessions()->PendingCount(*session);
   ASSERT_TRUE(pending.ok());
   EXPECT_LE(*pending, 10000u);
-  EXPECT_GT(*pending, 9000u);
-  // Draining returns the retained tail and resets the queue.
+  EXPECT_GE(server_->sessions()->resyncs_emitted(), 1u);
+  // Draining returns the retained tail — led by the resync marker — and
+  // resets the queue.
   auto events = server_->sessions()->Poll(*session);
   ASSERT_TRUE(events.ok());
+  ASSERT_FALSE(events->empty());
+  EXPECT_EQ(events->front().kind, ChangeKind::kResync);
   EXPECT_EQ(*server_->sessions()->PendingCount(*session), 0u);
 }
 

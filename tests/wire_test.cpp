@@ -24,7 +24,8 @@ std::string RandomBlob(Random* rng, size_t max_len) {
 
 EditCommand RandomCommand(Random* rng) {
   EditCommand command;
-  command.kind = static_cast<CommandKind>(1 + rng->Uniform(14));
+  command.kind = static_cast<CommandKind>(1 + rng->Uniform(kCommandKindMax));
+  command.request_id = rng->Next();
   command.doc = DocumentId(rng->Next());
   command.pos = rng->Next();
   command.len = rng->Next();
@@ -35,7 +36,10 @@ EditCommand RandomCommand(Random* rng) {
 
 WireResponse RandomResponse(Random* rng) {
   WireResponse response;
-  response.code = static_cast<StatusCode>(rng->Uniform(16));
+  // Codes beyond kInternal do not exist; the decoder rejects them (see
+  // UnknownEnumValuesRejected), so valid inputs stay in range.
+  response.code = static_cast<StatusCode>(
+      rng->Uniform(static_cast<uint64_t>(StatusCode::kInternal) + 1));
   response.message = RandomBlob(rng, 48);
   response.payload = RandomBlob(rng, 96);
   return response;
@@ -43,7 +47,7 @@ WireResponse RandomResponse(Random* rng) {
 
 ChangeEvent RandomEvent(Random* rng) {
   ChangeEvent event;
-  event.kind = static_cast<ChangeKind>(1 + rng->Uniform(16));
+  event.kind = static_cast<ChangeKind>(1 + rng->Uniform(kChangeKindMax));
   event.doc = DocumentId(rng->Next());
   event.user = UserId(rng->Next());
   event.version = rng->Next();
@@ -115,6 +119,116 @@ TEST(WireCodecTest, CorruptInputRejected) {
   std::string bytes = EncodeCommand(command);
   bytes.resize(bytes.size() - 3);  // torn
   EXPECT_TRUE(DecodeCommand(bytes).status().IsCorruption());
+}
+
+// Strictness regressions: decoders reject unknown enum values and trailing
+// garbage with kInvalidArgument instead of best-effort acceptance.
+TEST(WireCodecTest, UnknownEnumValuesRejected) {
+  EditCommand command;
+  command.kind = CommandKind::kType;
+  command.text = "x";
+  std::string bytes = EncodeCommand(command);
+
+  std::string zero_kind = bytes;
+  zero_kind[0] = 0;
+  EXPECT_TRUE(DecodeCommand(zero_kind).status().IsInvalidArgument());
+  std::string high_kind = bytes;
+  high_kind[0] = static_cast<char>(kCommandKindMax + 1);
+  EXPECT_TRUE(DecodeCommand(high_kind).status().IsInvalidArgument());
+  high_kind[0] = static_cast<char>(0xEE);
+  EXPECT_TRUE(DecodeCommand(high_kind).status().IsInvalidArgument());
+
+  WireResponse response;
+  response.code = StatusCode::kOk;
+  std::string response_bytes = EncodeResponse(response);
+  response_bytes[0] = static_cast<char>(14);  // one past kInternal
+  EXPECT_TRUE(DecodeResponse(response_bytes).status().IsInvalidArgument());
+
+  ChangeEvent event;
+  event.kind = ChangeKind::kTextInserted;
+  std::string event_bytes = EncodeEvent(event);
+  event_bytes[0] = 0;  // varint kind = 0
+  EXPECT_TRUE(DecodeEvent(event_bytes).status().IsInvalidArgument());
+  event_bytes[0] = static_cast<char>(kChangeKindMax + 1);
+  EXPECT_TRUE(DecodeEvent(event_bytes).status().IsInvalidArgument());
+}
+
+TEST(WireCodecTest, TrailingBytesRejected) {
+  EditCommand command;
+  command.kind = CommandKind::kErase;
+  command.pos = 3;
+  command.len = 2;
+  std::string bytes = EncodeCommand(command) + "x";
+  EXPECT_TRUE(DecodeCommand(bytes).status().IsInvalidArgument());
+
+  WireResponse response;
+  response.payload = "p";
+  std::string response_bytes = EncodeResponse(response) + "tail";
+  EXPECT_TRUE(DecodeResponse(response_bytes).status().IsInvalidArgument());
+
+  ChangeBatch batch{ChangeEvent{}};
+  batch[0].kind = ChangeKind::kTextDeleted;
+  std::string batch_bytes = EncodeEventBatch(batch);
+  batch_bytes.push_back('\0');
+  EXPECT_TRUE(DecodeEventBatch(batch_bytes).status().IsInvalidArgument());
+}
+
+TEST(WireCodecTest, RequestIdRoundTrips) {
+  EditCommand command;
+  command.kind = CommandKind::kType;
+  command.request_id = 0xDEADBEEFCAFEULL;
+  command.text = "retry me";
+  auto decoded = DecodeCommand(EncodeCommand(command));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 0xDEADBEEFCAFEULL);
+}
+
+TEST(WireCodecTest, SeqEventBatchRoundTripAndFuzz) {
+  Random rng(20260808);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<SeqEvent> batch;
+    size_t n = rng.Uniform(6);
+    for (size_t j = 0; j < n; ++j) {
+      batch.push_back(SeqEvent{rng.Next(), RandomEvent(&rng)});
+    }
+    std::string bytes = EncodeSeqEventBatch(batch);
+    auto decoded = DecodeSeqEventBatch(bytes);
+    ASSERT_TRUE(decoded.ok()) << "iter " << i;
+    ASSERT_EQ(decoded->size(), batch.size());
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ((*decoded)[j].seq, batch[j].seq);
+      EXPECT_EQ((*decoded)[j].event.kind, batch[j].event.kind);
+      EXPECT_EQ((*decoded)[j].event.detail, batch[j].event.detail);
+    }
+    // Every truncation and bit flip fails cleanly or decodes; never crashes.
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      (void)DecodeSeqEventBatch(Slice(bytes.data(), cut));
+    }
+    if (!bytes.empty()) {
+      std::string flipped = bytes;
+      size_t pos = rng.Uniform(flipped.size());
+      flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << rng.Uniform(8)));
+      (void)DecodeSeqEventBatch(flipped);
+    }
+  }
+}
+
+TEST(WireCodecTest, FrameChecksumDetectsEveryBitFlip) {
+  Random rng(7);
+  const std::string body = RandomBlob(&rng, 64) + "payload";
+  std::string frame = SealFrame(body);
+  auto opened = OpenFrame(frame);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, body);
+  for (size_t pos = 0; pos < frame.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[pos] = static_cast<char>(damaged[pos] ^ (1 << bit));
+      EXPECT_TRUE(OpenFrame(damaged).status().IsCorruption())
+          << "flip at byte " << pos << " bit " << bit;
+    }
+  }
+  EXPECT_TRUE(OpenFrame(Slice("abc")).status().IsCorruption());
 }
 
 TEST(WireCodecTest, RandomizedRoundTrips) {
