@@ -150,4 +150,11 @@ Result<std::vector<SeqEvent>> Editor::ResumeEvents(uint64_t last_seq) {
   return services_.sessions->Resume(session_, last_seq);
 }
 
+Result<MetricsSnapshot> Editor::ServerStats() const {
+  if (services_.metrics == nullptr) {
+    return Status::FailedPrecondition("no metrics registry attached");
+  }
+  return services_.metrics->Snapshot();
+}
+
 }  // namespace tendax

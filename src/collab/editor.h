@@ -21,6 +21,9 @@ struct CollabServices {
   MetaStore* meta = nullptr;
   SessionManager* sessions = nullptr;
   UndoManager* undo = nullptr;
+  /// Server-wide metrics registry; null when the attaching server predates
+  /// the observability layer or metrics were stripped.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A headless TeNDaX editor client: the word processor without the GUI.
@@ -90,6 +93,15 @@ class Editor {
   /// Resumable delivery: acknowledges events up to `last_seq` and returns
   /// the retained suffix with sequence numbers. See SessionManager::Resume.
   Result<std::vector<SeqEvent>> ResumeEvents(uint64_t last_seq);
+
+  // --- observability ---
+  /// Point-in-time snapshot of the server's metrics registry (WAL, buffer
+  /// pool, txn, lock, wire, and session counters/histograms). Backs the
+  /// kStats wire command. FailedPrecondition when no registry is attached.
+  Result<MetricsSnapshot> ServerStats() const;
+  /// The attached registry, or null. Used by the wire endpoint to register
+  /// its own dispatch metrics.
+  MetricsRegistry* metrics() const { return services_.metrics; }
 
  private:
   CollabServices services_;

@@ -10,12 +10,24 @@ RetryingClient::RetryingClient(WireTransport* transport, RetryOptions options)
       rng_(options_.seed),
       // Salt keys with the seed so two clients sharing one endpoint (a
       // reconnect) do not collide on key 1, 2, 3, ...
-      key_salt_(options_.seed * 0x9E3779B97F4A7C15ULL) {}
+      key_salt_(options_.seed * 0x9E3779B97F4A7C15ULL) {
+  if (options_.metrics != nullptr) {
+    m_calls_ = options_.metrics->counter("client.calls");
+    m_attempts_ = options_.metrics->counter("client.attempts");
+    m_retries_ = options_.metrics->counter("client.retries");
+    m_timeouts_ = options_.metrics->counter("client.timeouts");
+    m_wire_errors_ = options_.metrics->counter("client.wire_errors");
+    m_exhausted_ = options_.metrics->counter("client.exhausted");
+    m_resyncs_ = options_.metrics->counter("client.resyncs");
+  }
+}
 
 Result<WireResponse> RetryingClient::Call(EditCommand command) {
   ++stats_.calls;
+  MetricAdd(m_calls_);
   const bool exempt = command.kind == CommandKind::kResume ||
-                      command.kind == CommandKind::kHeartbeat;
+                      command.kind == CommandKind::kHeartbeat ||
+                      command.kind == CommandKind::kStats;
   if (command.request_id == 0 && !exempt) {
     command.request_id = key_salt_ ^ ++next_key_;
     if (command.request_id == 0) command.request_id = ++next_key_;
@@ -31,29 +43,35 @@ Result<WireResponse> RetryingClient::Call(EditCommand command) {
       stats_.backoff_micros += wait;
       if (options_.sleep_fn) options_.sleep_fn(wait);
       backoff = std::min(backoff * 2, options_.max_backoff_micros);
+      MetricAdd(m_retries_);
     }
     ++stats_.attempts;
+    MetricAdd(m_attempts_);
     auto raw = transport_->RoundTrip(frame);
     if (!raw.ok()) {
       last_error = raw.status();
       ++stats_.timeouts;
+      MetricAdd(m_timeouts_);
       continue;
     }
     auto body = OpenFrame(*raw);
     if (!body.ok()) {
       last_error = body.status();
       ++stats_.wire_errors;
+      MetricAdd(m_wire_errors_);
       continue;
     }
     auto response = DecodeResponse(*body);
     if (!response.ok()) {
       last_error = response.status();
       ++stats_.wire_errors;
+      MetricAdd(m_wire_errors_);
       continue;
     }
     return *response;
   }
   ++stats_.exhausted;
+  MetricAdd(m_exhausted_);
   return Status::FromCode(last_error.code(),
                           "retries exhausted: " + last_error.message());
 }
@@ -113,6 +131,13 @@ Status RetryingClient::Heartbeat() {
   return r.ok() ? ToStatus(*r) : r.status();
 }
 
+Result<MetricsSnapshot> RetryingClient::ServerStats() {
+  auto r = Call(MakeCommand(CommandKind::kStats, DocumentId()));
+  if (!r.ok()) return r.status();
+  if (r->code != StatusCode::kOk) return ToStatus(*r);
+  return DecodeMetricsSnapshot(r->payload);
+}
+
 Result<RetryingClient::Changes> RetryingClient::PollChanges() {
   auto r = Call(MakeCommand(CommandKind::kResume, DocumentId(), last_seq_));
   if (!r.ok()) return r.status();
@@ -131,7 +156,10 @@ Result<RetryingClient::Changes> RetryingClient::PollChanges() {
       out.events.push_back(std::move(entry.event));
     }
   }
-  if (out.resync_required) ++stats_.resyncs;
+  if (out.resync_required) {
+    ++stats_.resyncs;
+    MetricAdd(m_resyncs_);
+  }
   return out;
 }
 

@@ -24,6 +24,9 @@ struct RetryOptions {
   /// (recorded in stats) rather than real waiting. Wire a real sleep in
   /// here when driving an asynchronous transport.
   std::function<void(uint64_t micros)> sleep_fn;
+  /// Optional registry for client-side "client.*" counters mirroring
+  /// RetryStats. May be null; must outlive the client when set.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Client-side observability for the retry machinery.
@@ -64,6 +67,9 @@ class RetryingClient {
   Result<std::string> GetText(DocumentId doc);
   Status SetCursor(DocumentId doc, uint64_t pos);
   Status Heartbeat();
+  /// Fetches the server's metrics snapshot via kStats and verifies its
+  /// checksum. Exempt from idempotency keys (reads current state).
+  Result<MetricsSnapshot> ServerStats();
 
   /// One resumable-delivery exchange.
   struct Changes {
@@ -97,6 +103,15 @@ class RetryingClient {
   uint64_t next_key_ = 0;
   uint64_t last_seq_ = 0;
   RetryStats stats_;
+
+  // Registry mirrors of stats_ (null without options.metrics).
+  Counter* m_calls_ = nullptr;
+  Counter* m_attempts_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_timeouts_ = nullptr;
+  Counter* m_wire_errors_ = nullptr;
+  Counter* m_exhausted_ = nullptr;
+  Counter* m_resyncs_ = nullptr;
 };
 
 }  // namespace tendax

@@ -6,7 +6,16 @@ namespace tendax {
 
 SessionManager::SessionManager(Database* db, MetaStore* meta,
                                SessionOptions options)
-    : db_(db), meta_(meta), options_(options) {}
+    : db_(db), meta_(meta), options_(options) {
+  MetricsRegistry* metrics = db_->metrics();
+  m_events_delivered_ = metrics->counter("session.events_delivered");
+  m_resyncs_emitted_ = metrics->counter("session.resyncs_emitted");
+  m_sessions_reaped_ = metrics->counter("session.sessions_reaped");
+  m_connects_ = metrics->counter("session.connects");
+  m_disconnects_ = metrics->counter("session.disconnects");
+  m_heartbeats_ = metrics->counter("session.heartbeats");
+  m_resumes_ = metrics->counter("session.resumes");
+}
 
 Status SessionManager::Init() {
   db_->txns()->AddCommitListener(
@@ -32,7 +41,7 @@ void SessionManager::EmitResyncLocked(Session* session, DocumentId doc) {
   marker.doc = doc;
   marker.at = db_->clock()->NowMicros();
   session->outbox.push_back(SeqEvent{session->next_seq++, std::move(marker)});
-  resyncs_emitted_.fetch_add(1, std::memory_order_relaxed);
+  m_resyncs_emitted_->Add();
 }
 
 void SessionManager::Dispatch(const ChangeBatch& batch) {
@@ -54,7 +63,7 @@ void SessionManager::Dispatch(const ChangeBatch& batch) {
         continue;
       }
       session->outbox.push_back(SeqEvent{session->next_seq++, ev});
-      events_delivered_.fetch_add(1, std::memory_order_relaxed);
+      m_events_delivered_->Add();
     }
   }
 }
@@ -71,6 +80,7 @@ Result<SessionId> SessionManager::Connect(UserId user,
   std::lock_guard<std::mutex> lock(mu_);
   TouchLocked(session.get());
   sessions_[id.value] = std::move(session);
+  m_connects_->Add();
   return id;
 }
 
@@ -84,6 +94,7 @@ Status SessionManager::Disconnect(SessionId session) {
   it->second->cursors.clear();
   it->second->info.open_docs.clear();
   sessions_.erase(it);
+  m_disconnects_->Add();
   return Status::OK();
 }
 
@@ -100,7 +111,7 @@ size_t SessionManager::ReapExpired() {
       ++it;
     }
   }
-  sessions_reaped_.fetch_add(reaped, std::memory_order_relaxed);
+  if (reaped > 0) m_sessions_reaped_->Add(reaped);
   return reaped;
 }
 
@@ -164,6 +175,7 @@ Result<std::vector<SeqEvent>> SessionManager::Resume(SessionId session,
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   Session* s = it->second.get();
   TouchLocked(s);
+  m_resumes_->Add();
   if (last_seq >= s->next_seq) {
     return Status::InvalidArgument("resume seq " + std::to_string(last_seq) +
                                    " was never delivered");
@@ -194,6 +206,7 @@ Status SessionManager::Heartbeat(SessionId session) {
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   TouchLocked(it->second.get());
+  m_heartbeats_->Add();
   return Status::OK();
 }
 

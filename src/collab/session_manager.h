@@ -116,13 +116,15 @@ class SessionManager {
   std::vector<SessionInfo> SessionsViewing(DocumentId doc) const;
   std::vector<CursorInfo> CursorsFor(DocumentId doc) const;
 
-  /// Total events fanned out (for the concurrency bench).
-  uint64_t events_delivered() const { return events_delivered_.load(); }
+  /// Total events fanned out (for the concurrency bench). Backed by the
+  /// metrics registry ("session.events_delivered") since the observability
+  /// migration; same for the two readouts below.
+  uint64_t events_delivered() const { return m_events_delivered_->Value(); }
   /// Times a session's outbox overflowed and was coalesced into a
   /// `kResync` marker (backpressure observability).
-  uint64_t resyncs_emitted() const { return resyncs_emitted_.load(); }
+  uint64_t resyncs_emitted() const { return m_resyncs_emitted_->Value(); }
   /// Sessions removed by lease expiry.
-  uint64_t sessions_reaped() const { return sessions_reaped_.load(); }
+  uint64_t sessions_reaped() const { return m_sessions_reaped_->Value(); }
 
   const SessionOptions& options() const { return options_; }
 
@@ -151,9 +153,16 @@ class SessionManager {
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
   std::atomic<uint64_t> next_session_id_{1};
-  std::atomic<uint64_t> events_delivered_{0};
-  std::atomic<uint64_t> resyncs_emitted_{0};
-  std::atomic<uint64_t> sessions_reaped_{0};
+
+  // Registry-backed counters (the database always carries a registry, so
+  // these are never null). The first three feed the legacy accessors above.
+  Counter* m_events_delivered_;
+  Counter* m_resyncs_emitted_;
+  Counter* m_sessions_reaped_;
+  Counter* m_connects_;
+  Counter* m_disconnects_;
+  Counter* m_heartbeats_;
+  Counter* m_resumes_;
 };
 
 }  // namespace tendax

@@ -7,6 +7,46 @@
 
 namespace tendax {
 
+const char* CommandKindName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kOpen:
+      return "open";
+    case CommandKind::kClose:
+      return "close";
+    case CommandKind::kType:
+      return "type";
+    case CommandKind::kErase:
+      return "erase";
+    case CommandKind::kCopy:
+      return "copy";
+    case CommandKind::kPaste:
+      return "paste";
+    case CommandKind::kUndo:
+      return "undo";
+    case CommandKind::kRedo:
+      return "redo";
+    case CommandKind::kUndoAnyone:
+      return "undo_anyone";
+    case CommandKind::kRedoAnyone:
+      return "redo_anyone";
+    case CommandKind::kGetText:
+      return "get_text";
+    case CommandKind::kSetCursor:
+      return "set_cursor";
+    case CommandKind::kAnnotate:
+      return "annotate";
+    case CommandKind::kApplyLayout:
+      return "apply_layout";
+    case CommandKind::kHeartbeat:
+      return "heartbeat";
+    case CommandKind::kResume:
+      return "resume";
+    case CommandKind::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
 std::string EncodeCommand(const EditCommand& command) {
   std::string out;
   out.push_back(static_cast<char>(command.kind));
@@ -208,25 +248,50 @@ Result<std::string> DirectTransport::RoundTrip(const std::string& request) {
   return endpoint_->HandleFrame(request);
 }
 
+RemoteEditorEndpoint::RemoteEditorEndpoint(Editor* editor,
+                                           size_t dedup_capacity)
+    : editor_(editor), dedup_capacity_(dedup_capacity) {
+  MetricsRegistry* metrics = editor_->metrics();
+  if (metrics != nullptr) {
+    m_requests_ = metrics->counter("wire.requests");
+    m_decode_errors_ = metrics->counter("wire.decode_errors");
+    m_dedup_hits_ = metrics->counter("wire.dedup_hits");
+    m_dispatch_[0] = metrics->histogram("wire.dispatch_micros.invalid");
+    for (uint8_t k = 1; k <= kCommandKindMax; ++k) {
+      m_dispatch_[k] = metrics->histogram(
+          std::string("wire.dispatch_micros.") +
+          CommandKindName(static_cast<CommandKind>(k)));
+    }
+  }
+}
+
 std::string RemoteEditorEndpoint::Handle(Slice command_bytes) {
+  MetricAdd(m_requests_);
+  // Armed before decode so malformed requests record too; retargeted to the
+  // per-command histogram once the kind is known. RAII covers every exit.
+  ScopedTimer dispatch_timer(m_dispatch_[0]);
   auto command = DecodeCommand(command_bytes);
   if (!command.ok()) {
+    MetricAdd(m_decode_errors_);
     WireResponse bad;
     bad.code = command.status().code();
     bad.message = command.status().message();
     return EncodeResponse(bad);
   }
+  dispatch_timer.Redirect(m_dispatch_[static_cast<uint8_t>(command->kind)]);
   // At-most-once execution: a retried command (same idempotency key)
-  // returns the cached response instead of running again. Resume and
-  // heartbeat are exempt — they are idempotent by construction and must
+  // returns the cached response instead of running again. Resume, heartbeat
+  // and stats are exempt — they are idempotent by construction and must
   // reflect current state, never a cached snapshot of it.
   const bool dedupable = command->request_id != 0 &&
                          command->kind != CommandKind::kResume &&
-                         command->kind != CommandKind::kHeartbeat;
+                         command->kind != CommandKind::kHeartbeat &&
+                         command->kind != CommandKind::kStats;
   if (dedupable) {
     auto it = dedup_.find(command->request_id);
     if (it != dedup_.end()) {
       ++dedup_hits_;
+      MetricAdd(m_dedup_hits_);
       return it->second;
     }
   }
@@ -331,6 +396,15 @@ WireResponse RemoteEditorEndpoint::Execute(const EditCommand& command) {
         break;
       }
       response.payload = EncodeSeqEventBatch(*events);
+      break;
+    }
+    case CommandKind::kStats: {
+      auto snapshot = editor_->ServerStats();
+      if (!snapshot.ok()) {
+        fail(snapshot.status());
+        break;
+      }
+      response.payload = EncodeMetricsSnapshot(*snapshot);
       break;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef TENDAX_COLLAB_WIRE_H_
 #define TENDAX_COLLAB_WIRE_H_
 
+#include <array>
 #include <deque>
 #include <string>
 #include <unordered_map>
@@ -35,11 +36,16 @@ enum class CommandKind : uint8_t {
   kApplyLayout = 14,
   kHeartbeat = 15,  // lease renewal; no payload
   kResume = 16,     // `pos` = last applied seq; payload = SeqEvent batch
+  kStats = 17,      // payload = checksummed EncodeMetricsSnapshot bytes
 };
 
 /// Highest valid `CommandKind` value; `DecodeCommand` rejects anything
 /// outside [1, kCommandKindMax] with kInvalidArgument.
-constexpr uint8_t kCommandKindMax = 16;
+constexpr uint8_t kCommandKindMax = 17;
+
+/// Lowercase short name of a command kind, e.g. "type"; "?" for values
+/// outside the enum. Used for per-command metric names.
+const char* CommandKindName(CommandKind kind);
 
 /// One editor gesture on the wire.
 struct EditCommand {
@@ -133,8 +139,7 @@ class DirectTransport : public WireTransport {
 /// re-executing — at-most-once execution under at-least-once delivery.
 class RemoteEditorEndpoint {
  public:
-  explicit RemoteEditorEndpoint(Editor* editor, size_t dedup_capacity = 1024)
-      : editor_(editor), dedup_capacity_(dedup_capacity) {}
+  explicit RemoteEditorEndpoint(Editor* editor, size_t dedup_capacity = 1024);
 
   /// One request/response exchange on raw (unsealed) command bytes.
   std::string Handle(Slice command_bytes);
@@ -160,6 +165,15 @@ class RemoteEditorEndpoint {
   std::unordered_map<uint64_t, std::string> dedup_;  // key -> encoded response
   std::deque<uint64_t> dedup_order_;                 // FIFO eviction
   uint64_t dedup_hits_ = 0;
+
+  // Registry-backed wire metrics, resolved from the editor's server-side
+  // registry at construction (null when metrics are disabled). Dispatch
+  // latency is kept per command kind; index 0 holds requests that failed to
+  // decode ("wire.dispatch_micros.invalid").
+  Counter* m_requests_ = nullptr;
+  Counter* m_decode_errors_ = nullptr;
+  Counter* m_dedup_hits_ = nullptr;
+  std::array<Histogram*, kCommandKindMax + 1> m_dispatch_{};
 };
 
 }  // namespace tendax

@@ -6,6 +6,10 @@ Result<std::unique_ptr<TendaxServer>> TendaxServer::Open(
     TendaxOptions options) {
   auto server = std::unique_ptr<TendaxServer>(new TendaxServer());
 
+  if (!options.db.metrics) {
+    options.db.metrics =
+        std::make_shared<MetricsRegistry>(options.metrics_enabled);
+  }
   auto db = Database::Open(options.db);
   if (!db.ok()) return db.status();
   server->db_ = std::move(*db);
@@ -69,6 +73,7 @@ Result<std::unique_ptr<Editor>> TendaxServer::AttachEditor(
   services.meta = meta_.get();
   services.sessions = sessions_.get();
   services.undo = undo_.get();
+  services.metrics = db_->metrics();
   return std::make_unique<Editor>(services, *session, user);
 }
 

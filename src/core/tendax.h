@@ -41,6 +41,12 @@ struct TendaxOptions {
   /// Session-resilience knobs: lease TTL (0 = immortal sessions) and the
   /// per-session change-stream cap before coalescing into a resync marker.
   SessionOptions session;
+  /// Observability. Counters and gauges are always live (their cost is a
+  /// relaxed atomic add); turning this off additionally disables latency
+  /// histograms, so instrumented paths skip their clock reads — the
+  /// near-zero-cost configuration benchmarked by BM_MetricsOverhead.
+  /// Ignored when `db.metrics` is already set.
+  bool metrics_enabled = true;
 };
 
 /// The TeNDaX server: one embedded database plus every subsystem of the
@@ -68,6 +74,7 @@ class TendaxServer {
                                                const std::string& client);
 
   Database* db() { return db_.get(); }
+  MetricsRegistry* metrics() { return db_->metrics(); }
   TextStore* text() { return text_.get(); }
   MetaStore* meta() { return meta_.get(); }
   AccessControl* accounts() { return acl_.get(); }

@@ -30,13 +30,18 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     db->log_storage_ = std::shared_ptr<LogStorage>(std::move(*log));
   }
 
-  db->wal_ = std::make_unique<Wal>(db->log_storage_, options.group_commit);
+  db->metrics_ = options.metrics ? options.metrics
+                                 : std::make_shared<MetricsRegistry>();
+  db->wal_ = std::make_unique<Wal>(db->log_storage_, options.group_commit,
+                                   db->metrics_.get());
   db->buffer_pool_ = std::make_unique<BufferPool>(
-      options.buffer_pool_pages, db->disk_.get(), db->wal_.get());
-  db->lock_manager_ = std::make_unique<LockManager>(options.lock_timeout);
+      options.buffer_pool_pages, db->disk_.get(), db->wal_.get(),
+      db->metrics_.get());
+  db->lock_manager_ =
+      std::make_unique<LockManager>(options.lock_timeout, db->metrics_.get());
   db->txn_manager_ = std::make_unique<TxnManager>(
       db->wal_.get(), db->lock_manager_.get(), db->clock_.get(),
-      options.sync_commit);
+      options.sync_commit, db->metrics_.get());
   db->txn_manager_->SetChangeApplier(db.get());
   db->catalog_ =
       std::make_unique<Catalog>(db->buffer_pool_.get(), db->txn_manager_.get());

@@ -9,6 +9,7 @@
 #include "db/bptree.h"
 #include "db/catalog.h"
 #include "db/recovery.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/wal.h"
@@ -39,6 +40,10 @@ struct DatabaseOptions {
   /// Test hooks: pre-built storage to share across a simulated crash.
   std::shared_ptr<DiskManager> disk;
   std::shared_ptr<LogStorage> log_storage;
+  /// Metrics registry shared by every subsystem of this database. When
+  /// unset, Open creates an enabled registry; pass one constructed with
+  /// `MetricsRegistry(false)` to disable latency histograms.
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 /// The embedded database engine TeNDaX runs on: storage + WAL + buffer pool
@@ -91,6 +96,7 @@ class Database : public ChangeApplier {
   Catalog* catalog() { return catalog_.get(); }
   Wal* wal() { return wal_.get(); }
   Clock* clock() { return clock_.get(); }
+  MetricsRegistry* metrics() { return metrics_.get(); }
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
  private:
@@ -101,6 +107,9 @@ class Database : public ChangeApplier {
   Result<std::unordered_map<uint32_t, std::vector<PageId>>> DiscoverPages();
 
   std::shared_ptr<Clock> clock_;
+  // Declared before the subsystems that cache pointers into it so it is
+  // destroyed after all of them.
+  std::shared_ptr<MetricsRegistry> metrics_;
   std::shared_ptr<DiskManager> disk_;
   std::shared_ptr<LogStorage> log_storage_;
   std::unique_ptr<Wal> wal_;

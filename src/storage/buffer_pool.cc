@@ -4,9 +4,17 @@
 
 namespace tendax {
 
-BufferPool::BufferPool(size_t capacity, DiskManager* disk, Wal* wal)
+BufferPool::BufferPool(size_t capacity, DiskManager* disk, Wal* wal,
+                       MetricsRegistry* metrics)
     : capacity_(capacity), disk_(disk), wal_(wal) {
   TENDAX_CHECK(capacity_ > 0);
+  if (metrics != nullptr) {
+    m_hits_ = metrics->counter("bufferpool.hits");
+    m_misses_ = metrics->counter("bufferpool.misses");
+    m_evictions_ = metrics->counter("bufferpool.evictions");
+    m_writebacks_ = metrics->counter("bufferpool.writebacks");
+    m_miss_micros_ = metrics->histogram("bufferpool.miss_micros");
+  }
   frames_.reserve(capacity_);
   for (size_t i = 0; i < capacity_; ++i) {
     frames_.push_back(std::make_unique<Page>());
@@ -19,12 +27,17 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    MetricAdd(m_hits_);
     Page* page = it->second;
     ++page->pin_count_;
     Touch(id);
     return page;
   }
   ++stats_.misses;
+  MetricAdd(m_misses_);
+  // Times the whole miss path (eviction + disk read + checksum), including
+  // the error exits, via RAII.
+  ScopedTimer miss_timer(m_miss_micros_);
   auto frame = GetFreeFrame();
   if (!frame.ok()) return frame.status();
   Page* page = *frame;
@@ -125,6 +138,7 @@ Result<Page*> BufferPool::GetFreeFrame() {
     if (candidate->pin_count_ > 0) continue;
     TENDAX_RETURN_IF_ERROR(WriteBack(candidate));
     ++stats_.evictions;
+    MetricAdd(m_evictions_);
     page_table_.erase(*it);
     lru_pos_.erase(*it);
     lru_.erase(it);
@@ -144,6 +158,7 @@ Status BufferPool::WriteBack(Page* page) {
   TENDAX_RETURN_IF_ERROR(disk_->WritePage(page->id(), page->data()));
   page->dirty_ = false;
   ++stats_.dirty_writebacks;
+  MetricAdd(m_writebacks_);
   return Status::OK();
 }
 

@@ -30,8 +30,10 @@ struct BufferPoolStats {
 /// pointers stay valid while the page is pinned.
 class BufferPool {
  public:
-  /// `wal` may be null for WAL-less databases (volatile catalogs, tests).
-  BufferPool(size_t capacity, DiskManager* disk, Wal* wal = nullptr);
+  /// `wal` may be null for WAL-less databases (volatile catalogs, tests),
+  /// and `metrics` may be null for uninstrumented standalone pools.
+  BufferPool(size_t capacity, DiskManager* disk, Wal* wal = nullptr,
+             MetricsRegistry* metrics = nullptr);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -81,6 +83,15 @@ class BufferPool {
   std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
   std::vector<Page*> free_frames_;
   BufferPoolStats stats_;
+
+  // Registry mirrors of stats_ (null without a registry). Hits are counted
+  // but not timed — timing the hit path would cost more than the path
+  // itself; only the miss path (disk read + possible eviction) is timed.
+  Counter* m_hits_ = nullptr;
+  Counter* m_misses_ = nullptr;
+  Counter* m_evictions_ = nullptr;
+  Counter* m_writebacks_ = nullptr;
+  Histogram* m_miss_micros_ = nullptr;
 };
 
 /// RAII pin guard: unpins on destruction. Mark dirty via `MarkDirty()`.

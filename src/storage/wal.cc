@@ -153,8 +153,20 @@ Status FileLogStorage::Truncate() {
   return Status::OK();
 }
 
-Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit)
+Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit,
+         MetricsRegistry* metrics)
     : storage_(std::move(storage)), gc_options_(std::move(group_commit)) {
+  if (metrics != nullptr) {
+    m_appends_ = metrics->counter("wal.appends");
+    m_syncs_ = metrics->counter("wal.syncs");
+    m_commits_ = metrics->counter("wal.commits");
+    m_group_flushes_ = metrics->counter("wal.group_flushes");
+    m_failed_flushes_ = metrics->counter("wal.failed_flushes");
+    m_max_batch_ = metrics->gauge("wal.max_batch");
+    m_flush_micros_ = metrics->histogram("wal.flush_micros");
+    m_commit_flush_micros_ = metrics->histogram("wal.commit_flush_micros");
+    m_batch_size_ = metrics->histogram("wal.batch_size");
+  }
   // Continue LSN numbering after any records already in the log.
   std::string buffer;
   if (storage_->ReadAll(&buffer).ok()) {
@@ -186,6 +198,7 @@ Result<Lsn> Wal::Append(LogRecord* rec) {
   PutFixed32(&pending_, static_cast<uint32_t>(payload.size()));
   PutFixed32(&pending_, Fnv1a(payload.data(), payload.size()));
   pending_.append(payload);
+  MetricAdd(m_appends_);
   return rec->lsn;
 }
 
@@ -199,6 +212,10 @@ Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
     flush_cv_.wait(l);
   }
   flush_in_flight_ = true;
+  // Armed only after the already-durable early return above, so the
+  // histogram measures physical flushes; RAII covers both the append-failed
+  // and sync-failed exits below.
+  ScopedTimer flush_timer(m_flush_micros_);
   std::string batch;
   batch.swap(pending_);
   const Lsn target = next_lsn_ - 1;
@@ -216,6 +233,7 @@ Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
     // The bytes reached storage even if the Sync failed; a retry only needs
     // to Sync again, so the batch stays out of pending_.
     ++syncs_issued_;
+    MetricAdd(m_syncs_);
     if (st.ok() && target > flushed_lsn_) flushed_lsn_ = target;
   } else {
     // Nothing new became durable; put the batch back ahead of any records
@@ -237,8 +255,12 @@ Status Wal::FlushAll() {
 }
 
 Status Wal::CommitFlush(Lsn lsn) {
+  // First statement so every exit — poisoned, inline, per-commit, shutdown
+  // degrade, and both group modes — records into the histogram via RAII.
+  ScopedTimer commit_timer(m_commit_flush_micros_);
   std::unique_lock<std::mutex> l(gc_mu_);
   ++gc_stats_.commits;
+  MetricAdd(m_commits_);
   if (gc_poisoned_.load(std::memory_order_relaxed)) {
     return gc_poison_status_;
   }
@@ -333,10 +355,14 @@ void Wal::GroupFlushLocked(std::unique_lock<std::mutex>& l) {
   ++gc_gen_;
   ++gc_stats_.group_flushes;
   if (batch > gc_stats_.max_batch) gc_stats_.max_batch = batch;
+  MetricAdd(m_group_flushes_);
+  MetricMax(m_max_batch_, static_cast<int64_t>(batch));
+  MetricRecord(m_batch_size_, batch);
   if (st.ok()) {
     if (durable > gc_durable_) gc_durable_ = durable;
   } else {
     ++gc_stats_.failed_flushes;
+    MetricAdd(m_failed_flushes_);
     gc_fail_gen_ = gc_gen_;
     gc_fail_target_ = target;
     gc_fail_status_ = st;

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/ids.h"
 #include "util/result.h"
 #include "util/slice.h"
@@ -215,8 +216,10 @@ class Wal {
   /// by dropping the Wal (losing `pending_`), and reopen a new Wal over the
   /// same bytes. In kFlusherThread mode the Wal owns the flusher thread:
   /// started here, drained and joined by `Shutdown()`/the destructor.
+  /// `metrics` may be null (standalone/unit use); it must outlive the Wal.
   explicit Wal(std::shared_ptr<LogStorage> storage,
-               GroupCommitOptions group_commit = {});
+               GroupCommitOptions group_commit = {},
+               MetricsRegistry* metrics = nullptr);
   ~Wal();
 
   /// Assigns the next LSN to `rec`, serializes and buffers it. Returns the
@@ -326,6 +329,19 @@ class Wal {
   std::atomic<bool> gc_poisoned_{false};
   Status gc_poison_status_;
   std::thread flusher_;
+
+  // Registry mirrors of the legacy stats (null when no registry was given).
+  // The structs above stay authoritative for their accessors; these feed
+  // the unified kStats snapshot.
+  Counter* m_appends_ = nullptr;
+  Counter* m_syncs_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Counter* m_group_flushes_ = nullptr;
+  Counter* m_failed_flushes_ = nullptr;
+  Gauge* m_max_batch_ = nullptr;
+  Histogram* m_flush_micros_ = nullptr;
+  Histogram* m_commit_flush_micros_ = nullptr;
+  Histogram* m_batch_size_ = nullptr;
 };
 
 }  // namespace tendax

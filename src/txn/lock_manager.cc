@@ -1,6 +1,7 @@
 #include "txn/lock_manager.h"
 
 #include <algorithm>
+#include <optional>
 
 namespace tendax {
 
@@ -61,6 +62,7 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
     if (g.txn == txn) {
       if (LockCovers(g.mode, mode)) {
         ++stats_.acquisitions;
+        MetricAdd(m_acquisitions_);
         return Status::OK();
       }
       target = LockSupremum(g.mode, mode);
@@ -70,10 +72,14 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
 
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   bool waited = false;
+  // Armed at the first wait; RAII records the time blocked on every exit
+  // below (deadlock victim, timeout, and eventual grant alike).
+  std::optional<ScopedTimer> wait_timer;
   while (!Grantable(state, txn, target)) {
     std::vector<TxnId> blockers = Blockers(state, txn, target);
     if (WouldDeadlock(txn, blockers)) {
       ++stats_.deadlocks;
+      MetricAdd(m_deadlocks_);
       if (waited) {
         wait_for_.erase(txn.value);
         --state.waiters;
@@ -89,10 +95,13 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
       waited = true;
       ++state.waiters;
       ++stats_.waits;
+      MetricAdd(m_waits_);
+      wait_timer.emplace(m_wait_micros_);
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
         !Grantable(state, txn, target)) {
       ++stats_.timeouts;
+      MetricAdd(m_timeouts_);
       wait_for_.erase(txn.value);
       --state.waiters;
       return Status::Conflict("lock wait timeout on resource " +
@@ -115,6 +124,7 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
   if (!upgraded) state.grants.push_back(Grant{txn, target});
   held_by_txn_[txn.value].insert(resource);
   ++stats_.acquisitions;
+  MetricAdd(m_acquisitions_);
   return Status::OK();
 }
 

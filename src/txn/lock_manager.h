@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/ids.h"
 #include "util/status.h"
 
@@ -57,9 +58,20 @@ struct LockManagerStats {
 /// `timeout` returns Status::Conflict.
 class LockManager {
  public:
+  /// `metrics` may be null (standalone/unit use); it must outlive the
+  /// manager.
   explicit LockManager(
-      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000))
-      : timeout_(timeout) {}
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(2000),
+      MetricsRegistry* metrics = nullptr)
+      : timeout_(timeout) {
+    if (metrics != nullptr) {
+      m_acquisitions_ = metrics->counter("lock.acquisitions");
+      m_waits_ = metrics->counter("lock.waits");
+      m_deadlocks_ = metrics->counter("lock.deadlocks");
+      m_timeouts_ = metrics->counter("lock.timeouts");
+      m_wait_micros_ = metrics->histogram("lock.wait_micros");
+    }
+  }
 
   /// Acquires (or upgrades to) `mode` on `resource` for `txn`. Blocks while
   /// incompatible locks are held by other transactions.
@@ -102,6 +114,13 @@ class LockManager {
   // wait-for graph: txn -> set of txns it is waiting on
   std::unordered_map<uint64_t, std::unordered_set<uint64_t>> wait_for_;
   LockManagerStats stats_;
+
+  // Registry mirrors of stats_ (null without a registry).
+  Counter* m_acquisitions_ = nullptr;
+  Counter* m_waits_ = nullptr;
+  Counter* m_deadlocks_ = nullptr;
+  Counter* m_timeouts_ = nullptr;
+  Histogram* m_wait_micros_ = nullptr;
 };
 
 }  // namespace tendax

@@ -5,8 +5,15 @@
 namespace tendax {
 
 TxnManager::TxnManager(Wal* wal, LockManager* locks, Clock* clock,
-                       bool sync_commit)
-    : wal_(wal), locks_(locks), clock_(clock), sync_commit_(sync_commit) {}
+                       bool sync_commit, MetricsRegistry* metrics)
+    : wal_(wal), locks_(locks), clock_(clock), sync_commit_(sync_commit) {
+  if (metrics != nullptr) {
+    m_begun_ = metrics->counter("txn.begun");
+    m_committed_ = metrics->counter("txn.committed");
+    m_aborted_ = metrics->counter("txn.aborted");
+    m_commit_micros_ = metrics->histogram("txn.commit_micros");
+  }
+}
 
 Transaction* TxnManager::Begin(UserId user) {
   TxnId id(next_txn_id_.fetch_add(1, std::memory_order_relaxed));
@@ -23,12 +30,17 @@ Transaction* TxnManager::Begin(UserId user) {
     std::lock_guard<std::mutex> lock(mu_);
     active_[id.value] = std::move(txn);
     ++stats_.begun;
+    MetricAdd(m_begun_);
   }
   return raw;
 }
 
 Status TxnManager::Commit(Transaction* txn) {
   TENDAX_CHECK(txn->state() == TxnState::kActive);
+  // First statement after the precondition so every exit — append failure,
+  // early-release flush failure, group-flush failure, and success — records
+  // commit latency via RAII.
+  ScopedTimer commit_timer(m_commit_micros_);
   if (wal_ != nullptr && !txn->read_only()) {
     LogRecord rec;
     rec.type = LogType::kCommit;
@@ -65,6 +77,7 @@ Status TxnManager::Commit(Transaction* txn) {
           Finalize(txn, TxnState::kAborted);
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.aborted;
+          MetricAdd(m_aborted_);
           return flushed;
         }
         // The flush may have been shared with other committers (group
@@ -88,6 +101,7 @@ Status TxnManager::Commit(Transaction* txn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.committed;
+    MetricAdd(m_committed_);
     listeners = listeners_;
   }
   for (const auto& listener : listeners) {
@@ -169,6 +183,7 @@ Status TxnManager::Abort(Transaction* txn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.aborted;
+    MetricAdd(m_aborted_);
   }
   return first_error;
 }

@@ -46,8 +46,9 @@ class TxnManager {
  public:
   /// `wal` may be null for a volatile (non-durable) database. `sync_commit`
   /// controls whether commit waits for the log flush (durability) or not.
+  /// `metrics` may be null (standalone/unit use).
   TxnManager(Wal* wal, LockManager* locks, Clock* clock,
-             bool sync_commit = true);
+             bool sync_commit = true, MetricsRegistry* metrics = nullptr);
 
   /// Starts a transaction on behalf of `user`.
   Transaction* Begin(UserId user);
@@ -96,6 +97,12 @@ class TxnManager {
   std::unordered_map<uint64_t, std::unique_ptr<Transaction>> active_;
   std::vector<CommitListener> listeners_;
   TxnManagerStats stats_;
+
+  // Registry mirrors of stats_ (null without a registry).
+  Counter* m_begun_ = nullptr;
+  Counter* m_committed_ = nullptr;
+  Counter* m_aborted_ = nullptr;
+  Histogram* m_commit_micros_ = nullptr;
 };
 
 }  // namespace tendax

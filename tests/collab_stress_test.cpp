@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -9,6 +10,7 @@
 
 #include "collab/retrying_client.h"
 #include "core/tendax.h"
+#include "obs/metrics.h"
 #include "storage/wal.h"
 #include "testing/flaky_transport.h"
 #include "util/random.h"
@@ -293,6 +295,111 @@ TEST(CollabStressTest, ReconnectChurnOverFlakyTransportConverges) {
       << "no lease should lapse under active traffic";
   Status integrity = server->CheckIntegrity();
   EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+}
+
+// Satellite: metrics scrapes race the full editing stack. N editor threads
+// mutate a shared document while M scraper threads snapshot the registry
+// through Editor::ServerStats and push every snapshot through the wire
+// codec. Assertions: snapshots always decode (never torn) and every
+// counter / histogram count is monotone non-decreasing across successive
+// scrapes; under TENDAX_SANITIZE=thread this is the race check for the
+// striped metric primitives.
+TEST(CollabStressTest, MetricsScrapesAreTornFreeAndMonotoneUnderLoad) {
+  const size_t kThreads =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
+  const size_t kOpsPerThread =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
+  constexpr size_t kScrapers = 2;
+
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 1024;
+  auto server_res = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
+  TendaxServer* server = server_res->get();
+
+  auto owner = server->accounts()->CreateUser("owner");
+  ASSERT_TRUE(owner.ok());
+  auto doc = server->text()->CreateDocument(*owner, "scraped.txt");
+  ASSERT_TRUE(doc.ok());
+
+  std::vector<std::unique_ptr<Editor>> editors;
+  for (size_t t = 0; t < kThreads + kScrapers; ++t) {
+    auto user = server->accounts()->CreateUser("m" + std::to_string(t));
+    ASSERT_TRUE(user.ok());
+    auto editor = server->AttachEditor(*user, "metrics-client");
+    ASSERT_TRUE(editor.ok()) << editor.status().ToString();
+    if (t < kThreads) {
+      ASSERT_TRUE((*editor)->Open(*doc).ok());
+    }
+    editors.push_back(std::move(*editor));
+  }
+
+  std::atomic<size_t> applied{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> scrapers;
+  for (size_t s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&, s] {
+      Editor* probe = editors[kThreads + s].get();
+      std::map<std::string, uint64_t> last_counters;
+      std::map<std::string, uint64_t> last_hist_counts;
+      size_t scrapes = 0;
+      while (!stop.load(std::memory_order_relaxed) || scrapes == 0) {
+        auto snap = probe->ServerStats();
+        ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+        auto decoded = DecodeMetricsSnapshot(EncodeMetricsSnapshot(*snap));
+        ASSERT_TRUE(decoded.ok())
+            << "scrape " << scrapes << " torn: "
+            << decoded.status().ToString();
+        for (const auto& [name, value] : decoded->counters) {
+          EXPECT_GE(value, last_counters[name])
+              << "counter " << name << " went backwards at scrape "
+              << scrapes;
+          last_counters[name] = value;
+        }
+        for (const auto& [name, h] : decoded->histograms) {
+          EXPECT_GE(h.count, last_hist_counts[name])
+              << "histogram " << name << " count went backwards at scrape "
+              << scrapes;
+          last_hist_counts[name] = h.count;
+        }
+        ++scrapes;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Editor* editor = editors[t].get();
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          Status st = editor->Type(*doc, 0, "x");
+          if (st.ok()) {
+            ++applied;
+            break;
+          }
+          ASSERT_TRUE(st.IsRetryable() || st.IsConflict())
+              << "thread " << t << " op " << i << ": " << st.ToString();
+          std::this_thread::yield();
+        }
+        (void)editor->PollEvents();  // drain so inboxes never overflow
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  for (auto& th : scrapers) th.join();
+
+  EXPECT_GT(applied.load(), 0u);
+  // After quiescing, the registry agrees with the legacy accessors.
+  MetricsSnapshot snap = server->metrics()->Snapshot();
+  EXPECT_EQ(snap.CounterValue("txn.committed"),
+            server->db()->txns()->stats().committed);
+  EXPECT_GE(snap.CounterValue("txn.committed"), applied.load());
+  EXPECT_EQ(snap.CounterValue("session.events_delivered"),
+            server->sessions()->events_delivered());
 }
 
 }  // namespace

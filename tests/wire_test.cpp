@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "collab/wire.h"
+#include "obs/metrics.h"
 #include "server_fixture.h"
 #include "util/random.h"
 
@@ -316,7 +317,51 @@ TEST(WireCodecTest, BitFlipFuzz) {
   }
 }
 
+TEST(WireCodecTest, StatsCommandRoundTrip) {
+  EditCommand command;
+  command.kind = CommandKind::kStats;
+  command.request_id = 77;
+  auto decoded = DecodeCommand(EncodeCommand(command));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, CommandKind::kStats);
+  EXPECT_EQ(decoded->request_id, 77u);
+}
+
 class WireSessionTest : public ServerTest {};
+
+TEST_F(WireSessionTest, StatsCommandReturnsVerifiableSnapshot) {
+  auto editor = server_->AttachEditor(alice_, "stats-probe");
+  ASSERT_TRUE(editor.ok());
+  RemoteEditorEndpoint link(editor->get());
+  MakeDoc(alice_, "stats-wire", "abc");
+
+  EditCommand command;
+  command.kind = CommandKind::kStats;
+  auto response = DecodeResponse(link.Handle(EncodeCommand(command)));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, StatusCode::kOk) << response->message;
+  auto snapshot = DecodeMetricsSnapshot(response->payload);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_GT(snapshot->CounterValue("txn.committed"), 0u);
+
+  // The checksummed payload rejects every truncation...
+  const std::string& payload = response->payload;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto damaged = DecodeMetricsSnapshot(Slice(payload.data(), len));
+    ASSERT_FALSE(damaged.ok()) << "prefix length " << len;
+    EXPECT_TRUE(damaged.status().IsCorruption()) << "prefix length " << len;
+  }
+  // ...and a sample of single-bit flips.
+  Random rng(171);
+  for (int i = 0; i < 256; ++i) {
+    std::string damaged = payload;
+    size_t pos = rng.Uniform(damaged.size());
+    damaged[pos] = static_cast<char>(damaged[pos] ^ (1 << rng.Uniform(8)));
+    auto decoded = DecodeMetricsSnapshot(damaged);
+    ASSERT_FALSE(decoded.ok()) << "flip " << i << " at byte " << pos;
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
 
 TEST_F(WireSessionTest, RemoteEditorsCollaborateOverBytes) {
   // Two editors on "different machines": everything crosses the codec.
