@@ -1,12 +1,15 @@
 #include "collab/editor.h"
 
 #include "text/utf8.h"
+#include "util/lock_order.h"
 
 namespace tendax {
 
 Editor::Editor(CollabServices services, SessionId session, UserId user)
     : services_(services), session_(session), user_(user) {}
 
+// Destructors cannot propagate a Status; a failed disconnect only means the
+// session was already reaped or the server is shutting down.
 Editor::~Editor() { (void)services_.sessions->Disconnect(session_); }
 
 Result<DocumentId> Editor::CreateDocument(const std::string& name) {
@@ -154,6 +157,9 @@ Result<MetricsSnapshot> Editor::ServerStats() const {
   if (services_.metrics == nullptr) {
     return Status::FailedPrecondition("no metrics registry attached");
   }
+  // Fold the lock-order validator's counters into the snapshot so remote
+  // scrapes surface any violation a surviving (non-aborting) run recorded.
+  lockorder::PublishTo(services_.metrics);
   return services_.metrics->Snapshot();
 }
 

@@ -46,7 +46,7 @@ void SessionManager::EmitResyncLocked(Session* session, DocumentId doc) {
 
 void SessionManager::Dispatch(const ChangeBatch& batch) {
   if (batch.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Timestamp now =
       options_.lease_ttl_micros != 0 ? db_->clock()->NowMicros() : 0;
   for (const ChangeEvent& ev : batch) {
@@ -77,7 +77,7 @@ Result<SessionId> SessionManager::Connect(UserId user,
   session->info.user = user;
   session->info.client = client;
   session->info.connected_at = db_->clock()->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TouchLocked(session.get());
   sessions_[id.value] = std::move(session);
   m_connects_->Add();
@@ -85,7 +85,7 @@ Result<SessionId> SessionManager::Connect(UserId user,
 }
 
 Status SessionManager::Disconnect(SessionId session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   // Drop awareness state with the session: open-document registrations and
@@ -100,7 +100,7 @@ Status SessionManager::Disconnect(SessionId session) {
 
 size_t SessionManager::ReapExpired() {
   if (options_.lease_ttl_micros == 0) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Timestamp now = db_->clock()->NowMicros();
   size_t reaped = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
@@ -118,7 +118,7 @@ size_t SessionManager::ReapExpired() {
 Status SessionManager::OpenDocument(SessionId session, DocumentId doc) {
   UserId user;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = sessions_.find(session.value);
     if (it == sessions_.end()) return Status::NotFound("unknown session");
     it->second->info.open_docs.insert(doc);
@@ -131,7 +131,7 @@ Status SessionManager::OpenDocument(SessionId session, DocumentId doc) {
 }
 
 Status SessionManager::CloseDocument(SessionId session, DocumentId doc) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   it->second->info.open_docs.erase(doc);
@@ -142,7 +142,7 @@ Status SessionManager::CloseDocument(SessionId session, DocumentId doc) {
 
 Status SessionManager::SetCursor(SessionId session, DocumentId doc,
                                  size_t pos) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   if (!it->second->info.open_docs.count(doc)) {
@@ -154,7 +154,7 @@ Status SessionManager::SetCursor(SessionId session, DocumentId doc,
 }
 
 Result<std::vector<ChangeEvent>> SessionManager::Poll(SessionId session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   Session* s = it->second.get();
@@ -170,7 +170,7 @@ Result<std::vector<ChangeEvent>> SessionManager::Poll(SessionId session) {
 
 Result<std::vector<SeqEvent>> SessionManager::Resume(SessionId session,
                                                      uint64_t last_seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   Session* s = it->second.get();
@@ -202,7 +202,7 @@ Result<std::vector<SeqEvent>> SessionManager::Resume(SessionId session,
 }
 
 Status SessionManager::Heartbeat(SessionId session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   TouchLocked(it->second.get());
@@ -211,14 +211,14 @@ Status SessionManager::Heartbeat(SessionId session) {
 }
 
 Result<size_t> SessionManager::PendingCount(SessionId session) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(session.value);
   if (it == sessions_.end()) return Status::NotFound("unknown session");
   return it->second->outbox.size();
 }
 
 std::vector<SessionInfo> SessionManager::OnlineSessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SessionInfo> out;
   out.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) out.push_back(session->info);
@@ -231,7 +231,7 @@ std::vector<SessionInfo> SessionManager::OnlineSessions() const {
 
 std::vector<SessionInfo> SessionManager::SessionsViewing(
     DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SessionInfo> out;
   for (const auto& [id, session] : sessions_) {
     if (session->info.open_docs.count(doc)) out.push_back(session->info);
@@ -244,7 +244,7 @@ std::vector<SessionInfo> SessionManager::SessionsViewing(
 }
 
 std::vector<CursorInfo> SessionManager::CursorsFor(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<CursorInfo> out;
   for (const auto& [id, session] : sessions_) {
     auto it = session->cursors.find(doc.value);

@@ -5,7 +5,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -14,6 +13,7 @@
 #include "db/database.h"
 #include "meta/meta_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -78,19 +78,24 @@ class SessionManager {
   /// Hooks the commit-event stream. Call once.
   Status Init();
 
-  Result<SessionId> Connect(UserId user, const std::string& client);
-  Status Disconnect(SessionId session);
+  Result<SessionId> Connect(UserId user, const std::string& client)
+      TENDAX_EXCLUDES(mu_);
+  Status Disconnect(SessionId session) TENDAX_EXCLUDES(mu_);
 
   /// Opens a document in the session: future changes to it are delivered,
   /// and the read is recorded in the audit trail (reader metadata).
-  Status OpenDocument(SessionId session, DocumentId doc);
-  Status CloseDocument(SessionId session, DocumentId doc);
+  Status OpenDocument(SessionId session, DocumentId doc)
+      TENDAX_EXCLUDES(mu_);
+  Status CloseDocument(SessionId session, DocumentId doc)
+      TENDAX_EXCLUDES(mu_);
 
-  Status SetCursor(SessionId session, DocumentId doc, size_t pos);
+  Status SetCursor(SessionId session, DocumentId doc, size_t pos)
+      TENDAX_EXCLUDES(mu_);
 
   /// Drains the session's pending change notifications and acknowledges
   /// them (fire-and-forget delivery, the pre-resilience protocol).
-  Result<std::vector<ChangeEvent>> Poll(SessionId session);
+  Result<std::vector<ChangeEvent>> Poll(SessionId session)
+      TENDAX_EXCLUDES(mu_);
 
   /// Resumable delivery: acknowledges everything up to `last_seq`
   /// (dropping it from the retained outbox) and returns every retained
@@ -98,23 +103,26 @@ class SessionManager {
   /// buffered until a later Resume acks them, so a lost response frame
   /// costs nothing. If `last_seq` predates the retained window (the client
   /// fell too far behind), the stream is replaced by one `kResync` marker.
-  Result<std::vector<SeqEvent>> Resume(SessionId session, uint64_t last_seq);
+  Result<std::vector<SeqEvent>> Resume(SessionId session, uint64_t last_seq)
+      TENDAX_EXCLUDES(mu_);
 
   /// Renews the session's lease without any other effect.
-  Status Heartbeat(SessionId session);
+  Status Heartbeat(SessionId session) TENDAX_EXCLUDES(mu_);
 
   /// Removes every session whose lease has expired, dropping its cursors
   /// and open-document registrations. Returns the number reaped. A no-op
   /// when leases are disabled. Also invoked opportunistically on Connect.
-  size_t ReapExpired();
+  size_t ReapExpired() TENDAX_EXCLUDES(mu_);
 
   /// Number of undelivered notifications.
-  Result<size_t> PendingCount(SessionId session) const;
+  Result<size_t> PendingCount(SessionId session) const TENDAX_EXCLUDES(mu_);
 
   // --- awareness ---
-  std::vector<SessionInfo> OnlineSessions() const;
-  std::vector<SessionInfo> SessionsViewing(DocumentId doc) const;
-  std::vector<CursorInfo> CursorsFor(DocumentId doc) const;
+  std::vector<SessionInfo> OnlineSessions() const TENDAX_EXCLUDES(mu_);
+  std::vector<SessionInfo> SessionsViewing(DocumentId doc) const
+      TENDAX_EXCLUDES(mu_);
+  std::vector<CursorInfo> CursorsFor(DocumentId doc) const
+      TENDAX_EXCLUDES(mu_);
 
   /// Total events fanned out (for the concurrency bench). Backed by the
   /// metrics registry ("session.events_delivered") since the observability
@@ -138,20 +146,25 @@ class SessionManager {
     Timestamp lease_expires_at = 0;      // 0 = immortal (leases disabled)
   };
 
-  void Dispatch(const ChangeBatch& batch);
-  /// Renews the lease; call with mu_ held.
-  void TouchLocked(Session* session);
-  /// True if the session's lease has lapsed; call with mu_ held.
-  bool ExpiredLocked(const Session& session, Timestamp now) const;
-  /// Coalesces the outbox into a single kResync marker; call with mu_ held.
-  void EmitResyncLocked(Session* session, DocumentId doc);
+  void Dispatch(const ChangeBatch& batch) TENDAX_EXCLUDES(mu_);
+  /// Renews the lease.
+  void TouchLocked(Session* session) TENDAX_REQUIRES(mu_);
+  /// True if the session's lease has lapsed.
+  bool ExpiredLocked(const Session& session, Timestamp now) const
+      TENDAX_REQUIRES(mu_);
+  /// Coalesces the outbox into a single kResync marker.
+  void EmitResyncLocked(Session* session, DocumentId doc)
+      TENDAX_REQUIRES(mu_);
 
   Database* const db_;
   MetaStore* const meta_;
   const SessionOptions options_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  // Dropped before any db_ / meta_ call (OpenDocument records the read
+  // outside the lock); Dispatch runs on the commit thread with nothing held.
+  mutable Mutex mu_{"session.mu", lockorder::kRankSession};
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_
+      TENDAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_session_id_{1};
 
   // Registry-backed counters (the database always carries a registry, so

@@ -7,7 +7,7 @@ UndoManager::UndoManager(TextStore* text) : text_(text) {}
 void UndoManager::RecordInsert(UserId user, DocumentId doc,
                                const EditResult& result,
                                const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   EditOp op;
   op.op_id = next_op_id_++;
   op.doc = doc;
@@ -22,7 +22,7 @@ void UndoManager::RecordInsert(UserId user, DocumentId doc,
 void UndoManager::RecordDelete(UserId user, DocumentId doc,
                                const EditResult& result,
                                const std::string& text) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   EditOp op;
   op.op_id = next_op_id_++;
   op.doc = doc;
@@ -53,7 +53,7 @@ Result<EditOp> UndoManager::UndoImpl(UserId actor, DocumentId doc,
   EditOp target;
   size_t index = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = history_.find(doc.value);
     if (it == history_.end()) return Status::NotFound("nothing to undo");
     auto& ops = it->second;
@@ -69,7 +69,7 @@ Result<EditOp> UndoManager::UndoImpl(UserId actor, DocumentId doc,
     if (!found) return Status::NotFound("nothing to undo");
   }
   TENDAX_RETURN_IF_ERROR(ApplyInverse(actor, target));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& ops = history_[doc.value];
   if (index < ops.size() && ops[index].op_id == target.op_id) {
     ops[index].undone = true;
@@ -84,7 +84,7 @@ Result<EditOp> UndoManager::RedoImpl(UserId actor, DocumentId doc,
   EditOp target;
   size_t index = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = history_.find(doc.value);
     if (it == history_.end()) return Status::NotFound("nothing to redo");
     auto& ops = it->second;
@@ -105,7 +105,7 @@ Result<EditOp> UndoManager::RedoImpl(UserId actor, DocumentId doc,
     if (!found) return Status::NotFound("nothing to redo");
   }
   TENDAX_RETURN_IF_ERROR(ApplyForward(actor, target));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& ops = history_[doc.value];
   if (index < ops.size() && ops[index].op_id == target.op_id) {
     ops[index].undone = false;
@@ -131,7 +131,7 @@ Result<EditOp> UndoManager::RedoGlobal(UserId user, DocumentId doc) {
 }
 
 std::vector<EditOp> UndoManager::History(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = history_.find(doc.value);
   return it == history_.end() ? std::vector<EditOp>() : it->second;
 }

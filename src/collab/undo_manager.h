@@ -2,12 +2,12 @@
 #define TENDAX_COLLAB_UNDO_MANAGER_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -46,9 +46,9 @@ class UndoManager {
   /// Records a committed editing operation (editors call this after each
   /// successful insert/paste or delete).
   void RecordInsert(UserId user, DocumentId doc, const EditResult& result,
-                    const std::string& text);
+                    const std::string& text) TENDAX_EXCLUDES(mu_);
   void RecordDelete(UserId user, DocumentId doc, const EditResult& result,
-                    const std::string& text);
+                    const std::string& text) TENDAX_EXCLUDES(mu_);
 
   /// Undoes the calling user's latest not-yet-undone op in `doc`.
   Result<EditOp> UndoLocal(UserId user, DocumentId doc);
@@ -61,20 +61,26 @@ class UndoManager {
   Result<EditOp> RedoGlobal(UserId user, DocumentId doc);
 
   /// Ops recorded for a document, oldest first (for tests/inspection).
-  std::vector<EditOp> History(DocumentId doc) const;
+  std::vector<EditOp> History(DocumentId doc) const TENDAX_EXCLUDES(mu_);
 
  private:
-  Result<EditOp> UndoImpl(UserId actor, DocumentId doc, bool local);
-  Result<EditOp> RedoImpl(UserId actor, DocumentId doc, bool local);
+  Result<EditOp> UndoImpl(UserId actor, DocumentId doc, bool local)
+      TENDAX_EXCLUDES(mu_);
+  Result<EditOp> RedoImpl(UserId actor, DocumentId doc, bool local)
+      TENDAX_EXCLUDES(mu_);
   Status ApplyInverse(UserId actor, const EditOp& op);
   Status ApplyForward(UserId actor, const EditOp& op);
 
   TextStore* const text_;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, std::vector<EditOp>> history_;  // doc -> ops in order
-  uint64_t next_op_id_ = 1;
-  uint64_t next_undo_seq_ = 1;
+  // Dropped across the Apply* calls into the text store (rank kRankTable):
+  // Undo/RedoImpl pick the target under the lock, edit outside, re-lock to
+  // mark it.
+  mutable Mutex mu_{"undo.mu", lockorder::kRankUndo};
+  std::map<uint64_t, std::vector<EditOp>> history_
+      TENDAX_GUARDED_BY(mu_);  // doc -> ops in order
+  uint64_t next_op_id_ TENDAX_GUARDED_BY(mu_) = 1;
+  uint64_t next_undo_seq_ TENDAX_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace tendax

@@ -133,7 +133,7 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(uint32_t index_id,
                                                      BufferPool* pool) {
   auto tree = std::unique_ptr<BPlusTree>(
       new BPlusTree(index_id, std::move(name), pool));
-  std::lock_guard<std::mutex> lock(tree->mu_);
+  MutexLock lock(tree->mu_);
   auto root = tree->NewNode(/*leaf=*/true);
   if (!root.ok()) return root.status();
   tree->root_ = *root;
@@ -168,7 +168,7 @@ Result<PageId> BPlusTree::FindLeaf(uint64_t key, uint64_t value,
 }
 
 Status BPlusTree::Insert(uint64_t key, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<PageId> path;
   auto leaf = FindLeaf(key, value, &path);
   if (!leaf.ok()) return leaf.status();
@@ -314,7 +314,7 @@ Status BPlusTree::SplitAndPropagate(PageId node_id,
 }
 
 Status BPlusTree::Delete(uint64_t key, uint64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto leaf = FindLeaf(key, value, nullptr);
   if (!leaf.ok()) return leaf.status();
   auto page = pool_->FetchPage(*leaf);
@@ -358,7 +358,7 @@ bool BPlusTree::Contains(uint64_t key, uint64_t value) const {
 Status BPlusTree::ScanRange(
     uint64_t lo_key, uint64_t hi_key,
     const std::function<bool(uint64_t, uint64_t)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto leaf = FindLeaf(lo_key, 0, nullptr);
   if (!leaf.ok()) return leaf.status();
   PageId current = *leaf;
@@ -389,7 +389,7 @@ Result<uint64_t> BPlusTree::Count() const {
 }
 
 Status BPlusTree::CheckIntegrity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (root_ == kInvalidPageId) {
     return Status::Corruption("bptree " + name_ + ": no root");
   }
@@ -461,7 +461,7 @@ Status BPlusTree::CheckNode(PageId node_id, uint32_t depth,
 }
 
 BPlusTreeStats BPlusTree::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "storage/buffer_pool.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -38,54 +38,59 @@ class BPlusTree {
   uint32_t index_id() const { return index_id_; }
 
   /// Inserts (key, value); duplicate (key, value) pairs are rejected.
-  Status Insert(uint64_t key, uint64_t value);
+  Status Insert(uint64_t key, uint64_t value) TENDAX_EXCLUDES(mu_);
 
   /// Removes (key, value). NotFound if absent.
-  Status Delete(uint64_t key, uint64_t value);
+  Status Delete(uint64_t key, uint64_t value) TENDAX_EXCLUDES(mu_);
 
   /// First value stored under exactly `key`, if any.
-  Result<uint64_t> GetFirst(uint64_t key) const;
+  Result<uint64_t> GetFirst(uint64_t key) const TENDAX_EXCLUDES(mu_);
 
   /// True if (key, value) is present.
-  bool Contains(uint64_t key, uint64_t value) const;
+  bool Contains(uint64_t key, uint64_t value) const TENDAX_EXCLUDES(mu_);
 
   /// Visits all entries with lo_key <= key <= hi_key in order. Return false
   /// from the callback to stop.
   Status ScanRange(uint64_t lo_key, uint64_t hi_key,
-                   const std::function<bool(uint64_t, uint64_t)>& fn) const;
+                   const std::function<bool(uint64_t, uint64_t)>& fn) const
+      TENDAX_EXCLUDES(mu_);
 
   /// Total number of entries (O(n)).
-  Result<uint64_t> Count() const;
+  Result<uint64_t> Count() const TENDAX_EXCLUDES(mu_);
 
   /// Structural integrity check: every reachable node carries this index's
   /// marker, entries are strictly sorted on (key, value), internal children
   /// are valid page ids, all leaves sit at the same depth, and node fill
   /// stays within capacity. Used by `Database::CheckIntegrity` after crash
   /// recovery.
-  Status CheckIntegrity() const;
+  Status CheckIntegrity() const TENDAX_EXCLUDES(mu_);
 
-  BPlusTreeStats stats() const;
+  BPlusTreeStats stats() const TENDAX_EXCLUDES(mu_);
 
  private:
   BPlusTree(uint32_t index_id, std::string name, BufferPool* pool)
       : index_id_(index_id), name_(std::move(name)), pool_(pool) {}
 
   // All helpers require mu_ held.
-  Result<PageId> NewNode(bool leaf);
+  Result<PageId> NewNode(bool leaf) TENDAX_REQUIRES(mu_);
   Result<PageId> FindLeaf(uint64_t key, uint64_t value,
-                          std::vector<PageId>* path) const;
+                          std::vector<PageId>* path) const TENDAX_REQUIRES(mu_);
   Status InsertIntoLeaf(PageId leaf, const std::vector<PageId>& path,
-                        uint64_t key, uint64_t value);
-  Status SplitAndPropagate(PageId node, const std::vector<PageId>& path);
-  Status CheckNode(PageId node_id, uint32_t depth, uint32_t* leaf_depth) const;
+                        uint64_t key, uint64_t value) TENDAX_REQUIRES(mu_);
+  Status SplitAndPropagate(PageId node, const std::vector<PageId>& path)
+      TENDAX_REQUIRES(mu_);
+  Status CheckNode(PageId node_id, uint32_t depth, uint32_t* leaf_depth) const
+      TENDAX_REQUIRES(mu_);
 
   const uint32_t index_id_;
   const std::string name_;
   BufferPool* const pool_;
 
-  mutable std::mutex mu_;
-  PageId root_ = kInvalidPageId;
-  BPlusTreeStats stats_;
+  // Held across buffer-pool fetches (rank kRankBufferPool, below); index
+  // pages are latch-free — the tree lock covers their contents.
+  mutable Mutex mu_{"bptree.mu", lockorder::kRankTable};
+  PageId root_ TENDAX_GUARDED_BY(mu_) = kInvalidPageId;
+  BPlusTreeStats stats_ TENDAX_GUARDED_BY(mu_);
 };
 
 }  // namespace tendax

@@ -64,7 +64,7 @@ Result<HeapTable*> Catalog::CreateTable(Transaction* txn,
                                         const Schema& schema) {
   uint32_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (by_name_.count(name)) {
       return Status::AlreadyExists("table '" + name + "' exists");
     }
@@ -78,7 +78,7 @@ Result<HeapTable*> Catalog::CreateTable(Transaction* txn,
 
 Result<HeapTable*> Catalog::RegisterTable(uint32_t id, const std::string& name,
                                           Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto table = std::make_unique<HeapTable>(id, name, std::move(schema), pool_,
                                            txns_);
   HeapTable* raw = table.get();
@@ -89,7 +89,7 @@ Result<HeapTable*> Catalog::RegisterTable(uint32_t id, const std::string& name,
 }
 
 Result<HeapTable*> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -99,7 +99,7 @@ Result<HeapTable*> Catalog::GetTable(const std::string& name) const {
 
 Result<HeapTable*> Catalog::GetTableById(uint64_t table_id) const {
   if (table_id == kCatalogTableId) return catalog_table_.get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_id_.find(table_id);
   if (it == by_id_.end()) {
     return Status::NotFound("no table with id " + std::to_string(table_id));
@@ -108,7 +108,7 @@ Result<HeapTable*> Catalog::GetTableById(uint64_t table_id) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(by_name_.size());
   for (const auto& [name, table] : by_name_) names.push_back(name);

@@ -2,12 +2,12 @@
 #define TENDAX_DB_CATALOG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "db/heap_table.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -32,10 +32,12 @@ class Catalog {
   Result<HeapTable*> CreateTable(Transaction* txn, const std::string& name,
                                  const Schema& schema);
 
-  Result<HeapTable*> GetTable(const std::string& name) const;
-  Result<HeapTable*> GetTableById(uint64_t table_id) const;
+  Result<HeapTable*> GetTable(const std::string& name) const
+      TENDAX_EXCLUDES(mu_);
+  Result<HeapTable*> GetTableById(uint64_t table_id) const
+      TENDAX_EXCLUDES(mu_);
 
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const TENDAX_EXCLUDES(mu_);
 
   /// Rebuilds the in-memory table map from catalog records plus the page
   /// groups discovered by scanning the database file. Called at open.
@@ -44,16 +46,18 @@ class Catalog {
 
  private:
   Result<HeapTable*> RegisterTable(uint32_t id, const std::string& name,
-                                   Schema schema);
+                                   Schema schema) TENDAX_EXCLUDES(mu_);
 
   BufferPool* const pool_;
   TxnManager* const txns_;
   std::unique_ptr<HeapTable> catalog_table_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, HeapTable*> by_name_;
-  std::unordered_map<uint64_t, std::unique_ptr<HeapTable>> by_id_;
-  uint32_t next_table_id_ = kCatalogTableId + 1;
+  // Never held across catalog_table_ / HeapTable calls; registry only.
+  mutable Mutex mu_{"catalog.mu", lockorder::kRankDatabase};
+  std::unordered_map<std::string, HeapTable*> by_name_ TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unique_ptr<HeapTable>> by_id_
+      TENDAX_GUARDED_BY(mu_);
+  uint32_t next_table_id_ TENDAX_GUARDED_BY(mu_) = kCatalogTableId + 1;
 };
 
 }  // namespace tendax

@@ -63,6 +63,8 @@ Database::~Database() {
       return;
     }
   }
+  // Shutdown flushes are best-effort: there is no caller left to act on a
+  // failure, and recovery rebuilds anything that failed to reach disk.
   if (buffer_pool_ != nullptr) {
     (void)buffer_pool_->FlushAll();
   }
@@ -150,7 +152,7 @@ Result<HeapTable*> Database::GetTable(const std::string& name) const {
 }
 
 Result<BPlusTree*> Database::CreateIndex(const std::string& name) {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   if (indexes_.count(name)) {
     return Status::AlreadyExists("index '" + name + "' exists");
   }
@@ -162,7 +164,7 @@ Result<BPlusTree*> Database::CreateIndex(const std::string& name) {
 }
 
 Result<BPlusTree*> Database::GetIndex(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   auto it = indexes_.find(name);
   if (it == indexes_.end()) {
     return Status::NotFound("no index named '" + name + "'");
@@ -221,7 +223,7 @@ Status Database::CheckIntegrity() const {
     }
   }
   // 3. Index level.
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   for (const auto& [name, tree] : indexes_) {
     TENDAX_RETURN_IF_ERROR(tree->CheckIntegrity());
   }

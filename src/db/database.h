@@ -16,6 +16,7 @@
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -69,8 +70,10 @@ class Database : public ChangeApplier {
 
   /// Creates an in-memory-rooted, page-backed secondary index (derived
   /// data: rebuilt by callers after reopen, not WAL-logged).
-  Result<BPlusTree*> CreateIndex(const std::string& name);
-  Result<BPlusTree*> GetIndex(const std::string& name) const;
+  Result<BPlusTree*> CreateIndex(const std::string& name)
+      TENDAX_EXCLUDES(index_mu_);
+  Result<BPlusTree*> GetIndex(const std::string& name) const
+      TENDAX_EXCLUDES(index_mu_);
 
   /// Quiescent checkpoint: flushes all pages and truncates the log. Fails
   /// with FailedPrecondition while transactions are active.
@@ -118,9 +121,12 @@ class Database : public ChangeApplier {
   std::unique_ptr<TxnManager> txn_manager_;
   std::unique_ptr<Catalog> catalog_;
 
-  mutable std::mutex index_mu_;
-  std::unordered_map<std::string, std::unique_ptr<BPlusTree>> indexes_;
-  uint32_t next_index_id_ = 1;
+  // Held across BPlusTree::Create / CheckIntegrity (tree mutex, rank
+  // kRankTable), hence the database rank.
+  mutable Mutex index_mu_{"database.index", lockorder::kRankDatabase};
+  std::unordered_map<std::string, std::unique_ptr<BPlusTree>> indexes_
+      TENDAX_GUARDED_BY(index_mu_);
+  uint32_t next_index_id_ TENDAX_GUARDED_BY(index_mu_) = 1;
 
   RecoveryStats recovery_stats_;
 };

@@ -33,7 +33,7 @@ Result<RecordId> HeapTable::InsertBytes(Transaction* txn,
     bool lost_race = false;
     {
       PageGuard guard(pool_, *page);
-      std::lock_guard<std::mutex> latch(guard->latch());
+      MutexLock latch(guard->latch());
       SlottedPage sp(guard.get());
       auto slot = sp.Insert(bytes);
       if (slot.status().IsOutOfRange()) {
@@ -52,7 +52,7 @@ Result<RecordId> HeapTable::InsertBytes(Transaction* txn,
     if (lost_race) {
       // Latch released above: safe to take the table mutex (the opposite
       // order — table mutex then latch — is used by FindPageWithSpace).
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (last_insert_page_ == *page_id) last_insert_page_ = kInvalidPageId;
     }
   }
@@ -69,7 +69,7 @@ Result<std::string> HeapTable::GetBytes(RecordId rid) const {
   auto page = pool_->FetchPage(rid.page);
   if (!page.ok()) return page.status();
   PageGuard guard(pool_, *page);
-  std::lock_guard<std::mutex> latch(guard->latch());
+  MutexLock latch(guard->latch());
   SlottedPage sp(guard.get());
   if (sp.table_id() != table_id_) {
     return Status::NotFound("rid " + rid.ToString() +
@@ -91,7 +91,7 @@ Result<RecordId> HeapTable::Update(Transaction* txn, RecordId rid,
   if (!page.ok()) return page.status();
   PageGuard guard(pool_, *page);
   {
-    std::lock_guard<std::mutex> latch(guard->latch());
+    MutexLock latch(guard->latch());
     SlottedPage sp(guard.get());
     Status st = sp.Update(rid.slot, after);
     if (st.ok()) {
@@ -122,7 +122,7 @@ Status HeapTable::Delete(Transaction* txn, RecordId rid) {
   auto page = pool_->FetchPage(rid.page);
   if (!page.ok()) return page.status();
   PageGuard guard(pool_, *page);
-  std::lock_guard<std::mutex> latch(guard->latch());
+  MutexLock latch(guard->latch());
   SlottedPage sp(guard.get());
   TENDAX_RETURN_IF_ERROR(sp.Delete(rid.slot));
   auto lsn = txns_->LogUpdate(txn, UpdateOp::kDelete, table_id_, rid.Pack(),
@@ -137,7 +137,7 @@ Status HeapTable::Scan(
     const std::function<bool(RecordId, const Record&)>& fn) const {
   std::vector<PageId> pages;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pages = pages_;
   }
   for (PageId pid : pages) {
@@ -148,7 +148,7 @@ Status HeapTable::Scan(
     // may touch other pages of this table.
     std::vector<std::pair<RecordId, Record>> rows;
     {
-      std::lock_guard<std::mutex> latch(guard->latch());
+      MutexLock latch(guard->latch());
       SlottedPage sp(guard.get());
       if (!sp.IsInitialized()) continue;
       for (SlotId s = 0; s < sp.num_slots(); ++s) {
@@ -182,7 +182,7 @@ Status HeapTable::ApplyChange(UpdateOp op, RecordId rid,
   auto page = pool_->FetchPage(rid.page);
   if (!page.ok()) return page.status();
   PageGuard guard(pool_, *page);
-  std::lock_guard<std::mutex> latch(guard->latch());
+  MutexLock latch(guard->latch());
   SlottedPage sp(guard.get());
   if (!sp.IsInitialized()) sp.Init(table_id_);
   if (lsn != kInvalidLsn && guard->lsn() >= lsn) {
@@ -213,23 +213,23 @@ Status HeapTable::ApplyChange(UpdateOp op, RecordId rid,
 }
 
 void HeapTable::AdoptPage(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = std::lower_bound(pages_.begin(), pages_.end(), page);
   if (it == pages_.end() || *it != page) pages_.insert(it, page);
 }
 
 std::vector<PageId> HeapTable::pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pages_;
 }
 
 Result<PageId> HeapTable::FindPageWithSpace(size_t need) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (last_insert_page_ != kInvalidPageId) {
     auto page = pool_->FetchPage(last_insert_page_);
     if (page.ok()) {
       PageGuard guard(pool_, *page);
-      std::lock_guard<std::mutex> latch(guard->latch());
+      MutexLock latch(guard->latch());
       SlottedPage sp(guard.get());
       if (sp.IsInitialized() && sp.FreeSpace() >= need) {
         return last_insert_page_;
@@ -244,7 +244,7 @@ Result<PageId> HeapTable::FindPageWithSpace(size_t need) {
     auto page = pool_->FetchPage(*it);
     if (!page.ok()) return page.status();
     PageGuard guard(pool_, *page);
-    std::lock_guard<std::mutex> latch(guard->latch());
+    MutexLock latch(guard->latch());
     SlottedPage sp(guard.get());
     if (sp.IsInitialized() && sp.FreeSpace() >= need) {
       last_insert_page_ = *it;
@@ -254,7 +254,7 @@ Result<PageId> HeapTable::FindPageWithSpace(size_t need) {
   auto page = pool_->NewPage();
   if (!page.ok()) return page.status();
   PageGuard guard(pool_, *page);
-  std::lock_guard<std::mutex> latch(guard->latch());
+  MutexLock latch(guard->latch());
   SlottedPage sp(guard.get());
   sp.Init(table_id_);
   guard.MarkDirty();
@@ -267,7 +267,7 @@ Result<PageId> HeapTable::FindPageWithSpace(size_t need) {
 
 Status HeapTable::EnsurePage(PageId page) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (std::binary_search(pages_.begin(), pages_.end(), page)) {
       return Status::OK();
     }

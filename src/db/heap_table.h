@@ -2,7 +2,6 @@
 #define TENDAX_DB_HEAP_TABLE_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "db/slotted_page.h"
 #include "storage/buffer_pool.h"
 #include "txn/txn_manager.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -66,19 +66,21 @@ class HeapTable {
                      Lsn lsn);
 
   /// Registers a page discovered at open time as belonging to this table.
-  void AdoptPage(PageId page);
+  void AdoptPage(PageId page) TENDAX_EXCLUDES(mu_);
 
   /// Pages currently making up the heap file (ascending).
-  std::vector<PageId> pages() const;
+  std::vector<PageId> pages() const TENDAX_EXCLUDES(mu_);
 
  private:
   Result<std::string> GetBytes(RecordId rid) const;
   /// Finds (or allocates) a page with room for `need` bytes. Returns it
-  /// pinned via the guard.
-  Result<PageId> FindPageWithSpace(size_t need);
+  /// pinned via the guard. Takes page latches while holding mu_ — the
+  /// reverse order is never used (InsertBytes drops the latch first).
+  Result<PageId> FindPageWithSpace(size_t need) TENDAX_EXCLUDES(mu_);
   /// Makes sure `page` exists on disk (used by replay) and is adopted.
-  Status EnsurePage(PageId page);
-  Result<RecordId> InsertBytes(Transaction* txn, const std::string& bytes);
+  Status EnsurePage(PageId page) TENDAX_EXCLUDES(mu_);
+  Result<RecordId> InsertBytes(Transaction* txn, const std::string& bytes)
+      TENDAX_EXCLUDES(mu_);
 
   const uint32_t table_id_;
   const std::string name_;
@@ -86,9 +88,10 @@ class HeapTable {
   BufferPool* const pool_;
   TxnManager* const txns_;
 
-  mutable std::mutex mu_;          // guards pages_ and insert placement
-  std::vector<PageId> pages_;      // ascending
-  PageId last_insert_page_ = kInvalidPageId;
+  // Guards pages_ and insert placement.
+  mutable Mutex mu_{"heaptable.mu", lockorder::kRankTable};
+  std::vector<PageId> pages_ TENDAX_GUARDED_BY(mu_);  // ascending
+  PageId last_insert_page_ TENDAX_GUARDED_BY(mu_) = kInvalidPageId;
 };
 
 }  // namespace tendax

@@ -209,7 +209,7 @@ Result<ElementId> DocumentModel::CreateElement(UserId user, DocumentId doc,
   e.author = user;
   e.at = db_->clock()->NowMicros();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     uint64_t max_ord = 0;
     for (const auto& [id, other] : elements_) {
       if (other.doc == doc && other.parent == parent) {
@@ -240,7 +240,7 @@ Result<ElementId> DocumentModel::CreateElement(UserId user, DocumentId doc,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   elements_[e.id.value] = e;
   element_rids_[e.id.value] = rid;
   return e.id;
@@ -251,7 +251,7 @@ Status DocumentModel::RelabelElement(UserId user, ElementId element,
   ElementInfo e;
   RecordId rid;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = elements_.find(element.value);
     if (it == elements_.end()) return Status::NotFound("unknown element");
     e = it->second;
@@ -276,7 +276,7 @@ Status DocumentModel::RelabelElement(UserId user, ElementId element,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   elements_[element.value] = e;
   element_rids_[element.value] = rid;
   return Status::OK();
@@ -286,7 +286,7 @@ Status DocumentModel::DeleteElement(UserId user, ElementId element) {
   RecordId rid;
   DocumentId doc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = elements_.find(element.value);
     if (it == elements_.end()) return Status::NotFound("unknown element");
     doc = it->second.doc;
@@ -304,7 +304,7 @@ Status DocumentModel::DeleteElement(UserId user, ElementId element) {
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   elements_.erase(element.value);
   element_rids_.erase(element.value);
   return Status::OK();
@@ -315,7 +315,7 @@ Result<std::vector<ElementInfo>> DocumentModel::ElementTree(DocumentId doc) {
   if (!positions.ok()) return positions.status();
   std::vector<ElementInfo> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, e] : elements_) {
       if (e.doc == doc) out.push_back(e);
     }
@@ -371,13 +371,13 @@ Result<uint64_t> DocumentModel::ApplyLayout(UserId user, DocumentId doc,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   runs_[r.run_id] = r;
   return r.run_id;
 }
 
 std::vector<LayoutRun> DocumentModel::RunsFor(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LayoutRun> out;
   for (const auto& [id, r] : runs_) {
     if (r.doc == doc) out.push_back(r);
@@ -400,7 +400,7 @@ Result<std::vector<LayoutSpan>> DocumentModel::ComputeSpans(DocumentId doc) {
   };
   std::vector<Interval> intervals;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, r] : runs_) {
       if (r.doc != doc) continue;
       auto s = positions->find(r.start.value);
@@ -491,7 +491,7 @@ Result<NoteId> DocumentModel::AddNote(UserId user, DocumentId doc, size_t pos,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   notes_[n.id.value] = n;
   return n.id;
 }
@@ -501,7 +501,7 @@ Result<std::vector<NoteInfo>> DocumentModel::Notes(DocumentId doc) {
   if (!positions.ok()) return positions.status();
   std::vector<NoteInfo> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [id, n] : notes_) {
       if (n.doc == doc) out.push_back(n);
     }
@@ -555,7 +555,7 @@ Result<ObjectId> DocumentModel::EmbedImage(UserId user, DocumentId doc,
     TENDAX_RETURN_IF_ERROR(
         PutBlob(user, o.id, seq, bytes.substr(off, kBlobChunk)));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   objects_[o.id.value] = o;
   return o.id;
 }
@@ -565,7 +565,7 @@ Status DocumentModel::PutBlob(UserId user, ObjectId object, uint64_t seq,
   RecordId existing;
   bool update = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blob_rids_.find({object.value, seq});
     if (it != blob_rids_.end()) {
       existing = it->second;
@@ -587,7 +587,7 @@ Status DocumentModel::PutBlob(UserId user, ObjectId object, uint64_t seq,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   blob_rids_[{object.value, seq}] = rid;
   return Status::OK();
 }
@@ -596,7 +596,7 @@ Result<std::string> DocumentModel::ReadBlobs(ObjectId object, uint64_t lo,
                                              uint64_t hi) const {
   std::vector<std::pair<uint64_t, RecordId>> chunks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = blob_rids_.lower_bound({object.value, lo});
     for (; it != blob_rids_.end() && it->first.first == object.value &&
            it->first.second <= hi;
@@ -615,7 +615,7 @@ Result<std::string> DocumentModel::ReadBlobs(ObjectId object, uint64_t lo,
 
 Result<std::string> DocumentModel::GetImage(ObjectId object) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = objects_.find(object.value);
     if (it == objects_.end() || it->second.kind != "image") {
       return Status::NotFound("no image object " + object.ToString());
@@ -662,14 +662,14 @@ Result<ObjectId> DocumentModel::InsertTable(UserId user, DocumentId doc,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   objects_[o.id.value] = o;
   return o.id;
 }
 
 Result<std::pair<uint32_t, uint32_t>> DocumentModel::TableDims(
     ObjectId table) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(table.value);
   if (it == objects_.end() || it->second.kind != "table") {
     return Status::NotFound("no table object " + table.ToString());
@@ -707,7 +707,7 @@ Result<std::string> DocumentModel::GetCell(ObjectId table, uint32_t row,
 }
 
 std::vector<ObjectInfo> DocumentModel::Objects(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ObjectInfo> out;
   for (const auto& [id, o] : objects_) {
     if (o.doc == doc) out.push_back(o);

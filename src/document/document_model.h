@@ -2,7 +2,6 @@
 #define TENDAX_DOCUMENT_DOCUMENT_MODEL_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -11,6 +10,7 @@
 #include "db/database.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -162,13 +162,18 @@ class DocumentModel {
   HeapTable* objects_table_ = nullptr;
   HeapTable* blobs_table_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, ElementInfo> elements_;             // by element id
-  std::unordered_map<uint64_t, RecordId> element_rids_;
-  std::map<uint64_t, LayoutRun> runs_;                   // by run id
-  std::map<uint64_t, NoteInfo> notes_;                   // by note id
-  std::map<uint64_t, ObjectInfo> objects_;               // by object id
-  std::map<std::pair<uint64_t, uint64_t>, RecordId> blob_rids_;
+  // Guards the structure caches only; always released before RunInTxn, so
+  // it never nests with the table/txn locks it sits above.
+  mutable Mutex mu_{"docmodel.mu", lockorder::kRankDocument};
+  std::map<uint64_t, ElementInfo> elements_
+      TENDAX_GUARDED_BY(mu_);  // by element id
+  std::unordered_map<uint64_t, RecordId> element_rids_ TENDAX_GUARDED_BY(mu_);
+  std::map<uint64_t, LayoutRun> runs_ TENDAX_GUARDED_BY(mu_);  // by run id
+  std::map<uint64_t, NoteInfo> notes_ TENDAX_GUARDED_BY(mu_);  // by note id
+  std::map<uint64_t, ObjectInfo> objects_
+      TENDAX_GUARDED_BY(mu_);  // by object id
+  std::map<std::pair<uint64_t, uint64_t>, RecordId> blob_rids_
+      TENDAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_element_id_{1};
   std::atomic<uint64_t> next_run_id_{1};
   std::atomic<uint64_t> next_note_id_{1};

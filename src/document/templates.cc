@@ -90,7 +90,7 @@ Result<uint64_t> TemplateStore::Define(UserId user, const std::string& name,
     return Status::InvalidArgument("a template needs at least one section");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (templates_.count(name)) {
       return Status::AlreadyExists("template '" + name + "' exists");
     }
@@ -114,13 +114,13 @@ Result<uint64_t> TemplateStore::Define(UserId user, const std::string& name,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   templates_[name] = std::move(info);
   return templates_[name].id;
 }
 
 Result<TemplateInfo> TemplateStore::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = templates_.find(name);
   if (it == templates_.end()) {
     return Status::NotFound("no template named '" + name + "'");
@@ -129,7 +129,7 @@ Result<TemplateInfo> TemplateStore::Get(const std::string& name) const {
 }
 
 std::vector<std::string> TemplateStore::TemplateNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [name, info] : templates_) out.push_back(name);
   return out;

@@ -2,7 +2,6 @@
 #define TENDAX_DOCUMENT_TEMPLATES_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +9,7 @@
 #include "document/document_model.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -58,8 +58,9 @@ class TemplateStore {
   DocumentModel* const docs_;
 
   HeapTable* table_ = nullptr;
-  mutable std::mutex mu_;
-  std::map<std::string, TemplateInfo> templates_;
+  // Cache of defined templates; released before Instantiate's transactions.
+  mutable Mutex mu_{"templates.mu", lockorder::kRankDocument};
+  std::map<std::string, TemplateInfo> templates_ TENDAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_template_id_{1};
 };
 

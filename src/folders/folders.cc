@@ -271,7 +271,7 @@ Result<FolderId> FolderManager::CreateFolder(UserId user, FolderId parent,
         .status();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   static_folders_[f.id.value] = f;
   return f.id;
 }
@@ -279,7 +279,7 @@ Result<FolderId> FolderManager::CreateFolder(UserId user, FolderId parent,
 Status FolderManager::PlaceDocument(UserId user, FolderId folder,
                                     DocumentId doc) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!static_folders_.count(folder.value)) {
       return Status::NotFound("unknown folder");
     }
@@ -302,7 +302,7 @@ Status FolderManager::PlaceDocument(UserId user, FolderId folder,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   placements_[{folder.value, doc.value}] = rid;
   return Status::OK();
 }
@@ -311,7 +311,7 @@ Status FolderManager::RemoveDocument(UserId user, FolderId folder,
                                      DocumentId doc) {
   RecordId rid;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = placements_.find({folder.value, doc.value});
     if (it == placements_.end()) {
       return Status::NotFound("document not in folder");
@@ -322,14 +322,14 @@ Status FolderManager::RemoveDocument(UserId user, FolderId folder,
     return placements_table_->Delete(txn, rid);
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   placements_.erase({folder.value, doc.value});
   return Status::OK();
 }
 
 Result<std::vector<DocumentId>> FolderManager::FolderContents(
     FolderId folder) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!static_folders_.count(folder.value)) {
     return Status::NotFound("unknown folder");
   }
@@ -343,14 +343,14 @@ Result<std::vector<DocumentId>> FolderManager::FolderContents(
 }
 
 std::vector<StaticFolderInfo> FolderManager::Folders() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<StaticFolderInfo> out;
   for (const auto& [id, f] : static_folders_) out.push_back(f);
   return out;
 }
 
 std::vector<FolderId> FolderManager::PlacementsOf(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<FolderId> out;
   for (const auto& [key, rid] : placements_) {
     if (key.second == doc.value) out.push_back(FolderId(key.first));
@@ -362,7 +362,7 @@ Result<FolderId> FolderManager::CreateDynamicFolder(
     const std::string& name, std::unique_ptr<FolderQuery> query) {
   FolderId id(next_folder_id_.fetch_add(1));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DynamicFolder folder;
     folder.id = id;
     folder.name = name;
@@ -375,7 +375,7 @@ Result<FolderId> FolderManager::CreateDynamicFolder(
 
 Result<std::set<DocumentId>> FolderManager::DynamicContents(
     FolderId folder) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = dynamic_folders_.find(folder.value);
   if (it == dynamic_folders_.end()) {
     return Status::NotFound("unknown dynamic folder");
@@ -386,7 +386,7 @@ Result<std::set<DocumentId>> FolderManager::DynamicContents(
 Status FolderManager::FullRefresh(FolderId folder) {
   Timestamp now = db_->clock()->NowMicros();
   std::vector<DocumentId> docs = text_->ListDocuments();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = dynamic_folders_.find(folder.value);
   if (it == dynamic_folders_.end()) {
     return Status::NotFound("unknown dynamic folder");
@@ -407,7 +407,7 @@ Status FolderManager::FullRefresh(FolderId folder) {
 void FolderManager::RefreshDocument(DocumentId doc) {
   if (!doc.valid()) return;
   Timestamp now = db_->clock()->NowMicros();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, df] : dynamic_folders_) {
     bool matches = df.query->Matches(doc, *meta_, *text_, now);
     bool present = df.members.count(doc) > 0;
@@ -423,7 +423,7 @@ void FolderManager::RefreshDocument(DocumentId doc) {
 }
 
 FolderManagerStats FolderManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "meta/meta_store.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -108,12 +108,15 @@ class FolderManager {
   HeapTable* folders_table_ = nullptr;
   HeapTable* placements_table_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, StaticFolderInfo> static_folders_;
-  std::map<std::pair<uint64_t, uint64_t>, RecordId> placements_;
-  std::map<uint64_t, DynamicFolder> dynamic_folders_;
+  // Guards the folder caches; released before any db_/text_/meta_ call.
+  mutable Mutex mu_{"folders.mu", lockorder::kRankDocument};
+  std::map<uint64_t, StaticFolderInfo> static_folders_
+      TENDAX_GUARDED_BY(mu_);
+  std::map<std::pair<uint64_t, uint64_t>, RecordId> placements_
+      TENDAX_GUARDED_BY(mu_);
+  std::map<uint64_t, DynamicFolder> dynamic_folders_ TENDAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_folder_id_{1};
-  FolderManagerStats stats_;
+  FolderManagerStats stats_ TENDAX_GUARDED_BY(mu_);
 };
 
 }  // namespace tendax

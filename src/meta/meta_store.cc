@@ -93,6 +93,8 @@ Status MetaStore::Init() {
         for (const ChangeEvent& ev : batch) {
           auto kind = KindForEvent(ev.kind);
           if (!kind.has_value()) continue;
+          // The source transaction is already committed — a failed audit
+          // append cannot be surfaced to it, only dropped.
           (void)Append(ev.user.valid() ? ev.user : user, ev.doc, *kind,
                        ev.detail, ev.at);
         }
@@ -151,7 +153,7 @@ Status MetaStore::Append(UserId user, DocumentId doc, AuditKind kind,
   ApplyToAggregates(entry);
   std::vector<AuditListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     listeners = listeners_;
   }
   for (const auto& listener : listeners) listener(entry);
@@ -159,7 +161,7 @@ Status MetaStore::Append(UserId user, DocumentId doc, AuditKind kind,
 }
 
 void MetaStore::ApplyToAggregates(const AuditEntry& entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DocumentMeta& meta = meta_[entry.doc.value];
   meta.doc = entry.doc;
   UserTouch& touch = meta.by_user[entry.user];
@@ -186,7 +188,7 @@ Status MetaStore::RecordRead(UserId user, DocumentId doc) {
 }
 
 DocumentMeta MetaStore::Meta(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = meta_.find(doc.value);
   if (it == meta_.end()) {
     DocumentMeta empty;
@@ -198,7 +200,7 @@ DocumentMeta MetaStore::Meta(DocumentId doc) const {
 
 std::vector<DocumentId> MetaStore::ReadBy(UserId user,
                                           Timestamp since) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DocumentId> out;
   for (const auto& [doc, meta] : meta_) {
     auto it = meta.by_user.find(user);
@@ -212,7 +214,7 @@ std::vector<DocumentId> MetaStore::ReadBy(UserId user,
 
 std::vector<DocumentId> MetaStore::EditedBy(UserId user,
                                             Timestamp since) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DocumentId> out;
   for (const auto& [doc, meta] : meta_) {
     auto it = meta.by_user.find(user);
@@ -225,7 +227,7 @@ std::vector<DocumentId> MetaStore::EditedBy(UserId user,
 }
 
 std::vector<DocumentId> MetaStore::TouchedDocuments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<DocumentId> out;
   out.reserve(meta_.size());
   for (const auto& [doc, meta] : meta_) out.push_back(DocumentId(doc));
@@ -258,7 +260,7 @@ Status MetaStore::SetProperty(UserId user, DocumentId doc,
   RecordId existing;
   bool update = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = prop_rids_.find(map_key);
     if (it != prop_rids_.end()) {
       existing = it->second;
@@ -280,7 +282,7 @@ Status MetaStore::SetProperty(UserId user, DocumentId doc,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   props_[map_key] = value;
   prop_rids_[map_key] = new_rid;
   return Status::OK();
@@ -288,7 +290,7 @@ Status MetaStore::SetProperty(UserId user, DocumentId doc,
 
 Result<std::string> MetaStore::GetProperty(DocumentId doc,
                                            const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = props_.find(std::make_pair(doc.value, key));
   if (it == props_.end()) {
     return Status::NotFound("no property '" + key + "' on " + doc.ToString());
@@ -298,7 +300,7 @@ Result<std::string> MetaStore::GetProperty(DocumentId doc,
 
 std::map<std::string, std::string> MetaStore::Properties(
     DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, std::string> out;
   auto lo = props_.lower_bound(std::make_pair(doc.value, std::string()));
   for (auto it = lo; it != props_.end() && it->first.first == doc.value;
@@ -309,7 +311,7 @@ std::map<std::string, std::string> MetaStore::Properties(
 }
 
 void MetaStore::AddAuditListener(AuditListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   listeners_.push_back(std::move(listener));
 }
 

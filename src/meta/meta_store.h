@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -15,6 +14,7 @@
 #include "db/database.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -120,11 +120,15 @@ class MetaStore {
   HeapTable* audit_table_ = nullptr;
   HeapTable* props_table_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, DocumentMeta> meta_;
-  std::map<std::pair<uint64_t, std::string>, std::string> props_;
-  std::map<std::pair<uint64_t, std::string>, RecordId> prop_rids_;
-  std::vector<AuditListener> listeners_;
+  // Guards the aggregate caches and listener list; dropped before Append's
+  // transaction and before listeners run (they are copied out first).
+  mutable Mutex mu_{"metastore.mu", lockorder::kRankDocument};
+  std::unordered_map<uint64_t, DocumentMeta> meta_ TENDAX_GUARDED_BY(mu_);
+  std::map<std::pair<uint64_t, std::string>, std::string> props_
+      TENDAX_GUARDED_BY(mu_);
+  std::map<std::pair<uint64_t, std::string>, RecordId> prop_rids_
+      TENDAX_GUARDED_BY(mu_);
+  std::vector<AuditListener> listeners_ TENDAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_seq_{1};
 };
 

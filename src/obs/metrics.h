@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -203,10 +203,17 @@ class MetricsRegistry {
 
  private:
   const bool enabled_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Registration/snapshot lock only — metric updates go through the objects'
+  // atomics. counter()/histogram() are called from subsystem constructors
+  // and Snapshot from the stats path, never with other locks held that rank
+  // above it, hence leaf rank.
+  mutable Mutex mu_{"metrics.mu", lockorder::kRankLeaf};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      TENDAX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      TENDAX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      TENDAX_GUARDED_BY(mu_);
 };
 
 // Null-safe helpers: every instrumented subsystem accepts a nullable

@@ -55,9 +55,11 @@ Status SearchEngine::Init() {
             case ChangeKind::kUndoApplied:
             case ChangeKind::kRedoApplied:
               if (eager_.load(std::memory_order_relaxed)) {
+                // A failed eager reindex leaves the previous postings; the
+                // commit listener cannot fail the already-committed txn.
                 (void)IndexDocument(ev.doc);
               } else {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 dirty_docs_.insert(ev.doc.value);
               }
               break;
@@ -73,7 +75,7 @@ Status SearchEngine::IndexDocument(DocumentId doc) {
   auto version = text_->CurrentVersion(doc);
   if (!version.ok()) return version.status();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = indexed_version_.find(doc.value);
     if (it != indexed_version_.end() && it->second >= *version) {
       dirty_docs_.erase(doc.value);
@@ -87,7 +89,7 @@ Status SearchEngine::IndexDocument(DocumentId doc) {
 
   std::vector<std::string> tokens = Tokenize(*content + " " + name);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Drop old postings.
   auto old = doc_postings_.find(doc.value);
   if (old != doc_postings_.end()) {
@@ -114,7 +116,7 @@ Status SearchEngine::IndexDocument(DocumentId doc) {
 Status SearchEngine::FlushDirty() {
   std::vector<uint64_t> dirty;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     dirty.assign(dirty_docs_.begin(), dirty_docs_.end());
   }
   for (uint64_t doc : dirty) {
@@ -147,7 +149,7 @@ Result<double> SearchEngine::RankScore(DocumentId doc, Ranking ranking,
                                        const std::vector<std::string>& terms) {
   switch (ranking) {
     case Ranking::kRelevance: {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       return TfIdf(terms, doc.value);
     }
     case Ranking::kNewest: {
@@ -250,7 +252,7 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
 
   std::set<uint64_t> candidates;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     bool first = true;
     for (const std::string& term : terms) {
       auto it = term_docs_.find(term);
@@ -339,17 +341,17 @@ Result<std::vector<SearchResult>> SearchEngine::SearchPhrase(
 }
 
 size_t SearchEngine::IndexedTerms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return term_docs_.size();
 }
 
 size_t SearchEngine::IndexedDocuments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return doc_postings_.size();
 }
 
 size_t SearchEngine::DirtyDocuments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dirty_docs_.size();
 }
 

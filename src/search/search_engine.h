@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -14,6 +13,7 @@
 #include "meta/meta_store.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -107,12 +107,17 @@ class SearchEngine {
   DocumentModel* const docs_;
   LineageAnalyzer* const lineage_;
 
-  mutable std::mutex mu_;
+  // Guards the inverted index; released around text_->Read during reindex,
+  // so it may sit alongside (never inside) the document handle lock.
+  mutable Mutex mu_{"search.mu", lockorder::kRankDocument};
   // term -> set of docs; doc -> postings.
-  std::unordered_map<std::string, std::set<uint64_t>> term_docs_;
-  std::unordered_map<uint64_t, DocPostings> doc_postings_;
-  std::unordered_map<uint64_t, Version> indexed_version_;
-  std::set<uint64_t> dirty_docs_;
+  std::unordered_map<std::string, std::set<uint64_t>> term_docs_
+      TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, DocPostings> doc_postings_
+      TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Version> indexed_version_
+      TENDAX_GUARDED_BY(mu_);
+  std::set<uint64_t> dirty_docs_ TENDAX_GUARDED_BY(mu_);
   std::atomic<bool> eager_{false};
 };
 

@@ -72,6 +72,9 @@ Status AccessControl::Init() {
   acl_table_ = *acl;
 
   uint64_t max_user = 0, max_role = 0, max_ace = 0;
+  // Init is single-threaded, but the caches are guarded: hold the writer
+  // lock across the rebuild so the annotations stay honest.
+  WriterMutexLock lock(mu_);
   TENDAX_RETURN_IF_ERROR(
       users_table_->Scan([&](RecordId, const Record& rec) {
         users_[rec.GetUint(0)] = rec.GetString(1);
@@ -115,7 +118,7 @@ Status AccessControl::Init() {
 
 Result<UserId> AccessControl::CreateUser(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     for (const auto& [id, n] : users_) {
       if (n == name) return Status::AlreadyExists("user '" + name + "'");
     }
@@ -125,14 +128,14 @@ Result<UserId> AccessControl::CreateUser(const std::string& name) {
     return users_table_->Insert(txn, Record({id.value, name})).status();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   users_[id.value] = name;
   return id;
 }
 
 Result<RoleId> AccessControl::CreateRole(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     for (const auto& [id, n] : roles_) {
       if (n == name) return Status::AlreadyExists("role '" + name + "'");
     }
@@ -142,14 +145,14 @@ Result<RoleId> AccessControl::CreateRole(const std::string& name) {
     return roles_table_->Insert(txn, Record({id.value, name})).status();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   roles_[id.value] = name;
   return id;
 }
 
 Status AccessControl::AssignRole(UserId user, RoleId role) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     if (!users_.count(user.value)) return Status::NotFound("unknown user");
     if (!roles_.count(role.value)) return Status::NotFound("unknown role");
   }
@@ -158,7 +161,7 @@ Status AccessControl::AssignRole(UserId user, RoleId role) {
         .status();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   members_[role.value].insert(user.value);
   roles_of_[user.value].insert(role.value);
   return Status::OK();
@@ -181,21 +184,21 @@ Status AccessControl::RevokeRole(UserId user, RoleId role) {
     return members_table_->Delete(txn, target);
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   members_[role.value].erase(user.value);
   roles_of_[user.value].erase(role.value);
   return Status::OK();
 }
 
 Result<std::string> AccessControl::UserName(UserId user) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = users_.find(user.value);
   if (it == users_.end()) return Status::NotFound("unknown user");
   return it->second;
 }
 
 Result<UserId> AccessControl::FindUser(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   for (const auto& [id, n] : users_) {
     if (n == name) return UserId(id);
   }
@@ -203,7 +206,7 @@ Result<UserId> AccessControl::FindUser(const std::string& name) const {
 }
 
 Result<RoleId> AccessControl::FindRole(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   for (const auto& [id, n] : roles_) {
     if (n == name) return RoleId(id);
   }
@@ -211,7 +214,7 @@ Result<RoleId> AccessControl::FindRole(const std::string& name) const {
 }
 
 std::set<RoleId> AccessControl::RolesOf(UserId user) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::set<RoleId> out;
   auto it = roles_of_.find(user.value);
   if (it != roles_of_.end()) {
@@ -221,7 +224,7 @@ std::set<RoleId> AccessControl::RolesOf(UserId user) const {
 }
 
 std::vector<UserId> AccessControl::UsersInRole(RoleId role) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<UserId> out;
   auto it = members_.find(role.value);
   if (it != members_.end()) {
@@ -257,7 +260,7 @@ Status AccessControl::PersistEntry(UserId grantor, const AccessEntry& entry) {
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   acl_[entry.doc.value].push_back(entry);
   return Status::OK();
 }
@@ -365,7 +368,7 @@ Result<bool> AccessControl::CheckAt(UserId user, DocumentId doc, Right right,
   std::set<RoleId> roles = RolesOf(user);
   std::vector<AccessEntry> entries;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = acl_.find(doc.value);
     if (it != acl_.end()) entries = it->second;
   }
@@ -399,7 +402,7 @@ Status AccessControl::Require(UserId user, DocumentId doc,
 }
 
 std::vector<AccessEntry> AccessControl::EntriesFor(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = acl_.find(doc.value);
   return it == acl_.end() ? std::vector<AccessEntry>() : it->second;
 }

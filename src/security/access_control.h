@@ -2,7 +2,6 @@
 #define TENDAX_SECURITY_ACCESS_CONTROL_H_
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -11,6 +10,7 @@
 #include "db/database.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -56,15 +56,17 @@ class AccessControl {
   Status Init();
 
   // --- principals ---
-  Result<UserId> CreateUser(const std::string& name);
-  Result<RoleId> CreateRole(const std::string& name);
-  Status AssignRole(UserId user, RoleId role);
-  Status RevokeRole(UserId user, RoleId role);
-  Result<std::string> UserName(UserId user) const;
-  Result<UserId> FindUser(const std::string& name) const;
-  Result<RoleId> FindRole(const std::string& name) const;
-  std::set<RoleId> RolesOf(UserId user) const;
-  std::vector<UserId> UsersInRole(RoleId role) const;
+  Result<UserId> CreateUser(const std::string& name) TENDAX_EXCLUDES(mu_);
+  Result<RoleId> CreateRole(const std::string& name) TENDAX_EXCLUDES(mu_);
+  Status AssignRole(UserId user, RoleId role) TENDAX_EXCLUDES(mu_);
+  Status RevokeRole(UserId user, RoleId role) TENDAX_EXCLUDES(mu_);
+  Result<std::string> UserName(UserId user) const TENDAX_EXCLUDES(mu_);
+  Result<UserId> FindUser(const std::string& name) const
+      TENDAX_EXCLUDES(mu_);
+  Result<RoleId> FindRole(const std::string& name) const
+      TENDAX_EXCLUDES(mu_);
+  std::set<RoleId> RolesOf(UserId user) const TENDAX_EXCLUDES(mu_);
+  std::vector<UserId> UsersInRole(RoleId role) const TENDAX_EXCLUDES(mu_);
 
   // --- grants ---
   Status GrantUser(UserId grantor, DocumentId doc, UserId subject,
@@ -78,14 +80,16 @@ class AccessControl {
                         bool allow = true);
 
   /// Full check at document scope.
-  Result<bool> Check(UserId user, DocumentId doc, Right right) const;
+  Result<bool> Check(UserId user, DocumentId doc, Right right) const
+      TENDAX_EXCLUDES(mu_);
   /// Check at a character position (range entries considered).
   Result<bool> CheckAt(UserId user, DocumentId doc, Right right,
-                       size_t pos) const;
+                       size_t pos) const TENDAX_EXCLUDES(mu_);
   /// Convenience: returns PermissionDenied unless allowed.
   Status Require(UserId user, DocumentId doc, Right right) const;
 
-  std::vector<AccessEntry> EntriesFor(DocumentId doc) const;
+  std::vector<AccessEntry> EntriesFor(DocumentId doc) const
+      TENDAX_EXCLUDES(mu_);
 
  private:
   Status PersistEntry(UserId grantor, const AccessEntry& entry);
@@ -105,12 +109,19 @@ class AccessControl {
   HeapTable* members_table_ = nullptr;
   HeapTable* acl_table_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::string> users_;
-  std::unordered_map<uint64_t, std::string> roles_;
-  std::map<uint64_t, std::set<uint64_t>> members_;       // role -> users
-  std::map<uint64_t, std::set<uint64_t>> roles_of_;      // user -> roles
-  std::map<uint64_t, std::vector<AccessEntry>> acl_;     // doc -> entries
+  // Reader/writer lock: every Check/CheckAt takes the read side (the hot
+  // enforcement path, potentially per keystroke), while principal and
+  // grant mutations take the write side. Never held across db_ / text_
+  // calls — CheckAt copies the entries out before resolving scopes.
+  mutable SharedMutex mu_{"acl.mu", lockorder::kRankDocument};
+  std::unordered_map<uint64_t, std::string> users_ TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::string> roles_ TENDAX_GUARDED_BY(mu_);
+  std::map<uint64_t, std::set<uint64_t>> members_
+      TENDAX_GUARDED_BY(mu_);  // role -> users
+  std::map<uint64_t, std::set<uint64_t>> roles_of_
+      TENDAX_GUARDED_BY(mu_);  // user -> roles
+  std::map<uint64_t, std::vector<AccessEntry>> acl_
+      TENDAX_GUARDED_BY(mu_);  // doc -> entries
   std::atomic<uint64_t> next_user_id_{1};
   std::atomic<uint64_t> next_role_id_{1};
   std::atomic<uint64_t> next_ace_id_{1};

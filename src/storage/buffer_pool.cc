@@ -23,7 +23,7 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk, Wal* wal,
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -62,7 +62,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto id_res = disk_->AllocatePage();
   if (!id_res.ok()) return id_res.status();
   PageId id = *id_res;
@@ -80,21 +80,21 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 void BufferPool::Unpin(Page* page, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TENDAX_CHECK(page->pin_count_ > 0);
   --page->pin_count_;
   if (dirty) page->dirty_ = true;
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   return WriteBack(it->second);
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, page] : page_table_) {
     TENDAX_RETURN_IF_ERROR(WriteBack(page));
   }
@@ -102,7 +102,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::DropAllForCrashTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [id, page] : page_table_) {
     TENDAX_CHECK(page->pin_count_ == 0);
     page->Reset();
@@ -122,7 +122,7 @@ Status BufferPool::EnsureAllocatedUpTo(PageId id) {
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -39,50 +39,53 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns the page pinned; call Unpin when done.
-  Result<Page*> FetchPage(PageId id);
+  Result<Page*> FetchPage(PageId id) TENDAX_EXCLUDES(mu_);
 
   /// Allocates a new page on disk and returns it pinned.
-  Result<Page*> NewPage();
+  Result<Page*> NewPage() TENDAX_EXCLUDES(mu_);
 
   /// Releases one pin; `dirty` marks the page as modified.
-  void Unpin(Page* page, bool dirty);
+  void Unpin(Page* page, bool dirty) TENDAX_EXCLUDES(mu_);
 
   /// Writes the page back if dirty (page may stay cached).
-  Status FlushPage(PageId id);
+  Status FlushPage(PageId id) TENDAX_EXCLUDES(mu_);
 
   /// Writes back every dirty page. Does not evict.
-  Status FlushAll();
+  Status FlushAll() TENDAX_EXCLUDES(mu_);
 
   /// Drops every cached page without writing anything back — simulates a
   /// crash for recovery tests. All pins must have been released.
-  void DropAllForCrashTest();
+  void DropAllForCrashTest() TENDAX_EXCLUDES(mu_);
 
   /// Allocates pages until `id` exists on disk. Recovery uses this when a
   /// page allocation was lost in a crash (file growth is not fsync'd).
   Status EnsureAllocatedUpTo(PageId id);
 
   size_t capacity() const { return capacity_; }
-  BufferPoolStats stats() const;
+  BufferPoolStats stats() const TENDAX_EXCLUDES(mu_);
 
  private:
-  // Requires mu_ held. Finds a reusable frame, evicting if necessary.
-  Result<Page*> GetFreeFrame();
-  // Requires mu_ held.
-  Status WriteBack(Page* page);
-  // Requires mu_ held. Moves `id` to the MRU position.
-  void Touch(PageId id);
+  // Finds a reusable frame, evicting if necessary.
+  Result<Page*> GetFreeFrame() TENDAX_REQUIRES(mu_);
+  Status WriteBack(Page* page) TENDAX_REQUIRES(mu_);
+  // Moves `id` to the MRU position.
+  void Touch(PageId id) TENDAX_REQUIRES(mu_);
 
   const size_t capacity_;
   DiskManager* const disk_;
   Wal* const wal_;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, Page*> page_table_;
-  std::list<PageId> lru_;  // front = LRU, back = MRU
-  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
-  std::vector<Page*> free_frames_;
-  BufferPoolStats stats_;
+  // Held across the write-ahead wal_->Flush in WriteBack, hence ranked
+  // before kRankWal (see util/lock_order.h).
+  mutable Mutex mu_{"bufferpool.mu", lockorder::kRankBufferPool};
+  std::vector<std::unique_ptr<Page>> frames_ TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<PageId, Page*> page_table_ TENDAX_GUARDED_BY(mu_);
+  // front = LRU, back = MRU
+  std::list<PageId> lru_ TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_
+      TENDAX_GUARDED_BY(mu_);
+  std::vector<Page*> free_frames_ TENDAX_GUARDED_BY(mu_);
+  BufferPoolStats stats_ TENDAX_GUARDED_BY(mu_);
 
   // Registry mirrors of stats_ (null without a registry). Hits are counted
   // but not timed — timing the hit path would cost more than the path

@@ -10,7 +10,7 @@
 namespace tendax {
 
 Result<PageId> InMemoryDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto page = std::make_unique<char[]>(kPageSize);
   memset(page.get(), 0, kPageSize);
   pages_.push_back(std::move(page));
@@ -18,7 +18,7 @@ Result<PageId> InMemoryDiskManager::AllocatePage() {
 }
 
 Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " beyond allocated pages");
@@ -28,7 +28,7 @@ Status InMemoryDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " beyond allocated pages");
@@ -38,7 +38,7 @@ Status InMemoryDiskManager::WritePage(PageId id, const char* data) {
 }
 
 uint32_t InMemoryDiskManager::NumPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<uint32_t>(pages_.size());
 }
 
@@ -67,7 +67,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PageId id = num_pages_;
   char zeros[kPageSize] = {0};
   ssize_t n = ::pwrite(fd_, zeros, kPageSize,
@@ -81,7 +81,7 @@ Result<PageId> FileDiskManager::AllocatePage() {
 }
 
 Status FileDiskManager::ReadPage(PageId id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= num_pages_) {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " beyond allocated pages");
@@ -94,7 +94,7 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= num_pages_) {
     return Status::OutOfRange("page id " + std::to_string(id) +
                               " beyond allocated pages");
@@ -108,7 +108,7 @@ Status FileDiskManager::WritePage(PageId id, const char* data) {
 }
 
 uint32_t FileDiskManager::NumPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_pages_;
 }
 

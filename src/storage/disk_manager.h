@@ -2,11 +2,11 @@
 #define TENDAX_STORAGE_DISK_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/page.h"
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -41,8 +41,8 @@ class InMemoryDiskManager : public DiskManager {
   Status Sync() override { return Status::OK(); }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
+  mutable Mutex mu_{"disk.mem", lockorder::kRankDisk};
+  std::vector<std::unique_ptr<char[]>> pages_ TENDAX_GUARDED_BY(mu_);
 };
 
 /// File-backed page store. The file grows as pages are allocated; page `i`
@@ -64,9 +64,9 @@ class FileDiskManager : public DiskManager {
   FileDiskManager(int fd, uint32_t num_pages)
       : fd_(fd), num_pages_(num_pages) {}
 
-  mutable std::mutex mu_;
-  int fd_;
-  uint32_t num_pages_;
+  mutable Mutex mu_{"disk.file", lockorder::kRankDisk};
+  const int fd_;  // the fd itself is stable; I/O through it is positioned
+  uint32_t num_pages_ TENDAX_GUARDED_BY(mu_);
 };
 
 }  // namespace tendax

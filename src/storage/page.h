@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 
 #include "util/coding.h"
+#include "util/mutex.h"
 
 namespace tendax {
 
@@ -73,7 +73,7 @@ class Page {
 
   /// Content latch: holders may read/modify the payload. Callers must hold
   /// a pin while latched (a pinned page is never evicted or recycled).
-  std::mutex& latch() { return latch_; }
+  Mutex& latch() TENDAX_RETURN_CAPABILITY(latch_) { return latch_; }
 
   void Reset() {
     memset(data_, 0, kPageSize);
@@ -89,7 +89,10 @@ class Page {
   PageId id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool dirty_ = false;
-  std::mutex latch_;
+  // Taken after the owning table's mutex (FindPageWithSpace) and held
+  // across WAL logging of the change (heap_table), so it ranks between
+  // kRankTable and kRankTxn. Never taken by the buffer pool itself.
+  Mutex latch_{"page.latch", lockorder::kRankPageLatch};
 };
 
 }  // namespace tendax

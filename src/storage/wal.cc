@@ -67,25 +67,25 @@ bool LogRecord::DecodeFrom(Slice input, LogRecord* out) {
 }
 
 Status InMemoryLogStorage::Append(const Slice& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffer_.append(data.data(), data.size());
   return Status::OK();
 }
 
 Status InMemoryLogStorage::ReadAll(std::string* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   *out = buffer_;
   return Status::OK();
 }
 
 Status InMemoryLogStorage::Truncate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffer_.clear();
   return Status::OK();
 }
 
 void InMemoryLogStorage::CorruptTail(size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (n < buffer_.size()) buffer_.resize(n);
 }
 
@@ -155,7 +155,9 @@ Status FileLogStorage::Truncate() {
 
 Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit,
          MetricsRegistry* metrics)
-    : storage_(std::move(storage)), gc_options_(std::move(group_commit)) {
+    : storage_(std::move(storage)),
+      gc_options_(std::move(group_commit)),
+      gc_mu_("wal.gc", lockorder::kRankWalGroup) {
   if (metrics != nullptr) {
     m_appends_ = metrics->counter("wal.appends");
     m_syncs_ = metrics->counter("wal.syncs");
@@ -169,12 +171,18 @@ Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit,
   }
   // Continue LSN numbering after any records already in the log.
   std::string buffer;
+  Lsn durable = 0;
   if (storage_->ReadAll(&buffer).ok()) {
     std::vector<LogRecord> records;
+    MutexLock lock(mu_);
     next_lsn_ = DecodeLogBuffer(buffer, &records);
     flushed_lsn_ = next_lsn_ - 1;
+    durable = flushed_lsn_;
   }
-  gc_durable_ = flushed_lsn_;
+  {
+    MutexLock lock(gc_mu_);
+    gc_durable_ = durable;
+  }
   if (gc_options_.mode == CommitFlushMode::kFlusherThread) {
     flusher_ = std::thread(&Wal::FlusherLoop, this);
   }
@@ -191,7 +199,7 @@ Result<Lsn> Wal::Append(LogRecord* rec) {
   if (gc_poisoned_.load(std::memory_order_acquire)) {
     return gc_poison_status_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rec->lsn = next_lsn_++;
   std::string payload;
   rec->EncodeTo(&payload);
@@ -205,11 +213,11 @@ Result<Lsn> Wal::Append(LogRecord* rec) {
 Status Wal::Flush(Lsn up_to) { return FlushInternal(up_to, false); }
 
 Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   for (;;) {
     if (!force_sync && up_to <= flushed_lsn_) return Status::OK();
     if (!flush_in_flight_) break;
-    flush_cv_.wait(l);
+    flush_cv_.Wait(l);
   }
   flush_in_flight_ = true;
   // Armed only after the already-durable early return above, so the
@@ -219,7 +227,7 @@ Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
   std::string batch;
   batch.swap(pending_);
   const Lsn target = next_lsn_ - 1;
-  l.unlock();
+  l.Unlock();
 
   // Storage I/O runs without mu_ so appenders keep flowing during a slow
   // fsync; flush_in_flight_ keeps the batches themselves serialized.
@@ -228,7 +236,7 @@ Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
   const bool appended = st.ok();
   if (appended) st = storage_->Sync();
 
-  l.lock();
+  l.Lock();
   if (appended) {
     // The bytes reached storage even if the Sync failed; a retry only needs
     // to Sync again, so the batch stays out of pending_.
@@ -241,14 +249,14 @@ Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
     pending_.insert(0, batch);
   }
   flush_in_flight_ = false;
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   return st;
 }
 
 Status Wal::FlushAll() {
   Lsn last;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     last = next_lsn_ - 1;
   }
   return Flush(last);
@@ -258,7 +266,7 @@ Status Wal::CommitFlush(Lsn lsn) {
   // First statement so every exit — poisoned, inline, per-commit, shutdown
   // degrade, and both group modes — records into the histogram via RAII.
   ScopedTimer commit_timer(m_commit_flush_micros_);
-  std::unique_lock<std::mutex> l(gc_mu_);
+  MutexLock l(gc_mu_);
   ++gc_stats_.commits;
   MetricAdd(m_commits_);
   if (gc_poisoned_.load(std::memory_order_relaxed)) {
@@ -266,10 +274,10 @@ Status Wal::CommitFlush(Lsn lsn) {
   }
   switch (gc_options_.mode) {
     case CommitFlushMode::kInline:
-      l.unlock();
+      l.Unlock();
       return FlushInternal(lsn, /*force_sync=*/false);
     case CommitFlushMode::kPerCommit:
-      l.unlock();
+      l.Unlock();
       return FlushInternal(lsn, /*force_sync=*/true);
     case CommitFlushMode::kLeader:
     case CommitFlushMode::kFlusherThread:
@@ -278,7 +286,7 @@ Status Wal::CommitFlush(Lsn lsn) {
   if (gc_shutdown_) {
     // Engine is closing; degrade to an inline flush rather than block on a
     // flusher that is gone.
-    l.unlock();
+    l.Unlock();
     return FlushInternal(lsn, /*force_sync=*/false);
   }
 
@@ -290,13 +298,13 @@ Status Wal::CommitFlush(Lsn lsn) {
   Status result = Status::OK();
   if (gc_options_.mode == CommitFlushMode::kFlusherThread) {
     gc_work_ = true;
-    gc_flusher_cv_.notify_one();
+    gc_flusher_cv_.NotifyOne();
     // Wake when a flush covers us — or when a flush attempt that covered us
     // fails, in which case its error fans out to the whole batch.
-    gc_waiter_cv_.wait(l, [&] {
-      return gc_durable_ >= lsn ||
-             (gc_fail_gen_ > start_gen && gc_fail_target_ >= lsn);
-    });
+    while (!(gc_durable_ >= lsn ||
+             (gc_fail_gen_ > start_gen && gc_fail_target_ >= lsn))) {
+      gc_waiter_cv_.Wait(l);
+    }
     if (gc_fail_gen_ > start_gen && gc_fail_target_ >= lsn) {
       // A shared flush attempt that covered this commit failed. Take the
       // error even if a later attempt made the bytes durable (the flusher
@@ -324,34 +332,36 @@ Status Wal::CommitFlush(Lsn lsn) {
         gc_flush_active_ = false;
         // Loop to evaluate our own fate against the published outcome.
       } else {
-        gc_waiter_cv_.wait(l);
+        gc_waiter_cv_.Wait(l);
       }
     }
   }
   --gc_waiters_;
-  if (gc_waiters_ == 0) gc_flusher_cv_.notify_all();
+  if (gc_waiters_ == 0) gc_flusher_cv_.NotifyAll();
   return result;
 }
 
-void Wal::GroupFlushLocked(std::unique_lock<std::mutex>& l) {
+// REQUIRES(gc_mu_) is enforced at call sites; the body's unlock/relock of
+// the caller-held lock is opted out of the static analysis (see wal.h).
+void Wal::GroupFlushLocked(MutexLock& l) TENDAX_NO_THREAD_SAFETY_ANALYSIS {
   const uint64_t index = ++gc_flush_seq_;
   GroupCommitHooks* hooks = gc_options_.hooks.get();
   if (hooks != nullptr) {
     const size_t announced_waiters = gc_waiters_;
     const Lsn announced_target = gc_max_requested_;
-    l.unlock();  // the hook may block (it is the test pause gate)
+    l.Unlock();  // the hook may block (it is the test pause gate)
     hooks->OnGroupFlushStart(index, announced_waiters, announced_target);
-    l.lock();
+    l.Lock();
   }
   // Snapshot after the hook gate so commits that piled up while a test held
   // the flusher paused belong to this attempt's outcome (success or error).
   const Lsn target = gc_max_requested_;
   const size_t batch = gc_waiters_;
-  l.unlock();
+  l.Unlock();
   Status st = FlushInternal(target, /*force_sync=*/false);
   if (hooks != nullptr) hooks->OnGroupFlushEnd(index, st);
   const Lsn durable = flushed_lsn();
-  l.lock();
+  l.Lock();
   ++gc_gen_;
   ++gc_stats_.group_flushes;
   if (batch > gc_stats_.max_batch) gc_stats_.max_batch = batch;
@@ -384,20 +394,20 @@ void Wal::GroupFlushLocked(std::unique_lock<std::mutex>& l) {
       }
     }
   }
-  gc_waiter_cv_.notify_all();
+  gc_waiter_cv_.NotifyAll();
 }
 
 void Wal::FlusherLoop() {
-  std::unique_lock<std::mutex> l(gc_mu_);
+  MutexLock l(gc_mu_);
   for (;;) {
-    gc_flusher_cv_.wait(l, [&] { return gc_shutdown_ || gc_work_; });
+    while (!(gc_shutdown_ || gc_work_)) gc_flusher_cv_.Wait(l);
     if (gc_shutdown_) {
       // Drain: every remaining waiter gets an outcome (durable or the
       // fanned-out flush error) before the thread exits.
       while (gc_waiters_ > 0) {
         gc_work_ = false;
         GroupFlushLocked(l);
-        gc_flusher_cv_.wait(l, [&] { return gc_waiters_ == 0 || gc_work_; });
+        while (!(gc_waiters_ == 0 || gc_work_)) gc_flusher_cv_.Wait(l);
       }
       return;
     }
@@ -405,9 +415,15 @@ void Wal::FlusherLoop() {
     // paying the fsync, unless the batch is already full.
     if (gc_options_.flush_interval.count() > 0 &&
         gc_waiters_ < gc_options_.max_batch_waiters) {
-      gc_flusher_cv_.wait_for(l, gc_options_.flush_interval, [&] {
-        return gc_shutdown_ || gc_waiters_ >= gc_options_.max_batch_waiters;
-      });
+      const auto deadline =
+          std::chrono::steady_clock::now() + gc_options_.flush_interval;
+      while (!(gc_shutdown_ ||
+               gc_waiters_ >= gc_options_.max_batch_waiters)) {
+        if (gc_flusher_cv_.WaitUntil(l, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     gc_work_ = false;
     if (gc_waiters_ > 0) GroupFlushLocked(l);
@@ -416,15 +432,15 @@ void Wal::FlusherLoop() {
 
 void Wal::Shutdown() {
   {
-    std::lock_guard<std::mutex> l(gc_mu_);
+    MutexLock l(gc_mu_);
     gc_shutdown_ = true;
   }
-  gc_flusher_cv_.notify_all();
+  gc_flusher_cv_.NotifyAll();
   if (flusher_.joinable()) flusher_.join();
 }
 
 Status Wal::poison_status() const {
-  std::lock_guard<std::mutex> l(gc_mu_);
+  MutexLock l(gc_mu_);
   return gc_poisoned_.load(std::memory_order_relaxed) ? gc_poison_status_
                                                       : Status::OK();
 }
@@ -432,21 +448,21 @@ Status Wal::poison_status() const {
 WalGroupCommitStats Wal::group_commit_stats() const {
   WalGroupCommitStats out;
   {
-    std::lock_guard<std::mutex> l(gc_mu_);
+    MutexLock l(gc_mu_);
     out = gc_stats_;
   }
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   out.syncs = syncs_issued_;
   return out;
 }
 
 Lsn Wal::next_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_;
 }
 
 Lsn Wal::flushed_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return flushed_lsn_;
 }
 
@@ -459,10 +475,10 @@ Status Wal::ReadAll(std::vector<LogRecord>* out) {
 }
 
 Status Wal::Reset() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // An in-flight flush would append its batch after the truncate; wait it
   // out so the log restarts empty.
-  flush_cv_.wait(lock, [&] { return !flush_in_flight_; });
+  while (flush_in_flight_) flush_cv_.Wait(lock);
   pending_.clear();
   TENDAX_RETURN_IF_ERROR(storage_->Truncate());
   flushed_lsn_ = next_lsn_ - 1;

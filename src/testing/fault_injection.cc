@@ -50,6 +50,8 @@ Status FaultInjectingDiskManager::WritePage(PageId id, const char* data) {
       Status st = inner_->ReadPage(id, merged);
       if (!st.ok()) return st;
       memcpy(merged, data, d.keep_bytes);
+      // The caller sees the injected crash regardless of whether the torn
+      // image landed — exactly like real power loss mid-write.
       (void)inner_->WritePage(id, merged);
       return Injected(IoOp::kWritePage, d);
     }
@@ -74,7 +76,8 @@ Status FaultInjectingLogStorage::Append(const Slice& data) {
     case FaultAction::kFail:
       return Injected(IoOp::kLogAppend, d);
     case FaultAction::kTear:
-      // Torn tail: only a prefix of the record bytes reaches the log.
+      // Torn tail: only a prefix of the record bytes reaches the log. The
+      // injected crash masks the inner status, as real power loss would.
       (void)inner_->Append(Slice(data.data(), d.keep_bytes));
       return Injected(IoOp::kLogAppend, d);
     case FaultAction::kCrashed:

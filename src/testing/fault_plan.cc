@@ -25,32 +25,32 @@ const char* IoOpName(IoOp op) {
 }
 
 void FaultPlan::FailOp(uint64_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   by_op_[index] = Spec{FaultAction::kFail, 0};
 }
 
 void FaultPlan::CrashAtOp(uint64_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   by_op_[index] = Spec{FaultAction::kCrashed, 0};
 }
 
 void FaultPlan::TearNthLogAppend(uint64_t n, size_t keep_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   by_append_[n] = Spec{FaultAction::kTear, keep_bytes};
 }
 
 void FaultPlan::TearNthPageWrite(uint64_t n, size_t keep_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   by_page_write_[n] = Spec{FaultAction::kTear, keep_bytes};
 }
 
 void FaultPlan::FailNthSync(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   by_sync_[n] = Spec{FaultAction::kFail, 0};
 }
 
 FaultDecision FaultPlan::OnIo(IoOp op, size_t data_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FaultDecision decision;
   decision.op_index = ++ops_;
 
@@ -109,38 +109,38 @@ FaultDecision FaultPlan::OnIo(IoOp op, size_t data_size) {
 }
 
 void FaultPlan::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_ = false;
   crashed_ = false;
 }
 
 bool FaultPlan::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return crashed_;
 }
 
 uint64_t FaultPlan::ops_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ops_;
 }
 
 uint64_t FaultPlan::appends_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return appends_;
 }
 
 uint64_t FaultPlan::page_writes_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return page_writes_;
 }
 
 uint64_t FaultPlan::syncs_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return syncs_;
 }
 
 std::string FaultPlan::Describe() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "FaultPlan{seed=" + std::to_string(seed_);
   auto add = [&out](const char* what, const std::map<uint64_t, Spec>& m) {
     for (const auto& [idx, spec] : m) {

@@ -4,9 +4,9 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.h"
 #include "util/random.h"
 
 namespace tendax {
@@ -124,19 +124,27 @@ class FaultPlan {
 
   const uint64_t seed_;
 
-  mutable std::mutex mu_;
-  Random rng_;
-  bool armed_ = true;
-  bool crashed_ = false;
-  uint64_t ops_ = 0;
-  uint64_t appends_ = 0;
-  uint64_t page_writes_ = 0;
-  uint64_t syncs_ = 0;
-  std::map<uint64_t, Spec> by_op_;          // global op index -> fault
-  std::map<uint64_t, Spec> by_append_;      // nth log append -> fault
-  std::map<uint64_t, Spec> by_page_write_;  // nth page write -> fault
-  std::map<uint64_t, Spec> by_sync_;        // nth sync -> fault
-  std::string triggered_;                   // description of fired faults
+  // OnIo is called by the wrappers before forwarding to the inner backend,
+  // possibly while a WAL or disk lock is held — the plan lock protects its
+  // own counters only and is never held across anything, hence leaf rank.
+  mutable Mutex mu_{"faultplan.mu", lockorder::kRankLeaf};
+  Random rng_ TENDAX_GUARDED_BY(mu_);
+  bool armed_ TENDAX_GUARDED_BY(mu_) = true;
+  bool crashed_ TENDAX_GUARDED_BY(mu_) = false;
+  uint64_t ops_ TENDAX_GUARDED_BY(mu_) = 0;
+  uint64_t appends_ TENDAX_GUARDED_BY(mu_) = 0;
+  uint64_t page_writes_ TENDAX_GUARDED_BY(mu_) = 0;
+  uint64_t syncs_ TENDAX_GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, Spec> by_op_
+      TENDAX_GUARDED_BY(mu_);  // global op index -> fault
+  std::map<uint64_t, Spec> by_append_
+      TENDAX_GUARDED_BY(mu_);  // nth log append -> fault
+  std::map<uint64_t, Spec> by_page_write_
+      TENDAX_GUARDED_BY(mu_);  // nth page write -> fault
+  std::map<uint64_t, Spec> by_sync_
+      TENDAX_GUARDED_BY(mu_);  // nth sync -> fault
+  std::string triggered_
+      TENDAX_GUARDED_BY(mu_);  // description of fired faults
 };
 
 }  // namespace tendax

@@ -5,50 +5,50 @@
 namespace tendax {
 
 void ScheduleController::PauseAtFlush(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pause_at_.insert(n);
 }
 
 uint64_t ScheduleController::PickFlush(uint64_t lo, uint64_t hi) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (hi <= lo) return lo;
   return lo + rng_.Uniform(hi - lo + 1);
 }
 
 bool ScheduleController::WaitUntilPaused(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, timeout, [&] { return paused_; });
+  MutexLock lock(mu_);
+  return cv_.WaitFor(lock, timeout, [&] { return paused_; });
 }
 
 bool ScheduleController::WaitForWaiters(size_t k,
                                         std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, timeout, [&] { return waiters_now_ >= k; });
+  MutexLock lock(mu_);
+  return cv_.WaitFor(lock, timeout, [&] { return waiters_now_ >= k; });
 }
 
 void ScheduleController::ReleaseFlush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (started_ > released_through_) released_through_ = started_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 uint64_t ScheduleController::flushes_started() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return started_;
 }
 
 uint64_t ScheduleController::flushes_finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return finished_;
 }
 
 size_t ScheduleController::max_waiters_seen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_waiters_;
 }
 
 std::string ScheduleController::Describe() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "ScheduleController{seed=" << seed_ << ", flushes=" << finished_
       << "/" << started_ << ", max_waiters=" << max_waiters_;
@@ -66,25 +66,25 @@ std::string ScheduleController::Describe() const {
 
 void ScheduleController::OnCommitEnqueued(size_t waiters, Lsn lsn) {
   (void)lsn;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // `waiters` is the live group size at enqueue time. Committers leaving
   // after a flush are not observed, so this is only exact while the gate is
   // closed — which is exactly when WaitForWaiters is used.
   waiters_now_ = waiters;
   if (waiters > max_waiters_) max_waiters_ = waiters;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ScheduleController::OnGroupFlushStart(uint64_t flush_index,
                                            size_t waiters, Lsn target) {
   (void)waiters;
   (void)target;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   started_ = flush_index;
   if (pause_at_.count(flush_index) != 0 && released_through_ < flush_index) {
     paused_ = true;
-    cv_.notify_all();
-    cv_.wait(lock, [&] { return released_through_ >= flush_index; });
+    cv_.NotifyAll();
+    cv_.Wait(lock, [&] { return released_through_ >= flush_index; });
     paused_ = false;
   }
 }
@@ -92,10 +92,10 @@ void ScheduleController::OnGroupFlushStart(uint64_t flush_index,
 void ScheduleController::OnGroupFlushEnd(uint64_t flush_index,
                                          const Status& status) {
   (void)status;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   finished_ = flush_index;
   waiters_now_ = 0;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace tendax

@@ -2,13 +2,12 @@
 #define TENDAX_TESTING_SCHEDULE_CONTROLLER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <string>
 
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/random.h"
 
 namespace tendax {
@@ -86,16 +85,22 @@ class ScheduleController : public GroupCommitHooks {
  private:
   const uint64_t seed_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  Random rng_;
-  std::set<uint64_t> pause_at_;  // flush indices with a closed gate
-  bool paused_ = false;          // flusher is parked at a gate right now
-  uint64_t released_through_ = 0;  // gates at or below this index are open
-  uint64_t started_ = 0;
-  uint64_t finished_ = 0;
-  size_t waiters_now_ = 0;
-  size_t max_waiters_ = 0;
+  // The flush hooks run on WAL threads that may hold group-commit state;
+  // this lock guards only the gate bookkeeping (the parked flusher waits on
+  // cv_ holding nothing else), hence leaf rank.
+  mutable Mutex mu_{"schedule.mu", lockorder::kRankLeaf};
+  CondVar cv_;
+  Random rng_ TENDAX_GUARDED_BY(mu_);
+  std::set<uint64_t> pause_at_
+      TENDAX_GUARDED_BY(mu_);  // flush indices with a closed gate
+  bool paused_ TENDAX_GUARDED_BY(mu_) =
+      false;  // flusher is parked at a gate right now
+  uint64_t released_through_ TENDAX_GUARDED_BY(mu_) =
+      0;  // gates at or below this index are open
+  uint64_t started_ TENDAX_GUARDED_BY(mu_) = 0;
+  uint64_t finished_ TENDAX_GUARDED_BY(mu_) = 0;
+  size_t waiters_now_ TENDAX_GUARDED_BY(mu_) = 0;
+  size_t max_waiters_ TENDAX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tendax

@@ -169,12 +169,12 @@ Result<std::shared_ptr<TextStore::DocHandle>> TextStore::Handle(
     DocumentId doc) {
   std::shared_ptr<DocHandle> handle;
   {
-    std::lock_guard<std::mutex> lock(handles_mu_);
+    MutexLock lock(handles_mu_);
     auto& slot = handles_[doc.value];
     if (!slot) slot = std::make_shared<DocHandle>();
     handle = slot;
   }
-  std::lock_guard<std::mutex> lock(handle->mu);
+  MutexLock lock(handle->mu);
   if (!handle->loaded) {
     TENDAX_RETURN_IF_ERROR(LoadHandle(handle.get(), doc));
   }
@@ -229,7 +229,7 @@ Status TextStore::LoadHandle(DocHandle* handle, DocumentId doc) {
 }
 
 void TextStore::InvalidateHandle(DocumentId doc) {
-  std::lock_guard<std::mutex> lock(handles_mu_);
+  MutexLock lock(handles_mu_);
   handles_.erase(doc.value);
 }
 
@@ -301,7 +301,7 @@ Result<EditResult> TextStore::RunEdit(UserId user, DocumentId doc,
     TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
         txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
         LockMode::kX));
-    std::lock_guard<std::mutex> lock(h->mu);
+    MutexLock lock(h->mu);
     if (!h->loaded) {
       TENDAX_RETURN_IF_ERROR(LoadHandle(h, doc));
     }
@@ -440,7 +440,7 @@ Result<std::vector<PasteChar>> TextStore::Copy(UserId user, DocumentId doc,
     TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
         txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
         LockMode::kS));
-    std::lock_guard<std::mutex> lock(h->mu);
+    MutexLock lock(h->mu);
     if (!h->loaded) TENDAX_RETURN_IF_ERROR(LoadHandle(h, doc));
     if (pos + len > h->list.size()) {
       return Status::OutOfRange("copy range beyond document length");
@@ -552,7 +552,7 @@ Result<EditResult> TextStore::ResurrectChars(UserId user, DocumentId doc,
 Result<std::string> TextStore::Text(DocumentId doc) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
-  std::lock_guard<std::mutex> lock((*handle)->mu);
+  MutexLock lock((*handle)->mu);
   return (*handle)->list.Text();
 }
 
@@ -560,7 +560,7 @@ Result<std::string> TextStore::TextRange(DocumentId doc, size_t pos,
                                          size_t len) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
-  std::lock_guard<std::mutex> lock((*handle)->mu);
+  MutexLock lock((*handle)->mu);
   if (pos + len > (*handle)->list.size()) {
     return Status::OutOfRange("text range beyond document length");
   }
@@ -572,7 +572,7 @@ Result<std::string> TextStore::TextAtVersion(DocumentId doc,
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
-  std::lock_guard<std::mutex> lock(h->mu);
+  MutexLock lock(h->mu);
   std::string out;
   uint64_t current = h->head;
   while (current != 0) {
@@ -591,14 +591,14 @@ Result<std::string> TextStore::TextAtVersion(DocumentId doc,
 Result<uint64_t> TextStore::Length(DocumentId doc) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
-  std::lock_guard<std::mutex> lock((*handle)->mu);
+  MutexLock lock((*handle)->mu);
   return static_cast<uint64_t>((*handle)->list.size());
 }
 
 Result<Version> TextStore::CurrentVersion(DocumentId doc) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
-  std::lock_guard<std::mutex> lock((*handle)->mu);
+  MutexLock lock((*handle)->mu);
   return (*handle)->version;
 }
 
@@ -606,7 +606,7 @@ Result<CharInfo> TextStore::CharAt(DocumentId doc, size_t pos) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
-  std::lock_guard<std::mutex> lock(h->mu);
+  MutexLock lock(h->mu);
   if (pos >= h->list.size()) {
     return Status::OutOfRange("position beyond document length");
   }
@@ -619,7 +619,7 @@ Result<CharInfo> TextStore::GetChar(DocumentId doc, CharId id) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
-  std::lock_guard<std::mutex> lock(h->mu);
+  MutexLock lock(h->mu);
   auto rec = ReadCharRecord(h, id.value);
   if (!rec.ok()) return rec.status();
   return CharInfoFromRecord(*rec);
@@ -630,7 +630,7 @@ Result<std::vector<CharInfo>> TextStore::RangeInfo(DocumentId doc, size_t pos,
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
-  std::lock_guard<std::mutex> lock(h->mu);
+  MutexLock lock(h->mu);
   if (pos + len > h->list.size()) {
     return Status::OutOfRange("range beyond document length");
   }
@@ -648,7 +648,7 @@ Result<std::vector<CharInfo>> TextStore::FullChain(DocumentId doc) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
-  std::lock_guard<std::mutex> lock(h->mu);
+  MutexLock lock(h->mu);
   std::vector<CharInfo> out;
   uint64_t current = h->head;
   while (current != 0) {
@@ -734,7 +734,7 @@ Result<DocumentInfo> TextStore::GetDocumentInfo(DocumentId doc) {
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
-  std::lock_guard<std::mutex> lock(h->mu);
+  MutexLock lock(h->mu);
   DocumentInfo info;
   info.id = h->id;
   info.name = h->name;
@@ -763,6 +763,8 @@ Result<DocumentId> TextStore::FindDocumentByName(const std::string& name) {
 
 std::vector<DocumentId> TextStore::ListDocuments() {
   std::vector<DocumentId> out;
+  // A partial scan yields a partial listing; the signature has no error
+  // channel and callers treat the result as a best-effort directory.
   (void)docs_table_->Scan([&](RecordId, const Record& rec) {
     out.push_back(DocumentId(rec.GetUint(kDcId)));
     return true;

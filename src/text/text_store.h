@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "db/database.h"
 #include "text/char_list.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -153,45 +153,57 @@ class TextStore {
   Result<uint64_t> PurgeHistory(UserId user, DocumentId doc, Version before);
 
   /// Drops the in-memory cache for `doc` (it reloads on next access).
-  void InvalidateHandle(DocumentId doc);
+  void InvalidateHandle(DocumentId doc) TENDAX_EXCLUDES(handles_mu_);
 
   Database* db() { return db_; }
 
  private:
   struct DocHandle {
-    std::mutex mu;
-    bool loaded = false;
-    RecordId doc_rid;
-    DocumentId id;
-    std::string name;
-    UserId creator;
-    Timestamp created = 0;
-    std::string state;
-    Version version = 0;
-    uint64_t head = 0;  // physical first char id (may be a tombstone)
-    uint64_t tail = 0;
-    CharList list;                                   // live chars in order
-    std::unordered_map<uint64_t, RecordId> char_rids;  // all chars
+    // Outer lock of the edit path (rank kRankDocument): held across the
+    // whole editing transaction — heap tables, indexes, txn manager, WAL
+    // all rank higher. Instances are peers; cross-document nesting (e.g. a
+    // paste reading its copy source) generates no lock-order edge.
+    Mutex mu{"textstore.doc", lockorder::kRankDocument};
+    bool loaded TENDAX_GUARDED_BY(mu) = false;
+    RecordId doc_rid TENDAX_GUARDED_BY(mu);
+    DocumentId id TENDAX_GUARDED_BY(mu);
+    std::string name TENDAX_GUARDED_BY(mu);
+    UserId creator TENDAX_GUARDED_BY(mu);
+    Timestamp created TENDAX_GUARDED_BY(mu) = 0;
+    std::string state TENDAX_GUARDED_BY(mu);
+    Version version TENDAX_GUARDED_BY(mu) = 0;
+    // head/tail: physical first/last char id (may be tombstones).
+    uint64_t head TENDAX_GUARDED_BY(mu) = 0;
+    uint64_t tail TENDAX_GUARDED_BY(mu) = 0;
+    CharList list TENDAX_GUARDED_BY(mu);  // live chars in order
+    std::unordered_map<uint64_t, RecordId> char_rids
+        TENDAX_GUARDED_BY(mu);  // all chars
   };
 
   using EditBody =
       std::function<Status(Transaction*, DocHandle*, EditResult*)>;
 
-  Result<std::shared_ptr<DocHandle>> Handle(DocumentId doc);
-  Status LoadHandle(DocHandle* handle, DocumentId doc);
+  Result<std::shared_ptr<DocHandle>> Handle(DocumentId doc)
+      TENDAX_EXCLUDES(handles_mu_);
+  Status LoadHandle(DocHandle* handle, DocumentId doc)
+      TENDAX_REQUIRES(handle->mu);
   /// Runs `body` inside a transaction holding the document's X lock, with
   /// the handle's mutex held; bumps the document version and emits `event`.
   Result<EditResult> RunEdit(UserId user, DocumentId doc, ChangeKind kind,
                              const EditBody& body);
 
-  Result<Record> ReadCharRecord(DocHandle* handle, uint64_t char_id);
+  Result<Record> ReadCharRecord(DocHandle* handle, uint64_t char_id)
+      TENDAX_REQUIRES(handle->mu);
   Status UpdateCharRecord(Transaction* txn, DocHandle* handle,
-                          uint64_t char_id, const Record& record);
-  Status WriteDocRecord(Transaction* txn, DocHandle* handle);
+                          uint64_t char_id, const Record& record)
+      TENDAX_REQUIRES(handle->mu);
+  Status WriteDocRecord(Transaction* txn, DocHandle* handle)
+      TENDAX_REQUIRES(handle->mu);
   /// Core insertion: links `chars` after the live character at pos-1.
   Status InsertCharsAt(Transaction* txn, DocHandle* handle, UserId user,
                        size_t pos, const std::vector<PasteChar>& chars,
-                       Version new_version, EditResult* result);
+                       Version new_version, EditResult* result)
+      TENDAX_REQUIRES(handle->mu);
 
   Database* const db_;
   HeapTable* chars_table_ = nullptr;
@@ -199,8 +211,10 @@ class TextStore {
   BPlusTree* char_index_ = nullptr;  // char_id -> rid
   BPlusTree* doc_index_ = nullptr;   // doc_id -> rid
 
-  std::mutex handles_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<DocHandle>> handles_;
+  // Registry of handles only; always released before a handle's own mu.
+  Mutex handles_mu_{"textstore.handles", lockorder::kRankDocument};
+  std::unordered_map<uint64_t, std::shared_ptr<DocHandle>> handles_
+      TENDAX_GUARDED_BY(handles_mu_);
 
   std::atomic<uint64_t> next_char_id_{1};
   std::atomic<uint64_t> next_doc_id_{1};

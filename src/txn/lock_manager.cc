@@ -53,7 +53,7 @@ LockMode LockSupremum(LockMode a, LockMode b) {
 }
 
 Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ResourceState& state = resources_[resource];
 
   // Upgrade path: merge with any mode this transaction already holds.
@@ -98,7 +98,7 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
       MetricAdd(m_waits_);
       wait_timer.emplace(m_wait_micros_);
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
         !Grantable(state, txn, target)) {
       ++stats_.timeouts;
       MetricAdd(m_timeouts_);
@@ -129,7 +129,7 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = held_by_txn_.find(txn.value);
   if (it != held_by_txn_.end()) {
     for (uint64_t resource : it->second) {
@@ -146,11 +146,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     held_by_txn_.erase(it);
   }
   wait_for_.erase(txn.value);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t LockManager::LockedResourceCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [res, state] : resources_) {
     if (!state.grants.empty()) ++n;
@@ -159,7 +159,7 @@ size_t LockManager::LockedResourceCount() const {
 }
 
 LockManagerStats LockManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -2,16 +2,15 @@
 #define TENDAX_TXN_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace tendax {
@@ -75,15 +74,16 @@ class LockManager {
 
   /// Acquires (or upgrades to) `mode` on `resource` for `txn`. Blocks while
   /// incompatible locks are held by other transactions.
-  Status Acquire(TxnId txn, uint64_t resource, LockMode mode);
+  Status Acquire(TxnId txn, uint64_t resource, LockMode mode)
+      TENDAX_EXCLUDES(mu_);
 
   /// Releases every lock held by `txn` and wakes waiters.
-  void ReleaseAll(TxnId txn);
+  void ReleaseAll(TxnId txn) TENDAX_EXCLUDES(mu_);
 
   /// Number of distinct resources currently locked (for tests).
-  size_t LockedResourceCount() const;
+  size_t LockedResourceCount() const TENDAX_EXCLUDES(mu_);
 
-  LockManagerStats stats() const;
+  LockManagerStats stats() const TENDAX_EXCLUDES(mu_);
 
  private:
   struct Grant {
@@ -102,18 +102,25 @@ class LockManager {
   static std::vector<TxnId> Blockers(const ResourceState& state, TxnId txn,
                                      LockMode mode);
 
-  // Requires mu_ held: does adding edges waiter->blockers close a cycle?
-  bool WouldDeadlock(TxnId waiter, const std::vector<TxnId>& blockers) const;
+  // Does adding edges waiter->blockers close a cycle? (Grantable/Blockers
+  // above also require mu_, but static members cannot name it in an
+  // attribute — callers hold it through Acquire.)
+  bool WouldDeadlock(TxnId waiter, const std::vector<TxnId>& blockers) const
+      TENDAX_REQUIRES(mu_);
 
   const std::chrono::milliseconds timeout_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<uint64_t, ResourceState> resources_;
-  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> held_by_txn_;
+  // Leaf of the txn layer: held across nothing but metrics updates.
+  mutable Mutex mu_{"lockmgr.mu", lockorder::kRankLock};
+  CondVar cv_;
+  std::unordered_map<uint64_t, ResourceState> resources_
+      TENDAX_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> held_by_txn_
+      TENDAX_GUARDED_BY(mu_);
   // wait-for graph: txn -> set of txns it is waiting on
-  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> wait_for_;
-  LockManagerStats stats_;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> wait_for_
+      TENDAX_GUARDED_BY(mu_);
+  LockManagerStats stats_ TENDAX_GUARDED_BY(mu_);
 
   // Registry mirrors of stats_ (null without a registry).
   Counter* m_acquisitions_ = nullptr;

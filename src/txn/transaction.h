@@ -55,7 +55,9 @@ class Transaction {
 
   /// Registers compensation for a non-logged side effect (e.g. an in-memory
   /// index entry). Actions run in reverse order if the transaction aborts;
-  /// they are discarded on commit.
+  /// they are discarded on commit. Actions are best-effort by contract —
+  /// the abort path has no way to surface their status, which is why the
+  /// registering lambdas `(void)`-discard the inner Status.
   void AddRollbackAction(std::function<void()> fn) {
     rollback_actions_.push_back(std::move(fn));
   }

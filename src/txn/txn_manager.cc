@@ -27,7 +27,7 @@ Transaction* TxnManager::Begin(UserId user) {
     if (lsn.ok()) raw->set_prev_lsn(*lsn);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     active_[id.value] = std::move(txn);
     ++stats_.begun;
     MetricAdd(m_begun_);
@@ -48,6 +48,8 @@ Status TxnManager::Commit(Transaction* txn) {
     rec.prev_lsn = txn->prev_lsn();
     auto lsn = wal_->Append(&rec);
     if (!lsn.ok()) {
+      // The append failure is what the caller must see; the rollback's own
+      // status (best-effort on a failing log) would only mask it.
       (void)Abort(txn);
       return lsn.status();
     }
@@ -75,7 +77,7 @@ Status TxnManager::Commit(Transaction* txn) {
           // whatever the log retained. Finalize without undo so no locks
           // or transaction slots leak.
           Finalize(txn, TxnState::kAborted);
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(mu_);
           ++stats_.aborted;
           MetricAdd(m_aborted_);
           return flushed;
@@ -99,7 +101,7 @@ Status TxnManager::Commit(Transaction* txn) {
 
   std::vector<CommitListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.committed;
     MetricAdd(m_committed_);
     listeners = listeners_;
@@ -181,7 +183,7 @@ Status TxnManager::Abort(Transaction* txn) {
   }
   Finalize(txn, TxnState::kAborted);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.aborted;
     MetricAdd(m_aborted_);
   }
@@ -209,7 +211,7 @@ Status TxnManager::RunInTxn(UserId user,
 }
 
 void TxnManager::AddCommitListener(CommitListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   listeners_.push_back(std::move(listener));
 }
 
@@ -238,19 +240,19 @@ Result<Lsn> TxnManager::LogUpdate(Transaction* txn, UpdateOp op,
 }
 
 size_t TxnManager::ActiveCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_.size();
 }
 
 TxnManagerStats TxnManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void TxnManager::Finalize(Transaction* txn, TxnState state) {
   txn->state_ = state;
   locks_->ReleaseAll(txn->id());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_.erase(txn->id().value);  // destroys *txn
 }
 

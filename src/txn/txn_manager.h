@@ -4,7 +4,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -77,8 +77,8 @@ class TxnManager {
   Result<Lsn> LogUpdate(Transaction* txn, UpdateOp op, uint64_t table_id,
                         uint64_t rid, std::string before, std::string after);
 
-  size_t ActiveCount() const;
-  TxnManagerStats stats() const;
+  size_t ActiveCount() const TENDAX_EXCLUDES(mu_);
+  TxnManagerStats stats() const TENDAX_EXCLUDES(mu_);
   LockManager* lock_manager() { return locks_; }
   Clock* clock() { return clock_; }
   Wal* wal() { return wal_; }
@@ -93,10 +93,13 @@ class TxnManager {
   ChangeApplier* applier_ = nullptr;
 
   std::atomic<uint64_t> next_txn_id_{1};
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Transaction>> active_;
-  std::vector<CommitListener> listeners_;
-  TxnManagerStats stats_;
+  // Registry bookkeeping only: never held across wal_ / locks_ / listener
+  // calls (listeners run on a copy taken under the lock).
+  mutable Mutex mu_{"txnmgr.mu", lockorder::kRankTxn};
+  std::unordered_map<uint64_t, std::unique_ptr<Transaction>> active_
+      TENDAX_GUARDED_BY(mu_);
+  std::vector<CommitListener> listeners_ TENDAX_GUARDED_BY(mu_);
+  TxnManagerStats stats_ TENDAX_GUARDED_BY(mu_);
 
   // Registry mirrors of stats_ (null without a registry).
   Counter* m_begun_ = nullptr;

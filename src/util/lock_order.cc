@@ -1,0 +1,335 @@
+#include "util/lock_order.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace tendax {
+namespace lockorder {
+
+struct MutexNode {
+  std::string name;
+  int rank = kUnranked;
+  // Acquired-after successors: succ contains B iff some thread acquired B
+  // while this node was its innermost tracked hold. Guarded by State().mu.
+  std::unordered_set<const MutexNode*> succ;
+};
+
+namespace {
+
+struct GlobalState {
+  std::mutex mu;  // guards nodes' succ sets, handler, last violation
+  std::unordered_map<std::string, std::unique_ptr<MutexNode>> nodes;
+  Handler handler;
+  Violation last;
+};
+
+// Leaked on purpose: mutexes (and threads holding them) may outlive every
+// static destructor, so the validator state must never be torn down.
+GlobalState& State() {
+  static GlobalState* s = new GlobalState();
+  return *s;
+}
+
+#if defined(TENDAX_LOCK_ORDER)
+std::atomic<bool> g_abort{true};
+#else
+std::atomic<bool> g_abort{false};
+#endif
+std::atomic<bool> g_has_violation{false};
+std::atomic<uint64_t> g_tracked{0};
+std::atomic<uint64_t> g_edges{0};
+std::atomic<uint64_t> g_rank_inversions{0};
+std::atomic<uint64_t> g_cycles{0};
+std::atomic<uint64_t> g_self_deadlocks{0};
+
+struct Held {
+  const MutexNode* node;
+  const void* instance;
+};
+thread_local std::vector<Held> t_held;
+
+std::string DescribeNode(const MutexNode* n) {
+  if (n->rank == kUnranked) return n->name;
+  std::ostringstream os;
+  os << n->name << " (rank " << n->rank << ")";
+  return os.str();
+}
+
+std::string DescribeHeldStack() {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < t_held.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << DescribeNode(t_held[i].node);
+  }
+  os << "]";
+  return os.str();
+}
+
+void FillHeldStack(Violation* v) {
+  v->held_stack.reserve(t_held.size());
+  for (const Held& h : t_held) v->held_stack.push_back(h.node->name);
+}
+
+// Routes a completed violation to the configured sink. Runs with no
+// lockorder lock held so handlers may take tracked mutexes.
+void Dispatch(Violation v) {
+  switch (v.kind) {
+    case Violation::Kind::kRankInversion:
+      g_rank_inversions.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Violation::Kind::kCycle:
+      g_cycles.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Violation::Kind::kSelfDeadlock:
+      g_self_deadlocks.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  g_has_violation.store(true, std::memory_order_release);
+
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> l(State().mu);
+    State().last = v;
+    handler = State().handler;
+  }
+  if (handler) {
+    handler(v);
+    return;
+  }
+  std::fprintf(stderr, "tendax: %s\n", v.message.c_str());
+  if (g_abort.load(std::memory_order_relaxed)) std::abort();
+}
+
+// Requires State().mu held: is `to` reachable from `from` along succ edges?
+// Fills `path` with the node sequence from -> ... -> to when found.
+bool FindPath(const MutexNode* from, const MutexNode* to,
+              std::vector<const MutexNode*>* path) {
+  if (from == to) {
+    path->push_back(from);
+    return true;
+  }
+  std::unordered_set<const MutexNode*> visited;
+  std::vector<const MutexNode*> frontier{from};
+  std::unordered_map<const MutexNode*, const MutexNode*> parent;
+  visited.insert(from);
+  while (!frontier.empty()) {
+    const MutexNode* cur = frontier.back();
+    frontier.pop_back();
+    for (const MutexNode* next : cur->succ) {
+      if (!visited.insert(next).second) continue;
+      parent[next] = cur;
+      if (next == to) {
+        std::vector<const MutexNode*> rev{to};
+        for (const MutexNode* p = cur; p != nullptr;
+             p = (p == from) ? nullptr : parent[p]) {
+          rev.push_back(p);
+        }
+        path->assign(rev.rbegin(), rev.rend());
+        return true;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SetAbortOnViolation(bool abort_on_violation) {
+  g_abort.store(abort_on_violation, std::memory_order_relaxed);
+}
+
+void SetViolationHandler(Handler handler) {
+  std::lock_guard<std::mutex> l(State().mu);
+  State().handler = std::move(handler);
+}
+
+Stats GetStats() {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> l(State().mu);
+    s.registered = State().nodes.size();
+  }
+  s.tracked_acquires = g_tracked.load(std::memory_order_relaxed);
+  s.edges = g_edges.load(std::memory_order_relaxed);
+  s.rank_inversions = g_rank_inversions.load(std::memory_order_relaxed);
+  s.cycles = g_cycles.load(std::memory_order_relaxed);
+  s.self_deadlocks = g_self_deadlocks.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool HasViolation() { return g_has_violation.load(std::memory_order_acquire); }
+
+Violation LastViolation() {
+  std::lock_guard<std::mutex> l(State().mu);
+  return State().last;
+}
+
+void ResetForTest() {
+  std::lock_guard<std::mutex> l(State().mu);
+  for (auto& [name, node] : State().nodes) node->succ.clear();
+  State().last = Violation{};
+  g_has_violation.store(false, std::memory_order_relaxed);
+  g_tracked.store(0, std::memory_order_relaxed);
+  g_edges.store(0, std::memory_order_relaxed);
+  g_rank_inversions.store(0, std::memory_order_relaxed);
+  g_cycles.store(0, std::memory_order_relaxed);
+  g_self_deadlocks.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> HeldStackForTest() {
+  std::vector<std::string> out;
+  out.reserve(t_held.size());
+  for (const Held& h : t_held) out.push_back(h.node->name);
+  return out;
+}
+
+void PublishTo(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  Stats s = GetStats();
+  registry->gauge("lockorder.registered")
+      ->Set(static_cast<int64_t>(s.registered));
+  registry->gauge("lockorder.tracked_acquires")
+      ->Set(static_cast<int64_t>(s.tracked_acquires));
+  registry->gauge("lockorder.edges")->Set(static_cast<int64_t>(s.edges));
+  registry->gauge("lockorder.rank_inversions")
+      ->Set(static_cast<int64_t>(s.rank_inversions));
+  registry->gauge("lockorder.cycles")->Set(static_cast<int64_t>(s.cycles));
+  registry->gauge("lockorder.self_deadlocks")
+      ->Set(static_cast<int64_t>(s.self_deadlocks));
+  registry->gauge("lockorder.violations")
+      ->Set(static_cast<int64_t>(s.violations()));
+  registry->gauge("lockorder.enabled")->Set(Enabled() ? 1 : 0);
+}
+
+const MutexNode* Register(const char* name, int rank) {
+  if (name == nullptr) return nullptr;
+  std::lock_guard<std::mutex> l(State().mu);
+  auto& slot = State().nodes[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<MutexNode>();
+    slot->name = name;
+    slot->rank = rank;
+  }
+  // Later registrations of the same name keep the first rank; a genuine
+  // conflict shows up as a rank inversion at acquisition time instead.
+  return slot.get();
+}
+
+void OnAcquiring(const MutexNode* node, const void* instance) {
+  if (node == nullptr) return;
+  g_tracked.fetch_add(1, std::memory_order_relaxed);
+
+  // Self-deadlock: this exact instance is already held by this thread.
+  // Must fire before the underlying lock() call, which would never return.
+  for (const Held& h : t_held) {
+    if (h.instance == instance) {
+      Violation v;
+      v.kind = Violation::Kind::kSelfDeadlock;
+      v.acquiring = node->name;
+      FillHeldStack(&v);
+      v.message = "lock-order violation (self deadlock): re-acquiring \"" +
+                  node->name + "\" already held by this thread; held stack: " +
+                  DescribeHeldStack();
+      Dispatch(std::move(v));
+      return;
+    }
+  }
+
+  // Rank check: a ranked mutex may only be acquired while every ranked
+  // mutex already held has a strictly lower rank.
+  if (node->rank != kUnranked) {
+    for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+      const MutexNode* held = it->node;
+      if (held->rank != kUnranked && held->rank > node->rank) {
+        Violation v;
+        v.kind = Violation::Kind::kRankInversion;
+        v.acquiring = node->name;
+        FillHeldStack(&v);
+        v.message = "lock-order violation (rank inversion): acquiring \"" +
+                    node->name + "\" (rank " + std::to_string(node->rank) +
+                    ") while holding \"" + held->name + "\" (rank " +
+                    std::to_string(held->rank) +
+                    "); held stack: " + DescribeHeldStack();
+        Dispatch(std::move(v));
+        return;
+      }
+    }
+  }
+
+  // Acquired-after edge from the innermost tracked hold. Same-name peers
+  // (distinct instances of one subsystem) are unordered: no edge.
+  if (t_held.empty()) return;
+  const MutexNode* prev = t_held.back().node;
+  if (prev == node) return;
+
+  std::vector<const MutexNode*> path;
+  bool new_edge = false;
+  bool cycle = false;
+  {
+    std::lock_guard<std::mutex> l(State().mu);
+    // succ is keyed per-name, so mutating prev's set through a const
+    // pointer is the one place the registry's ownership is exercised.
+    new_edge =
+        const_cast<MutexNode*>(prev)->succ.insert(node).second;
+    if (new_edge) {
+      g_edges.fetch_add(1, std::memory_order_relaxed);
+      // Adding prev -> node closes a cycle iff node already reaches prev.
+      // The edge stays in the graph either way, so each offending edge is
+      // reported exactly once — deterministic, single-run detection.
+      cycle = FindPath(node, prev, &path);
+    }
+  }
+  if (!cycle) return;
+
+  Violation v;
+  v.kind = Violation::Kind::kCycle;
+  v.acquiring = node->name;
+  FillHeldStack(&v);
+  v.cycle.reserve(path.size() + 1);
+  for (const MutexNode* n : path) v.cycle.push_back(n->name);
+  v.cycle.push_back(node->name);  // close the loop via the new edge
+  std::ostringstream os;
+  os << "lock-order violation (cycle): acquiring \"" << node->name
+     << "\" while holding \"" << prev->name << "\" closes cycle ";
+  for (size_t i = 0; i < v.cycle.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << v.cycle[i];
+  }
+  os << "; held stack: " << DescribeHeldStack();
+  v.message = os.str();
+  Dispatch(std::move(v));
+}
+
+void OnAcquired(const MutexNode* node, const void* instance) {
+  if (node == nullptr) return;
+  t_held.push_back(Held{node, instance});
+}
+
+void OnRelease(const MutexNode* node, const void* instance) {
+  if (node == nullptr) return;
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance == instance) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: the lock was taken while validation was off. Ignore.
+}
+
+}  // namespace lockorder
+}  // namespace tendax

@@ -14,8 +14,10 @@ namespace tendax {
 /// A value-or-error type (StatusOr). A `Result<T>` holds either an OK status
 /// plus a `T`, or a non-OK status and no value. Accessing the value of a
 /// failed result is a programming error and asserts in debug builds.
+/// [[nodiscard]] for the same reason as Status: a dropped Result<T> drops
+/// an error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from an error status; asserts that it is not OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT

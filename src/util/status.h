@@ -31,7 +31,9 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic error carrier. An OK status is cheap (no allocation).
-class Status {
+/// [[nodiscard]]: silently dropping a Status is how recovery bugs hide —
+/// every discarded return must be an explicit, justified `(void)` cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 

@@ -1,0 +1,78 @@
+#ifndef TENDAX_UTIL_THREAD_ANNOTATIONS_H_
+#define TENDAX_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (Abseil-style spelling). Under
+// `clang -Wthread-safety` (enabled repo-wide by -DTENDAX_THREAD_SAFETY=ON)
+// these turn the locking discipline into compile errors: a field marked
+// TENDAX_GUARDED_BY(mu_) cannot be touched without holding mu_, a method
+// marked TENDAX_REQUIRES(mu_) cannot be called without it, and a method
+// marked TENDAX_EXCLUDES(mu_) cannot be called while holding it (the
+// self-deadlock guard for public entry points). On every other compiler the
+// macros expand to nothing, so annotated headers stay portable.
+//
+// Conventions used across the repo:
+//  - every long-lived subsystem mutex is a `tendax::Mutex` (util/mutex.h),
+//    constructed with a name and a lock-order rank (util/lock_order.h);
+//  - every field it protects carries TENDAX_GUARDED_BY(mu_);
+//  - private helpers that expect the lock held are named `...Locked()` and
+//    carry TENDAX_REQUIRES(mu_);
+//  - public entry points that take the lock carry TENDAX_EXCLUDES(mu_).
+
+#if defined(__clang__) && !defined(SWIG)
+#define TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off clang
+#endif
+
+// Type attributes: a lockable type and an RAII lock-scope type.
+#define TENDAX_CAPABILITY(x) TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+#define TENDAX_SCOPED_CAPABILITY \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// Data attributes: which lock protects a field (value / pointee).
+#define TENDAX_GUARDED_BY(x) TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+#define TENDAX_PT_GUARDED_BY(x) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// Static lock-order declarations (compile-time analogue of the runtime
+// rank graph in util/lock_order.h).
+#define TENDAX_ACQUIRED_BEFORE(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+#define TENDAX_ACQUIRED_AFTER(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+// Function attributes: lock state required on entry / changed on exit.
+#define TENDAX_REQUIRES(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define TENDAX_REQUIRES_SHARED(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+#define TENDAX_ACQUIRE(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define TENDAX_ACQUIRE_SHARED(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+#define TENDAX_RELEASE(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define TENDAX_RELEASE_SHARED(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+#define TENDAX_RELEASE_GENERIC(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+#define TENDAX_TRY_ACQUIRE(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+#define TENDAX_TRY_ACQUIRE_SHARED(...)  \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_( \
+      try_acquire_shared_capability(__VA_ARGS__))
+#define TENDAX_EXCLUDES(...) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+#define TENDAX_ASSERT_CAPABILITY(x) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+#define TENDAX_ASSERT_SHARED_CAPABILITY(x) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+#define TENDAX_RETURN_CAPABILITY(x) \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch for functions whose locking is deliberately too dynamic for
+// the analysis (document why at each use).
+#define TENDAX_NO_THREAD_SAFETY_ANALYSIS \
+  TENDAX_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // TENDAX_UTIL_THREAD_ANNOTATIONS_H_

@@ -126,7 +126,7 @@ Status WorkflowEngine::PersistProcess(UserId user, const ProcessInfo& process,
                                       bool is_new) {
   RecordId rid;
   if (!is_new) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rid = process_rids_.at(process.id.value);
   }
   Record rec({process.id.value, process.doc.value, process.name,
@@ -155,7 +155,7 @@ Status WorkflowEngine::PersistProcess(UserId user, const ProcessInfo& process,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   processes_[process.id.value] = process;
   process_rids_[process.id.value] = rid;
   return Status::OK();
@@ -165,7 +165,7 @@ Status WorkflowEngine::PersistTask(UserId user, const TaskInfo& task,
                                    bool is_new) {
   RecordId rid;
   if (!is_new) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rid = task_rids_.at(task.id.value);
   }
   Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
@@ -191,7 +191,7 @@ Status WorkflowEngine::PersistTask(UserId user, const TaskInfo& task,
     return Status::OK();
   });
   if (!st.ok()) return st;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (is_new) tasks_by_process_[task.process.value].push_back(task.id.value);
   if (task.state == TaskState::kReady) {
     ready_tasks_.insert(task.id.value);
@@ -226,7 +226,7 @@ Result<TaskId> WorkflowEngine::AddTask(UserId user, ProcessId process,
   uint64_t max_order = 0;
   bool any_open = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = processes_.find(process.value);
     if (it == processes_.end()) return Status::NotFound("unknown process");
     proc = it->second;
@@ -275,7 +275,7 @@ Result<TaskId> WorkflowEngine::InsertTaskAfter(UserId user, TaskId after,
                                                Assignee assignee) {
   TaskInfo anchor;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(after.value);
     if (it == tasks_.end()) return Status::NotFound("unknown task");
     anchor = it->second;
@@ -285,7 +285,7 @@ Result<TaskId> WorkflowEngine::InsertTaskAfter(UserId user, TaskId after,
   // Shift later tasks to open a slot (dynamic re-routing).
   std::vector<TaskInfo> to_shift;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto pit = tasks_by_process_.find(anchor.process.value);
     if (pit != tasks_by_process_.end()) {
       for (uint64_t task_id : pit->second) {
@@ -323,7 +323,7 @@ Status WorkflowEngine::Reassign(UserId user, TaskId task,
                                 Assignee new_assignee) {
   TaskInfo t;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(task.value);
     if (it == tasks_.end()) return Status::NotFound("unknown task");
     t = it->second;
@@ -339,7 +339,7 @@ Status WorkflowEngine::Reassign(UserId user, TaskId task,
 Status WorkflowEngine::SkipTask(UserId user, TaskId task) {
   TaskInfo t;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(task.value);
     if (it == tasks_.end()) return Status::NotFound("unknown task");
     t = it->second;
@@ -362,7 +362,7 @@ bool WorkflowEngine::MayAct(UserId user, const TaskInfo& task) const {
 Status WorkflowEngine::Complete(UserId user, TaskId task) {
   TaskInfo t;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(task.value);
     if (it == tasks_.end()) return Status::NotFound("unknown task");
     t = it->second;
@@ -386,7 +386,7 @@ Status WorkflowEngine::Reject(UserId user, TaskId task,
                               const std::string& reason) {
   TaskInfo t;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(task.value);
     if (it == tasks_.end()) return Status::NotFound("unknown task");
     t = it->second;
@@ -407,7 +407,7 @@ Status WorkflowEngine::Reject(UserId user, TaskId task,
 
   ProcessInfo proc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     proc = processes_.at(t.process.value);
   }
   proc.state = "rejected";
@@ -418,7 +418,7 @@ Status WorkflowEngine::Reroute(UserId user, TaskId task,
                                std::optional<Assignee> new_assignee) {
   TaskInfo t;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = tasks_.find(task.value);
     if (it == tasks_.end()) return Status::NotFound("unknown task");
     t = it->second;
@@ -433,7 +433,7 @@ Status WorkflowEngine::Reroute(UserId user, TaskId task,
 
   ProcessInfo proc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     proc = processes_.at(t.process.value);
   }
   proc.state = "running";
@@ -446,7 +446,7 @@ Status WorkflowEngine::AdvanceRoute(UserId user, ProcessId process) {
   std::vector<TaskInfo> route;
   ProcessInfo proc;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = processes_.find(process.value);
     if (it == processes_.end()) return Status::NotFound("unknown process");
     proc = it->second;
@@ -487,14 +487,14 @@ Status WorkflowEngine::AdvanceRoute(UserId user, ProcessId process) {
 }
 
 Result<ProcessInfo> WorkflowEngine::GetProcess(ProcessId process) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = processes_.find(process.value);
   if (it == processes_.end()) return Status::NotFound("unknown process");
   return it->second;
 }
 
 Result<TaskInfo> WorkflowEngine::GetTask(TaskId task) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tasks_.find(task.value);
   if (it == tasks_.end()) return Status::NotFound("unknown task");
   return it->second;
@@ -503,7 +503,7 @@ Result<TaskInfo> WorkflowEngine::GetTask(TaskId task) const {
 std::vector<TaskInfo> WorkflowEngine::Route(ProcessId process) const {
   std::vector<TaskInfo> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto pit = tasks_by_process_.find(process.value);
     if (pit != tasks_by_process_.end()) {
       for (uint64_t task_id : pit->second) out.push_back(tasks_.at(task_id));
@@ -519,7 +519,7 @@ std::vector<TaskInfo> WorkflowEngine::Route(ProcessId process) const {
 std::vector<TaskInfo> WorkflowEngine::Worklist(UserId user) const {
   std::vector<TaskInfo> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (uint64_t task_id : ready_tasks_) {
       out.push_back(tasks_.at(task_id));
     }
@@ -535,7 +535,7 @@ std::vector<TaskInfo> WorkflowEngine::Worklist(UserId user) const {
 }
 
 std::vector<ProcessInfo> WorkflowEngine::ProcessesIn(DocumentId doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ProcessInfo> out;
   for (const auto& [id, p] : processes_) {
     if (p.doc == doc) out.push_back(p);

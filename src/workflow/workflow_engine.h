@@ -2,7 +2,6 @@
 #define TENDAX_WORKFLOW_WORKFLOW_ENGINE_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -12,6 +11,7 @@
 #include "security/access_control.h"
 #include "text/text_store.h"
 #include "util/ids.h"
+#include "util/mutex.h"
 #include "util/result.h"
 
 namespace tendax {
@@ -132,15 +132,18 @@ class WorkflowEngine {
   HeapTable* processes_table_ = nullptr;
   HeapTable* tasks_table_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, ProcessInfo> processes_;
-  std::map<uint64_t, TaskInfo> tasks_;
-  std::map<uint64_t, RecordId> process_rids_;
-  std::map<uint64_t, RecordId> task_rids_;
+  // Guards the process/task caches; released before the Persist* calls
+  // into the database, and before acl_ checks (rank kRankDocument, below).
+  mutable Mutex mu_{"workflow.mu", lockorder::kRankWorkflow};
+  std::map<uint64_t, ProcessInfo> processes_ TENDAX_GUARDED_BY(mu_);
+  std::map<uint64_t, TaskInfo> tasks_ TENDAX_GUARDED_BY(mu_);
+  std::map<uint64_t, RecordId> process_rids_ TENDAX_GUARDED_BY(mu_);
+  std::map<uint64_t, RecordId> task_rids_ TENDAX_GUARDED_BY(mu_);
   // Secondary in-memory indexes so per-process routing and worklists do
   // not scan every task in the system.
-  std::map<uint64_t, std::vector<uint64_t>> tasks_by_process_;
-  std::set<uint64_t> ready_tasks_;
+  std::map<uint64_t, std::vector<uint64_t>> tasks_by_process_
+      TENDAX_GUARDED_BY(mu_);
+  std::set<uint64_t> ready_tasks_ TENDAX_GUARDED_BY(mu_);
   std::atomic<uint64_t> next_process_id_{1};
   std::atomic<uint64_t> next_task_id_{1};
 };

@@ -257,7 +257,9 @@ TEST(CollabStressTest, ReconnectChurnOverFlakyTransportConverges) {
               << "thread " << t << " op " << i << ": " << st.ToString();
           std::this_thread::yield();
         }
-        if (i % 5 == 4) ASSERT_TRUE(rig.client()->Heartbeat().ok());
+        if (i % 5 == 4) {
+          ASSERT_TRUE(rig.client()->Heartbeat().ok());
+        }
         if (i % 10 == 9) {
           // The connection dies mid-run; the session and cursor survive.
           rig.Connect(/*seed=*/5000 + t * 101);

@@ -134,7 +134,14 @@ std::vector<CommitAttempt> CommitConcurrently(Rig& rig, size_t k,
                  ->Insert(txn, Record({base + static_cast<uint64_t>(i)}))
                  .status();
       }
-      attempts[i].status = st.ok() ? txns->Commit(txn) : (txns->Abort(txn), st);
+      if (st.ok()) {
+        attempts[i].status = txns->Commit(txn);
+      } else {
+        // The insert failure is the interesting status; a failed abort of
+        // an already-doomed txn would only mask it.
+        (void)txns->Abort(txn);
+        attempts[i].status = st;
+      }
     });
   }
   for (auto& th : threads) th.join();
@@ -489,8 +496,13 @@ TEST(GroupCommitTest, DurabilityPrefixHoldsAtEveryCrashPoint) {
               rig.tables[i]
                   ->Insert(txn, Record({uint64_t(1000 + i * 100 + j)}))
                   .status();
-          outcomes[i][j].status =
-              st.ok() ? txns->Commit(txn) : (txns->Abort(txn), st);
+          if (st.ok()) {
+            outcomes[i][j].status = txns->Commit(txn);
+          } else {
+            // Keep the insert failure; the cleanup abort's status is noise.
+            (void)txns->Abort(txn);
+            outcomes[i][j].status = st;
+          }
         }
       });
     }
