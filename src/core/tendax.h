@@ -34,6 +34,14 @@ struct TendaxOptions {
   /// thread that coalesces all concurrently waiting keystroke commits into
   /// one fsync. The flusher's lifecycle is tied to the server: started on
   /// Open, drained and joined on destruction.
+  ///
+  /// `db.checkpoint_interval_micros` / `db.checkpoint_dirty_page_threshold`
+  /// arm the background fuzzy checkpointer (either trigger suffices): it
+  /// periodically writes back pre-checkpoint dirty pages, logs an ARIES
+  /// begin/end pair, and — over the segmented WAL that file-backed servers
+  /// use by default, rotating every `db.wal_segment_bytes` — deletes log
+  /// segments recovery can no longer need. Editing continues throughout;
+  /// the checkpointer thread stops with the server.
   DatabaseOptions db;
   /// Whether documents without explicit grants are open to every user
   /// (the demo's LAN-party default) or restricted to their creator.
@@ -90,8 +98,13 @@ class TendaxServer {
   VersionDiff* diff() { return diff_.get(); }
   TemplateStore* templates() { return templates_.get(); }
 
-  /// Quiescent checkpoint of the underlying database.
+  /// Quiescent checkpoint of the underlying database. Fails with
+  /// FailedPrecondition while any transaction is active — prefer
+  /// `CheckpointNow()` on a live server.
   Status Checkpoint() { return db_->Checkpoint(); }
+
+  /// Fuzzy checkpoint: runs concurrently with active editor sessions.
+  Status CheckpointNow() { return db_->CheckpointNow(); }
 
   /// Full structural integrity sweep of the underlying database (pages,
   /// tables, indexes). See `Database::CheckIntegrity`.

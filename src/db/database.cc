@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include "db/slotted_page.h"
+#include "storage/segmented_log.h"
 #include "util/logging.h"
 
 namespace tendax {
@@ -25,15 +26,16 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   } else if (options.path.empty()) {
     db->log_storage_ = std::make_shared<InMemoryLogStorage>();
   } else {
-    auto log = FileLogStorage::Open(options.path + ".wal");
+    auto log = SegmentedLogStorage::OpenFiles(options.path + ".wal");
     if (!log.ok()) return log.status();
-    db->log_storage_ = std::shared_ptr<LogStorage>(std::move(*log));
+    db->log_storage_ = std::move(*log);
   }
 
   db->metrics_ = options.metrics ? options.metrics
                                  : std::make_shared<MetricsRegistry>();
   db->wal_ = std::make_unique<Wal>(db->log_storage_, options.group_commit,
-                                   db->metrics_.get());
+                                   db->metrics_.get(),
+                                   options.wal_segment_bytes);
   db->buffer_pool_ = std::make_unique<BufferPool>(
       options.buffer_pool_pages, db->disk_.get(), db->wal_.get(),
       db->metrics_.get());
@@ -47,10 +49,26 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
       std::make_unique<Catalog>(db->buffer_pool_.get(), db->txn_manager_.get());
 
   TENDAX_RETURN_IF_ERROR(db->RecoverAndLoad());
+
+  // The checkpointer exists even without a background trigger so
+  // CheckpointNow() always has a pipeline to run; Start() is a no-op then.
+  CheckpointOptions ckpt;
+  ckpt.interval_micros = options.checkpoint_interval_micros;
+  ckpt.dirty_page_threshold = options.checkpoint_dirty_page_threshold;
+  ckpt.hooks = options.checkpoint_hooks;
+  db->checkpointer_ = std::make_unique<Checkpointer>(
+      db->wal_.get(), db->buffer_pool_.get(), db->txn_manager_.get(),
+      db->metrics_.get(), std::move(ckpt));
+  db->checkpointer_->Start();
   return db;
 }
 
 Database::~Database() {
+  // Stop the checkpointer before tearing anything down: its thread reaches
+  // into the WAL, buffer pool, and txn manager.
+  if (checkpointer_ != nullptr) {
+    checkpointer_->Stop();
+  }
   if (wal_ != nullptr) {
     // Resolve any committers still blocked on the group flusher before the
     // final flushes below.
@@ -180,8 +198,16 @@ Status Database::Checkpoint() {
   }
   if (txn_manager_->ActiveCount() > 0) {
     return Status::FailedPrecondition(
-        "checkpoint requires a quiescent database");
+        "checkpoint requires a quiescent database; use CheckpointNow() for "
+        "a fuzzy checkpoint under load");
   }
+  if (wal_->segmented()) {
+    // With nobody active the fuzzy pipeline degenerates to the quiescent
+    // one — empty ATT, every flushable page flushed — while keeping the
+    // log in segment form.
+    return CheckpointNow();
+  }
+  // Legacy single-file path: flush everything, restart the log.
   TENDAX_RETURN_IF_ERROR(buffer_pool_->FlushAll());
   TENDAX_RETURN_IF_ERROR(wal_->Reset());
   LogRecord marker;
@@ -190,6 +216,8 @@ Status Database::Checkpoint() {
   if (!lsn.ok()) return lsn.status();
   return wal_->Flush(*lsn);
 }
+
+Status Database::CheckpointNow() { return checkpointer_->CheckpointNow(); }
 
 void Database::SimulateCrash() { buffer_pool_->DropAllForCrashTest(); }
 

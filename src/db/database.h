@@ -8,6 +8,7 @@
 
 #include "db/bptree.h"
 #include "db/catalog.h"
+#include "db/checkpointer.h"
 #include "db/recovery.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
@@ -41,6 +42,18 @@ struct DatabaseOptions {
   /// Test hooks: pre-built storage to share across a simulated crash.
   std::shared_ptr<DiskManager> disk;
   std::shared_ptr<LogStorage> log_storage;
+  /// Segmented WAL: rotate to a new segment once the current one exceeds
+  /// this many bytes. Only meaningful over a segmented LogStorage —
+  /// file-backed databases use one by default; in-memory/injected storages
+  /// opt in by passing a SegmentedLogStorage as `log_storage`.
+  uint64_t wal_segment_bytes = 1 << 20;
+  /// Background fuzzy checkpointer cadence (0 = no timer trigger). With
+  /// either trigger set, Open starts a checkpointer thread after recovery.
+  uint64_t checkpoint_interval_micros = 0;
+  /// Checkpoint once this many buffer-pool pages are dirty (0 = off).
+  size_t checkpoint_dirty_page_threshold = 0;
+  /// Test-only checkpoint phase hooks (pause gates); null in production.
+  std::shared_ptr<CheckpointHooks> checkpoint_hooks;
   /// Metrics registry shared by every subsystem of this database. When
   /// unset, Open creates an enabled registry; pass one constructed with
   /// `MetricsRegistry(false)` to disable latency histograms.
@@ -75,9 +88,19 @@ class Database : public ChangeApplier {
   Result<BPlusTree*> GetIndex(const std::string& name) const
       TENDAX_EXCLUDES(index_mu_);
 
-  /// Quiescent checkpoint: flushes all pages and truncates the log. Fails
-  /// with FailedPrecondition while transactions are active.
+  /// Quiescent checkpoint. Requires `txns()->ActiveCount() == 0`: with a
+  /// transaction in flight this fails with `Status::FailedPrecondition`
+  /// (message prefix "checkpoint requires a quiescent database") and
+  /// changes nothing — callers that cannot guarantee quiescence should use
+  /// `CheckpointNow()` instead, which is the whole point of the fuzzy
+  /// pipeline. Over a segmented log this is a thin wrapper around
+  /// `CheckpointNow()`; over a single-file log it keeps the legacy
+  /// flush-everything-then-truncate behavior.
   Status Checkpoint();
+
+  /// Non-quiescent (fuzzy) checkpoint: safe to call with any number of
+  /// transactions in flight. See `Checkpointer` for the pipeline.
+  Status CheckpointNow();
 
   /// Full structural integrity sweep: every initialized data page passes
   /// checksum verification and `SlottedPage::Validate`, every catalog table
@@ -100,6 +123,7 @@ class Database : public ChangeApplier {
   Wal* wal() { return wal_.get(); }
   Clock* clock() { return clock_.get(); }
   MetricsRegistry* metrics() { return metrics_.get(); }
+  Checkpointer* checkpointer() { return checkpointer_.get(); }
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 
  private:
@@ -120,6 +144,9 @@ class Database : public ChangeApplier {
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<TxnManager> txn_manager_;
   std::unique_ptr<Catalog> catalog_;
+  // Declared after the subsystems it drives; its thread is stopped first
+  // thing in ~Database, before the WAL shuts down.
+  std::unique_ptr<Checkpointer> checkpointer_;
 
   // Held across BPlusTree::Create / CheckIntegrity (tree mutex, rank
   // kRankTable), hence the database rank.

@@ -12,12 +12,14 @@ namespace tendax {
 
 /// Outcome counters for one recovery run (reported by bench_storage, E9).
 struct RecoveryStats {
-  size_t records_scanned = 0;
+  size_t records_scanned = 0;  // records analysis actually visited
+  size_t records_skipped = 0;  // records below the checkpoint scan point
   size_t txns_seen = 0;
   size_t winners = 0;   // committed transactions
   size_t losers = 0;    // transactions active at the crash
   size_t redo_applied = 0;
   size_t undo_applied = 0;
+  Lsn checkpoint_lsn = kInvalidLsn;  // kCheckpointEnd anchoring this run
 };
 
 /// ARIES-lite crash recovery over the logical WAL:
@@ -29,6 +31,16 @@ struct RecoveryStats {
 ///  3. *Undo*: losers' updates are rolled back in reverse log order,
 ///     skipping updates that a pre-crash compensation record already
 ///     undid, and logging fresh CLRs so recovery itself is restartable.
+///
+/// When the log contains a complete fuzzy checkpoint (kCheckpointEnd), all
+/// three passes start from it rather than from record zero:
+///   scan_lsn = min(checkpoint redo_lsn, min ATT first_lsn)
+/// Every record below scan_lsn is provably irrelevant — its transaction
+/// completed before the checkpoint (so it needs no undo) and its page
+/// effects were on disk by the time the dirty-page table was snapshotted
+/// (so it needs no redo). Redo additionally skips [scan_lsn, redo_lsn),
+/// which undo may still need to read but whose page effects are durable.
+/// This is what makes restart time O(working set) instead of O(history).
 class RecoveryManager {
  public:
   /// `table_for` resolves a table id to a HeapTable to apply changes to

@@ -55,6 +55,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   page->set_id(id);
   page->pin_count_ = 1;
   page->dirty_ = false;
+  page->rec_lsn_ = 0;
   page_table_[id] = page;
   lru_.push_back(id);
   lru_pos_[id] = std::prev(lru_.end());
@@ -72,7 +73,8 @@ Result<Page*> BufferPool::NewPage() {
   page->Reset();
   page->set_id(id);
   page->pin_count_ = 1;
-  page->dirty_ = true;  // a fresh page must reach disk eventually
+  page->dirty_ = false;
+  MarkDirtyLocked(page);  // a fresh page must reach disk eventually
   page_table_[id] = page;
   lru_.push_back(id);
   lru_pos_[id] = std::prev(lru_.end());
@@ -83,7 +85,19 @@ void BufferPool::Unpin(Page* page, bool dirty) {
   MutexLock lock(mu_);
   TENDAX_CHECK(page->pin_count_ > 0);
   --page->pin_count_;
-  if (dirty) page->dirty_ = true;
+  if (dirty) MarkDirtyLocked(page);
+}
+
+void BufferPool::MarkDirtyLocked(Page* page) {
+  if (page->dirty_) return;
+  page->dirty_ = true;
+  // WAL-logged pages carry the LSN of the record that just modified them,
+  // which is exactly the earliest record whose effect is not yet on disk.
+  // Non-logged pages (indexes, derived data) have no records to redo, so
+  // the WAL cursor — no earlier record can ever target them — keeps them
+  // from dragging redo_lsn (and with it, log truncation) backwards.
+  page->rec_lsn_ =
+      page->lsn() != 0 ? page->lsn() : (wal_ != nullptr ? wal_->next_lsn() : 1);
 }
 
 Status BufferPool::FlushPage(PageId id) {
@@ -157,9 +171,43 @@ Status BufferPool::WriteBack(Page* page) {
   page->StampChecksum();
   TENDAX_RETURN_IF_ERROR(disk_->WritePage(page->id(), page->data()));
   page->dirty_ = false;
+  page->rec_lsn_ = 0;
   ++stats_.dirty_writebacks;
   MetricAdd(m_writebacks_);
   return Status::OK();
+}
+
+std::vector<CheckpointPageEntry> BufferPool::DirtyPageTable() const {
+  MutexLock lock(mu_);
+  std::vector<CheckpointPageEntry> dpt;
+  for (const auto& [id, page] : page_table_) {
+    if (!page->dirty_) continue;
+    CheckpointPageEntry e;
+    e.page = id;
+    e.rec_lsn = page->rec_lsn_;
+    dpt.push_back(e);
+  }
+  return dpt;
+}
+
+size_t BufferPool::DirtyCount() const {
+  MutexLock lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, page] : page_table_) {
+    (void)id;
+    if (page->dirty_) ++n;
+  }
+  return n;
+}
+
+Result<bool> BufferPool::FlushPageIfIdle(PageId id) {
+  MutexLock lock(mu_);
+  auto it = page_table_.find(id);
+  // Absent or clean means eviction or a plain flush already wrote it back.
+  if (it == page_table_.end() || !it->second->dirty_) return true;
+  if (it->second->pin_count_ > 0) return false;
+  TENDAX_RETURN_IF_ERROR(WriteBack(it->second));
+  return true;
 }
 
 void BufferPool::Touch(PageId id) {

@@ -53,6 +53,25 @@ class BufferPool {
   /// Writes back every dirty page. Does not evict.
   Status FlushAll() TENDAX_EXCLUDES(mu_);
 
+  /// Snapshot of the dirty-page table: every dirty page with the recovery
+  /// LSN recorded when it last went from clean to dirty. The fuzzy
+  /// checkpointer embeds this in its kCheckpointEnd record; min rec_lsn
+  /// over the table bounds where redo must start.
+  std::vector<CheckpointPageEntry> DirtyPageTable() const
+      TENDAX_EXCLUDES(mu_);
+
+  /// Number of dirty pages currently cached (checkpoint trigger input).
+  size_t DirtyCount() const TENDAX_EXCLUDES(mu_);
+
+  /// Writes back page `id` only if nobody holds a pin on it. Returns true
+  /// when the page is clean afterwards (flushed now, already clean, or not
+  /// cached), false when it was pinned and left untouched — the caller
+  /// (the checkpointer) retries or simply leaves it in the dirty-page
+  /// table, which keeps redo_lsn conservative. Mirrors eviction's safety
+  /// argument: mutators hold a pin for the whole modify+log sequence, and
+  /// no new pin can appear while the pool mutex is held.
+  Result<bool> FlushPageIfIdle(PageId id) TENDAX_EXCLUDES(mu_);
+
   /// Drops every cached page without writing anything back — simulates a
   /// crash for recovery tests. All pins must have been released.
   void DropAllForCrashTest() TENDAX_EXCLUDES(mu_);
@@ -68,6 +87,9 @@ class BufferPool {
   // Finds a reusable frame, evicting if necessary.
   Result<Page*> GetFreeFrame() TENDAX_REQUIRES(mu_);
   Status WriteBack(Page* page) TENDAX_REQUIRES(mu_);
+  // Marks `page` dirty, recording its recovery LSN at the clean->dirty
+  // transition.
+  void MarkDirtyLocked(Page* page) TENDAX_REQUIRES(mu_);
   // Moves `id` to the MRU position.
   void Touch(PageId id) TENDAX_REQUIRES(mu_);
 

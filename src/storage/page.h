@@ -71,6 +71,13 @@ class Page {
   int pin_count() const { return pin_count_; }
   bool is_dirty() const { return dirty_; }
 
+  /// Recovery LSN: the page LSN recorded when this frame last went from
+  /// clean to dirty — the earliest log record whose effect might not be on
+  /// disk. 0 while the page is clean. Maintained by the buffer pool (under
+  /// its mutex, like pin_count_/dirty_) for the fuzzy checkpointer's
+  /// dirty-page table.
+  uint64_t rec_lsn() const { return rec_lsn_; }
+
   /// Content latch: holders may read/modify the payload. Callers must hold
   /// a pin while latched (a pinned page is never evicted or recycled).
   Mutex& latch() TENDAX_RETURN_CAPABILITY(latch_) { return latch_; }
@@ -80,6 +87,7 @@ class Page {
     id_ = kInvalidPageId;
     pin_count_ = 0;
     dirty_ = false;
+    rec_lsn_ = 0;
   }
 
  private:
@@ -89,6 +97,7 @@ class Page {
   PageId id_ = kInvalidPageId;
   int pin_count_ = 0;
   bool dirty_ = false;
+  uint64_t rec_lsn_ = 0;
   // Taken after the owning table's mutex (FindPageWithSpace) and held
   // across WAL logging of the change (heap_table), so it ranks between
   // kRankTable and kRankTxn. Never taken by the buffer pool itself.

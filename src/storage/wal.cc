@@ -35,6 +35,20 @@ void LogRecord::EncodeTo(std::string* dst) const {
     PutLengthPrefixed(dst, before);
     PutLengthPrefixed(dst, after);
     PutVarint64(dst, undo_next_lsn);
+  } else if (type == LogType::kCheckpointEnd) {
+    PutVarint64(dst, checkpoint_begin_lsn);
+    PutVarint64(dst, checkpoint_redo_lsn);
+    PutVarint64(dst, att.size());
+    for (const CheckpointTxnEntry& e : att) {
+      PutVarint64(dst, e.txn);
+      PutVarint64(dst, e.first_lsn);
+      PutVarint64(dst, e.last_lsn);
+    }
+    PutVarint64(dst, dpt.size());
+    for (const CheckpointPageEntry& e : dpt) {
+      PutVarint64(dst, e.page);
+      PutVarint64(dst, e.rec_lsn);
+    }
   }
 }
 
@@ -62,6 +76,33 @@ bool LogRecord::DecodeFrom(Slice input, LogRecord* out) {
     if (!GetVarint64(&input, &out->undo_next_lsn)) return false;
     out->before = before.ToString();
     out->after = after.ToString();
+  } else if (type == LogType::kCheckpointEnd) {
+    uint64_t n;
+    if (!GetVarint64(&input, &out->checkpoint_begin_lsn)) return false;
+    if (!GetVarint64(&input, &out->checkpoint_redo_lsn)) return false;
+    if (!GetVarint64(&input, &n)) return false;
+    // Each entry is at least one byte per field; a count past the remaining
+    // input is malformed (and guards the reserve against fuzzed payloads).
+    if (n > input.size()) return false;
+    out->att.clear();
+    out->att.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      CheckpointTxnEntry e;
+      if (!GetVarint64(&input, &e.txn)) return false;
+      if (!GetVarint64(&input, &e.first_lsn)) return false;
+      if (!GetVarint64(&input, &e.last_lsn)) return false;
+      out->att.push_back(e);
+    }
+    if (!GetVarint64(&input, &n)) return false;
+    if (n > input.size()) return false;
+    out->dpt.clear();
+    out->dpt.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      CheckpointPageEntry e;
+      if (!GetVarint64(&input, &e.page)) return false;
+      if (!GetVarint64(&input, &e.rec_lsn)) return false;
+      out->dpt.push_back(e);
+    }
   }
   return true;
 }
@@ -154,12 +195,16 @@ Status FileLogStorage::Truncate() {
 }
 
 Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit,
-         MetricsRegistry* metrics)
+         MetricsRegistry* metrics, uint64_t segment_bytes)
     : storage_(std::move(storage)),
+      segment_bytes_(segment_bytes),
       gc_options_(std::move(group_commit)),
       gc_mu_("wal.gc", lockorder::kRankWalGroup) {
   if (metrics != nullptr) {
     m_appends_ = metrics->counter("wal.appends");
+    m_rotations_ = metrics->counter("wal.rotations");
+    m_segments_ = metrics->gauge("wal.segments");
+    m_truncated_bytes_ = metrics->gauge("wal.truncated_bytes");
     m_syncs_ = metrics->counter("wal.syncs");
     m_commits_ = metrics->counter("wal.commits");
     m_group_flushes_ = metrics->counter("wal.group_flushes");
@@ -170,14 +215,60 @@ Wal::Wal(std::shared_ptr<LogStorage> storage, GroupCommitOptions group_commit,
     m_batch_size_ = metrics->histogram("wal.batch_size");
   }
   // Continue LSN numbering after any records already in the log.
-  std::string buffer;
   Lsn durable = 0;
-  if (storage_->ReadAll(&buffer).ok()) {
-    std::vector<LogRecord> records;
+  if (storage_->segmented()) {
+    // Per-segment read rebuilds both the LSN cursor and the segment spans
+    // the truncation logic needs. Only the last segment may carry a torn
+    // tail (appends never touch sealed segments), so a decode that stops
+    // early in an earlier segment marks everything after it untrustworthy.
     MutexLock lock(mu_);
-    next_lsn_ = DecodeLogBuffer(buffer, &records);
-    flushed_lsn_ = next_lsn_ - 1;
+    Lsn next = 1;
+    bool trusted = true;
+    for (uint64_t id : storage_->SegmentIds()) {
+      SegmentSpan span;
+      std::string part;
+      std::vector<LogRecord> records;
+      if (trusted && storage_->ReadSegment(id, &part).ok()) {
+        DecodeLogBuffer(part, &records);
+      } else {
+        trusted = false;
+      }
+      if (!records.empty()) {
+        if (next != 1 && records.front().lsn != next) {
+          // Discontiguous across the segment boundary: treat this segment
+          // and everything after it as trash (span unknown => retained).
+          trusted = false;
+          segment_spans_[id] = SegmentSpan{};
+          continue;
+        }
+        span.first = records.front().lsn;
+        span.last = records.back().lsn;
+        next = records.back().lsn + 1;
+      } else if (trusted) {
+        // A sealed-empty segment: holds no records, safe to truncate once
+        // anything newer is truncatable.
+        span.first = next;
+        span.last = next - 1;
+      }
+      segment_spans_[id] = span;
+    }
+    // The current segment is open-ended regardless of what the scan saw.
+    SegmentSpan& current = segment_spans_[storage_->current_segment()];
+    if (current.first == kInvalidLsn) current.first = next;
+    current.last = kInvalidLsn;
+    next_lsn_ = next;
+    flushed_lsn_ = next - 1;
     durable = flushed_lsn_;
+    MetricSet(m_segments_, static_cast<int64_t>(segment_spans_.size()));
+  } else {
+    std::string buffer;
+    if (storage_->ReadAll(&buffer).ok()) {
+      std::vector<LogRecord> records;
+      MutexLock lock(mu_);
+      next_lsn_ = DecodeLogBuffer(buffer, &records);
+      flushed_lsn_ = next_lsn_ - 1;
+      durable = flushed_lsn_;
+    }
   }
   {
     MutexLock lock(gc_mu_);
@@ -243,6 +334,14 @@ Status Wal::FlushInternal(Lsn up_to, bool force_sync) {
     ++syncs_issued_;
     MetricAdd(m_syncs_);
     if (st.ok() && target > flushed_lsn_) flushed_lsn_ = target;
+    if (st.ok() && segment_bytes_ > 0 && storage_->segmented() &&
+        storage_->SegmentBytes(storage_->current_segment()) >=
+            segment_bytes_) {
+      // Size-based rotation. Safe here: we still own the flight, so no
+      // other flush can be mid-I/O against the old segment. Failure is
+      // benign — appends simply keep landing in the oversized segment.
+      (void)RotateLocked(flushed_lsn_);
+    }
   } else {
     // Nothing new became durable; put the batch back ahead of any records
     // appended meanwhile so log order is preserved for the retry.
@@ -470,6 +569,7 @@ Status Wal::ReadAll(std::vector<LogRecord>* out) {
   TENDAX_RETURN_IF_ERROR(FlushAll());
   std::string buffer;
   TENDAX_RETURN_IF_ERROR(storage_->ReadAll(&buffer));
+  out->clear();
   DecodeLogBuffer(buffer, out);
   return Status::OK();
 }
@@ -482,7 +582,74 @@ Status Wal::Reset() {
   pending_.clear();
   TENDAX_RETURN_IF_ERROR(storage_->Truncate());
   flushed_lsn_ = next_lsn_ - 1;
+  if (storage_->segmented()) {
+    segment_spans_.clear();
+    segment_spans_[storage_->current_segment()] =
+        SegmentSpan{next_lsn_, kInvalidLsn};
+    MetricSet(m_segments_, static_cast<int64_t>(segment_spans_.size()));
+  }
   return Status::OK();
+}
+
+size_t Wal::SegmentCount() const {
+  if (!storage_->segmented()) return 1;
+  MutexLock lock(mu_);
+  return segment_spans_.size();
+}
+
+Status Wal::RotateLocked(Lsn last_lsn) {
+  const uint64_t old_id = storage_->current_segment();
+  uint64_t new_id = 0;
+  TENDAX_RETURN_IF_ERROR(storage_->RotateSegment(&new_id));
+  SegmentSpan& old_span = segment_spans_[old_id];
+  old_span.last = last_lsn;
+  if (old_span.first == kInvalidLsn) old_span.first = last_lsn + 1;
+  // Records buffered but not yet flushed (lsn > last_lsn) land in the new
+  // segment, so its span opens right after the sealed one.
+  segment_spans_[new_id] = SegmentSpan{last_lsn + 1, kInvalidLsn};
+  MetricAdd(m_rotations_);
+  MetricSet(m_segments_, static_cast<int64_t>(segment_spans_.size()));
+  return Status::OK();
+}
+
+Status Wal::RotateSegmentNow() {
+  if (!storage_->segmented()) return Status::OK();
+  TENDAX_RETURN_IF_ERROR(FlushAll());
+  MutexLock lock(mu_);
+  // Rotation must not interleave with a flush's storage I/O: the flush's
+  // Sync would hit the new, empty segment while its batch sits unsynced in
+  // the sealed one.
+  while (flush_in_flight_) flush_cv_.Wait(lock);
+  return RotateLocked(flushed_lsn_);
+}
+
+Result<uint64_t> Wal::TruncateSegmentsBelow(Lsn bound) {
+  if (!storage_->segmented() || bound <= 1) return uint64_t{0};
+  MutexLock lock(mu_);
+  uint64_t freed = 0;
+  // Oldest-first: a crash mid-sweep then leaves a contiguous suffix of the
+  // log, which is the shape every reader (recovery, the span rebuild in
+  // the constructor) is built to trust.
+  while (segment_spans_.size() > 1) {
+    auto it = segment_spans_.begin();
+    if (it->first == storage_->current_segment()) break;
+    const SegmentSpan& span = it->second;
+    // An open/unknown span, or one reaching into [bound, ...), must stay.
+    if (span.last == kInvalidLsn || span.last >= bound) break;
+    uint64_t bytes = 0;
+    Status st = storage_->DropSegment(it->first, &bytes);
+    if (!st.ok()) {
+      MetricSet(m_segments_, static_cast<int64_t>(segment_spans_.size()));
+      return st;
+    }
+    freed += bytes;
+    segment_spans_.erase(it);
+  }
+  MetricSet(m_segments_, static_cast<int64_t>(segment_spans_.size()));
+  if (m_truncated_bytes_ != nullptr) {
+    m_truncated_bytes_->Add(static_cast<int64_t>(freed));
+  }
+  return freed;
 }
 
 Lsn Wal::DecodeLogBuffer(const std::string& buffer,

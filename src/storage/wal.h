@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -30,7 +31,9 @@ enum class LogType : uint8_t {
   kAbort = 3,
   kUpdate = 4,        // a logical record-level change (insert/update/delete)
   kCompensation = 5,  // CLR written while undoing an update
-  kCheckpoint = 6,    // quiescent checkpoint marker
+  kCheckpoint = 6,    // quiescent checkpoint marker (legacy single-file path)
+  kCheckpointBegin = 7,  // fuzzy checkpoint opened (ARIES begin_chkpt)
+  kCheckpointEnd = 8,    // fuzzy checkpoint closed; carries the ATT and DPT
 };
 
 /// Sub-kind for kUpdate / kCompensation records.
@@ -38,6 +41,23 @@ enum class UpdateOp : uint8_t {
   kInsert = 1,
   kUpdate = 2,
   kDelete = 3,
+};
+
+/// One active transaction at the instant a fuzzy checkpoint snapshotted the
+/// transaction table. `first_lsn` bounds how far back undo may need to read.
+struct CheckpointTxnEntry {
+  uint64_t txn = 0;
+  Lsn first_lsn = kInvalidLsn;  // LSN of the transaction's begin record
+  Lsn last_lsn = kInvalidLsn;   // most recent record at snapshot time
+};
+
+/// One dirty page at the instant a fuzzy checkpoint snapshotted the buffer
+/// pool. `rec_lsn` is the LSN of the first record that dirtied the page
+/// since it was last clean — redo must start no later than the minimum
+/// rec_lsn across the table.
+struct CheckpointPageEntry {
+  uint64_t page = 0;
+  Lsn rec_lsn = kInvalidLsn;
 };
 
 /// A single WAL record. Updates are logged logically at record granularity:
@@ -58,6 +78,12 @@ struct LogRecord {
   std::string after;         // post-image (empty for delete)
   Lsn undo_next_lsn = kInvalidLsn;  // kCompensation: next record to undo
 
+  // kCheckpointEnd only: the fuzzy-checkpoint snapshot.
+  Lsn checkpoint_begin_lsn = kInvalidLsn;  // LSN of the paired kCheckpointBegin
+  Lsn checkpoint_redo_lsn = kInvalidLsn;   // min(begin, min DPT rec_lsn)
+  std::vector<CheckpointTxnEntry> att;     // active-transaction table
+  std::vector<CheckpointPageEntry> dpt;    // dirty-page table
+
   /// Serializes this record (without framing) into `dst`.
   void EncodeTo(std::string* dst) const;
   /// Parses a record from `input`; returns false on malformed input.
@@ -76,6 +102,45 @@ class LogStorage {
   virtual Status ReadAll(std::string* out) = 0;
   /// Discards all content.
   virtual Status Truncate() = 0;
+
+  // --- segmentation (optional; single-file backends keep the defaults) ---
+  //
+  // A segmented backend stores the log as a sequence of numbered segments.
+  // Appends always go to the current (highest-numbered) segment; ReadAll
+  // concatenates segments in id order, so callers that do not care about
+  // segmentation see one contiguous byte stream. Segment ids are monotonic
+  // and never reused, which is what lets the Wal keep per-segment LSN spans.
+
+  /// True when this backend stores the log as numbered segments.
+  virtual bool segmented() const { return false; }
+  /// Id of the segment receiving appends (0 when not segmented).
+  virtual uint64_t current_segment() const { return 0; }
+  /// All live segment ids, ascending.
+  virtual std::vector<uint64_t> SegmentIds() const { return {}; }
+  /// Byte size of segment `id` (0 for unknown ids).
+  virtual uint64_t SegmentBytes(uint64_t id) const {
+    (void)id;
+    return 0;
+  }
+  /// Reads the raw bytes of one segment.
+  virtual Status ReadSegment(uint64_t id, std::string* out) {
+    (void)id;
+    (void)out;
+    return Status::Unimplemented("log storage is not segmented");
+  }
+  /// Seals the current segment (durably) and opens a fresh one; the new
+  /// segment's id is returned through `new_id` when non-null.
+  virtual Status RotateSegment(uint64_t* new_id) {
+    (void)new_id;
+    return Status::Unimplemented("log storage is not segmented");
+  }
+  /// Deletes one sealed segment; `bytes_freed` (when non-null) receives its
+  /// size. Deleting the current segment is an error.
+  virtual Status DropSegment(uint64_t id, uint64_t* bytes_freed) {
+    (void)id;
+    (void)bytes_freed;
+    return Status::Unimplemented("log storage is not segmented");
+  }
 };
 
 /// In-memory log storage; survives "crashes" simulated by discarding the
@@ -216,9 +281,14 @@ class Wal {
   /// same bytes. In kFlusherThread mode the Wal owns the flusher thread:
   /// started here, drained and joined by `Shutdown()`/the destructor.
   /// `metrics` may be null (standalone/unit use); it must outlive the Wal.
+  /// `segment_bytes` only matters over a segmented LogStorage: once the
+  /// current segment exceeds it, the next successful flush rotates to a new
+  /// segment (0 disables size-based rotation; checkpoints may still rotate
+  /// explicitly via RotateSegmentNow).
   explicit Wal(std::shared_ptr<LogStorage> storage,
                GroupCommitOptions group_commit = {},
-               MetricsRegistry* metrics = nullptr);
+               MetricsRegistry* metrics = nullptr,
+               uint64_t segment_bytes = 0);
   ~Wal();
 
   /// Assigns the next LSN to `rec`, serializes and buffers it. Returns the
@@ -280,7 +350,36 @@ class Wal {
   static Lsn DecodeLogBuffer(const std::string& buffer,
                              std::vector<LogRecord>* out);
 
+  // --- segmentation (no-ops over a non-segmented LogStorage) ---
+
+  /// True when the underlying storage keeps the log in numbered segments.
+  bool segmented() const { return storage_->segmented(); }
+
+  /// Live segments (1 models "the single file" when not segmented).
+  size_t SegmentCount() const TENDAX_EXCLUDES(mu_);
+
+  /// Flushes everything buffered, seals the current segment and opens a
+  /// fresh one. Used by the checkpointer so sealed history becomes
+  /// truncatable regardless of `segment_bytes`.
+  Status RotateSegmentNow() TENDAX_EXCLUDES(mu_);
+
+  /// Deletes sealed segments whose records all have lsn < `bound`,
+  /// oldest-first so a crash mid-sweep always leaves a contiguous log
+  /// suffix. The current segment is never deleted. Returns bytes freed.
+  Result<uint64_t> TruncateSegmentsBelow(Lsn bound) TENDAX_EXCLUDES(mu_);
+
  private:
+  /// Per-segment LSN span. `last == kInvalidLsn` means the segment is still
+  /// open (or its span is unknown, e.g. an empty sealed segment) and must
+  /// be retained by truncation.
+  struct SegmentSpan {
+    Lsn first = kInvalidLsn;
+    Lsn last = kInvalidLsn;
+  };
+
+  /// Seals the current segment at `last_lsn` and opens a fresh one whose
+  /// span starts at `last_lsn + 1`. Expects `mu_` held by the caller.
+  Status RotateLocked(Lsn last_lsn) TENDAX_REQUIRES(mu_);
   /// The one physical flush path. Single-flighted: concurrent callers wait
   /// for the in-flight flush, then re-check coverage. The storage
   /// Append+Sync runs outside `mu_` so appends keep flowing during a slow
@@ -307,6 +406,11 @@ class Wal {
   bool flush_in_flight_ TENDAX_GUARDED_BY(mu_) = false;
   CondVar flush_cv_;  // signaled when flush_in_flight_ drops
   uint64_t syncs_issued_ TENDAX_GUARDED_BY(mu_) = 0;
+
+  // --- segmentation state (meaningful only when storage_->segmented()) ---
+  const uint64_t segment_bytes_;
+  // LSN span of every live segment, keyed by segment id.
+  std::map<uint64_t, SegmentSpan> segment_spans_ TENDAX_GUARDED_BY(mu_);
 
   // --- group-commit state (never touched while holding mu_; lock order is
   // gc_mu_ -> mu_, mirrored statically by ACQUIRED_BEFORE and at runtime by
@@ -349,6 +453,9 @@ class Wal {
   // The structs above stay authoritative for their accessors; these feed
   // the unified kStats snapshot.
   Counter* m_appends_ = nullptr;
+  Counter* m_rotations_ = nullptr;
+  Gauge* m_segments_ = nullptr;
+  Gauge* m_truncated_bytes_ = nullptr;
   Counter* m_syncs_ = nullptr;
   Counter* m_commits_ = nullptr;
   Counter* m_group_flushes_ = nullptr;

@@ -109,4 +109,30 @@ Status FaultInjectingLogStorage::Truncate() {
   return inner_->Truncate();
 }
 
+Status FaultInjectingLogStorage::ReadSegment(uint64_t id, std::string* out) {
+  FaultDecision d = plan_->OnIo(IoOp::kLogRead, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kLogRead);
+  if (d.action != FaultAction::kProceed) return Injected(IoOp::kLogRead, d);
+  return inner_->ReadSegment(id, out);
+}
+
+Status FaultInjectingLogStorage::RotateSegment(uint64_t* new_id) {
+  FaultDecision d = plan_->OnIo(IoOp::kLogRotate, 0);
+  if (d.action == FaultAction::kCrashed) return Crashed(IoOp::kLogRotate);
+  if (d.action != FaultAction::kProceed) return Injected(IoOp::kLogRotate, d);
+  return inner_->RotateSegment(new_id);
+}
+
+Status FaultInjectingLogStorage::DropSegment(uint64_t id,
+                                             uint64_t* bytes_freed) {
+  FaultDecision d = plan_->OnIo(IoOp::kLogDropSegment, 0);
+  if (d.action == FaultAction::kCrashed) {
+    return Crashed(IoOp::kLogDropSegment);
+  }
+  if (d.action != FaultAction::kProceed) {
+    return Injected(IoOp::kLogDropSegment, d);
+  }
+  return inner_->DropSegment(id, bytes_freed);
+}
+
 }  // namespace tendax

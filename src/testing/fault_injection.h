@@ -41,6 +41,12 @@ class FaultInjectingDiskManager : public DiskManager {
 /// fail, tear (persist a prefix of the record bytes, then crash), or be
 /// swallowed by a crashed plan; `Sync` failures model an fsync error at
 /// commit time. Plug it into `DatabaseOptions::log_storage`.
+///
+/// Segmentation passes through: wrapping a `SegmentedLogStorage` yields a
+/// segmented decorated log, so checkpoint crash sweeps can fault rotation
+/// (kLogRotate) and segment deletion (kLogDropSegment) too. Tear faults on
+/// these ops degrade to plain failures — there is no partial rotate/unlink
+/// to model; the plan still enters the crashed state.
 class FaultInjectingLogStorage : public LogStorage {
  public:
   FaultInjectingLogStorage(std::shared_ptr<LogStorage> inner,
@@ -51,6 +57,20 @@ class FaultInjectingLogStorage : public LogStorage {
   Status Sync() override;
   Status ReadAll(std::string* out) override;
   Status Truncate() override;
+
+  bool segmented() const override { return inner_->segmented(); }
+  uint64_t current_segment() const override {
+    return inner_->current_segment();
+  }
+  std::vector<uint64_t> SegmentIds() const override {
+    return inner_->SegmentIds();
+  }
+  uint64_t SegmentBytes(uint64_t id) const override {
+    return inner_->SegmentBytes(id);
+  }
+  Status ReadSegment(uint64_t id, std::string* out) override;
+  Status RotateSegment(uint64_t* new_id) override;
+  Status DropSegment(uint64_t id, uint64_t* bytes_freed) override;
 
   LogStorage* inner() { return inner_.get(); }
   FaultPlan* plan() { return plan_.get(); }

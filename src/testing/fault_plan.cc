@@ -20,6 +20,10 @@ const char* IoOpName(IoOp op) {
       return "LogRead";
     case IoOp::kLogTruncate:
       return "LogTruncate";
+    case IoOp::kLogRotate:
+      return "LogRotate";
+    case IoOp::kLogDropSegment:
+      return "LogDropSegment";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class IoOp : uint8_t {
   kLogSync,
   kLogRead,
   kLogTruncate,
+  kLogRotate,       // seal the current WAL segment, open the next
+  kLogDropSegment,  // delete one truncated WAL segment
 };
 
 /// Human-readable name of an IoOp, e.g. "WritePage".

@@ -98,4 +98,37 @@ void ScheduleController::OnGroupFlushEnd(uint64_t flush_index,
   cv_.NotifyAll();
 }
 
+void ScheduleController::PauseAtCheckpoint(uint64_t checkpoint_index,
+                                           CheckpointPhase phase) {
+  MutexLock lock(mu_);
+  ckpt_pause_at_.emplace(checkpoint_index, static_cast<uint8_t>(phase));
+}
+
+bool ScheduleController::WaitUntilCheckpointPaused(
+    std::chrono::milliseconds timeout) {
+  MutexLock lock(mu_);
+  return cv_.WaitFor(lock, timeout, [&] { return ckpt_paused_; });
+}
+
+void ScheduleController::ReleaseCheckpoint() {
+  MutexLock lock(mu_);
+  ckpt_release_ = true;
+  cv_.NotifyAll();
+}
+
+void ScheduleController::OnCheckpointPhase(uint64_t checkpoint_index,
+                                           CheckpointPhase phase) {
+  MutexLock lock(mu_);
+  auto key = std::make_pair(checkpoint_index, static_cast<uint8_t>(phase));
+  auto it = ckpt_pause_at_.find(key);
+  if (it == ckpt_pause_at_.end()) return;
+  ckpt_pause_at_.erase(it);
+  ckpt_paused_ = true;
+  cv_.NotifyAll();
+  cv_.Wait(lock, [&] { return ckpt_release_; });
+  ckpt_release_ = false;
+  ckpt_paused_ = false;
+  cv_.NotifyAll();
+}
+
 }  // namespace tendax

@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
 
+#include "db/checkpointer.h"
 #include "storage/wal.h"
 #include "util/mutex.h"
 #include "util/random.h"
@@ -34,7 +36,14 @@ namespace tendax {
 ///
 /// Thread-safe. `seed` only drives `PickFlush` and is echoed by
 /// `Describe()` so failures are reproducible.
-class ScheduleController : public GroupCommitHooks {
+///
+/// It is also a `CheckpointHooks`: plugged into
+/// `DatabaseOptions::checkpoint_hooks` it parks the fuzzy checkpointer at a
+/// chosen (checkpoint index, phase) gate so a test can run edits, commits
+/// or storage faults against a checkpoint frozen mid-pipeline, then release
+/// it — e.g. "transaction begins after the ATT snapshot", "power is lost
+/// between the end record and truncation".
+class ScheduleController : public GroupCommitHooks, public CheckpointHooks {
  public:
   explicit ScheduleController(uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
@@ -65,6 +74,19 @@ class ScheduleController : public GroupCommitHooks {
   /// index was the only scheduled pause, lets later flushes run freely).
   void ReleaseFlush();
 
+  /// Gates fuzzy checkpoint number `checkpoint_index` (1-based) at `phase`:
+  /// the checkpointer blocks inside its phase hook until
+  /// `ReleaseCheckpoint()`. Each gate fires at most once.
+  void PauseAtCheckpoint(uint64_t checkpoint_index, CheckpointPhase phase);
+
+  /// Blocks until the checkpointer is parked at a gate. False on timeout.
+  bool WaitUntilCheckpointPaused(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
+
+  /// Opens the gate the checkpointer is currently parked at (or the next
+  /// one it reaches, if called early).
+  void ReleaseCheckpoint();
+
   // --- observation ---
 
   uint64_t flushes_started() const;
@@ -81,6 +103,11 @@ class ScheduleController : public GroupCommitHooks {
   void OnGroupFlushStart(uint64_t flush_index, size_t waiters,
                          Lsn target) override;
   void OnGroupFlushEnd(uint64_t flush_index, const Status& status) override;
+
+  // --- CheckpointHooks ---
+
+  void OnCheckpointPhase(uint64_t checkpoint_index,
+                         CheckpointPhase phase) override;
 
  private:
   const uint64_t seed_;
@@ -101,6 +128,13 @@ class ScheduleController : public GroupCommitHooks {
   uint64_t finished_ TENDAX_GUARDED_BY(mu_) = 0;
   size_t waiters_now_ TENDAX_GUARDED_BY(mu_) = 0;
   size_t max_waiters_ TENDAX_GUARDED_BY(mu_) = 0;
+
+  // Checkpoint gate, mirroring the flush gate above. (index, phase) pairs
+  // with a closed gate; each is erased when its pause fires.
+  std::set<std::pair<uint64_t, uint8_t>> ckpt_pause_at_
+      TENDAX_GUARDED_BY(mu_);
+  bool ckpt_paused_ TENDAX_GUARDED_BY(mu_) = false;
+  bool ckpt_release_ TENDAX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace tendax

@@ -1,6 +1,7 @@
 #ifndef TENDAX_TXN_TRANSACTION_H_
 #define TENDAX_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -44,8 +45,20 @@ class Transaction {
   TxnState state() const { return state_; }
   Timestamp start_time() const { return start_time_; }
 
-  Lsn prev_lsn() const { return prev_lsn_; }
-  void set_prev_lsn(Lsn lsn) { prev_lsn_ = lsn; }
+  // prev_lsn is written by the owning thread on every logged change and
+  // read concurrently by the fuzzy checkpointer's ATT snapshot; relaxed
+  // atomics keep that race benign (the snapshot only needs *a* recent
+  // value — truncation safety rests on first_lsn, which is written once
+  // before the transaction is published).
+  Lsn prev_lsn() const { return prev_lsn_.load(std::memory_order_relaxed); }
+  void set_prev_lsn(Lsn lsn) {
+    prev_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+
+  /// LSN of this transaction's begin record; lower-bounds every record it
+  /// will ever log. Fuzzy checkpoints snapshot it into the ATT so log
+  /// truncation never discards records an undo might still need.
+  Lsn first_lsn() const { return first_lsn_; }
 
   const std::vector<WriteEntry>& write_set() const { return write_set_; }
   void AddWrite(WriteEntry entry) { write_set_.push_back(std::move(entry)); }
@@ -74,7 +87,8 @@ class Transaction {
   const UserId user_;
   const Timestamp start_time_;
   TxnState state_ = TxnState::kActive;
-  Lsn prev_lsn_ = kInvalidLsn;
+  std::atomic<Lsn> prev_lsn_{kInvalidLsn};
+  Lsn first_lsn_ = kInvalidLsn;
   std::vector<WriteEntry> write_set_;
   ChangeBatch events_;
   std::vector<std::function<void()>> rollback_actions_;

@@ -24,7 +24,10 @@ Transaction* TxnManager::Begin(UserId user) {
     rec.type = LogType::kBegin;
     rec.txn = id;
     auto lsn = wal_->Append(&rec);
-    if (lsn.ok()) raw->set_prev_lsn(*lsn);
+    if (lsn.ok()) {
+      raw->set_prev_lsn(*lsn);
+      raw->first_lsn_ = *lsn;
+    }
   }
   {
     MutexLock lock(mu_);
@@ -242,6 +245,20 @@ Result<Lsn> TxnManager::LogUpdate(Transaction* txn, UpdateOp op,
 size_t TxnManager::ActiveCount() const {
   MutexLock lock(mu_);
   return active_.size();
+}
+
+std::vector<CheckpointTxnEntry> TxnManager::ActiveTxnTable() const {
+  MutexLock lock(mu_);
+  std::vector<CheckpointTxnEntry> att;
+  att.reserve(active_.size());
+  for (const auto& [id, txn] : active_) {
+    CheckpointTxnEntry e;
+    e.txn = id;
+    e.first_lsn = txn->first_lsn();
+    e.last_lsn = txn->prev_lsn();
+    att.push_back(e);
+  }
+  return att;
 }
 
 TxnManagerStats TxnManager::stats() const {

@@ -78,6 +78,14 @@ class TxnManager {
                         uint64_t rid, std::string before, std::string after);
 
   size_t ActiveCount() const TENDAX_EXCLUDES(mu_);
+
+  /// Snapshot of the active-transaction table for a fuzzy checkpoint: every
+  /// in-flight transaction with the LSN of its begin record (`first_lsn`)
+  /// and its most recent record (`last_lsn`). Log truncation must retain
+  /// everything at or above the minimum first_lsn so a post-crash undo can
+  /// still walk these transactions' chains.
+  std::vector<CheckpointTxnEntry> ActiveTxnTable() const TENDAX_EXCLUDES(mu_);
+
   TxnManagerStats stats() const TENDAX_EXCLUDES(mu_);
   LockManager* lock_manager() { return locks_; }
   Clock* clock() { return clock_; }

@@ -11,6 +11,7 @@
 #include "collab/retrying_client.h"
 #include "core/tendax.h"
 #include "obs/metrics.h"
+#include "storage/segmented_log.h"
 #include "storage/wal.h"
 #include "testing/flaky_transport.h"
 #include "util/random.h"
@@ -402,6 +403,111 @@ TEST(CollabStressTest, MetricsScrapesAreTornFreeAndMonotoneUnderLoad) {
   EXPECT_GE(snap.CounterValue("txn.committed"), applied.load());
   EXPECT_EQ(snap.CounterValue("session.events_delivered"),
             server->sessions()->events_delivered());
+}
+
+// Satellite: the background fuzzy checkpointer races the full editing stack
+// while scraper threads snapshot the metrics registry. The checkpointer
+// snapshots the active-transaction table and dirty-page table, writes pages
+// back, and truncates WAL segments — all mid-edit. Run under
+// TENDAX_SANITIZE=thread this is the race check for the checkpoint
+// pipeline's cross-thread reads (Transaction::prev_lsn, Page::rec_lsn, the
+// segment span map). Disable via TENDAX_STRESS_CHECKPOINT=0.
+TEST(CollabStressTest, BackgroundCheckpointerUnderConcurrentEditors) {
+  if (EnvU64("TENDAX_STRESS_CHECKPOINT", 1) == 0) {
+    GTEST_SKIP() << "disabled via TENDAX_STRESS_CHECKPOINT=0";
+  }
+  const size_t kThreads =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
+  const size_t kOpsPerThread =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
+
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 256;  // small pool: checkpoints matter
+  options.db.log_storage = SegmentedLogStorage::InMemory();
+  options.db.wal_segment_bytes = 4096;
+  options.db.checkpoint_interval_micros = 300;  // hammer the pipeline
+  auto server_res = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
+  TendaxServer* server = server_res->get();
+
+  auto owner = server->accounts()->CreateUser("owner");
+  ASSERT_TRUE(owner.ok());
+  auto doc = server->text()->CreateDocument(*owner, "checkpointed.txt");
+  ASSERT_TRUE(doc.ok());
+
+  std::vector<std::unique_ptr<Editor>> editors;
+  for (size_t t = 0; t < kThreads + 1; ++t) {
+    auto user = server->accounts()->CreateUser("c" + std::to_string(t));
+    ASSERT_TRUE(user.ok());
+    auto editor = server->AttachEditor(*user, "checkpoint-client");
+    ASSERT_TRUE(editor.ok()) << editor.status().ToString();
+    if (t < kThreads) {
+      ASSERT_TRUE((*editor)->Open(*doc).ok());
+    }
+    editors.push_back(std::move(*editor));
+  }
+
+  std::atomic<size_t> applied{0};
+  std::atomic<bool> stop{false};
+  // One scraper thread pulls kStats snapshots (including the checkpoint.*
+  // and wal.segments/wal.truncated_bytes families) while everything runs.
+  std::thread scraper([&] {
+    Editor* probe = editors[kThreads].get();
+    size_t scrapes = 0;
+    while (!stop.load(std::memory_order_relaxed) || scrapes == 0) {
+      auto snap = probe->ServerStats();
+      ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+      EXPECT_GE(snap->GaugeValue("wal.segments"), 1);
+      ++scrapes;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      Editor* editor = editors[t].get();
+      TypingTraceGenerator gen(/*seed=*/3000 + t);
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        auto len = server->text()->Length(*doc);
+        if (!len.ok()) continue;
+        TypingAction a = gen.Next(static_cast<size_t>(*len));
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          Status st = a.kind == TypingAction::Kind::kInsert
+                          ? editor->Type(*doc, a.pos, a.text)
+                          : editor->Erase(*doc, a.pos, a.len);
+          if (st.ok()) {
+            ++applied;
+            break;
+          }
+          if (st.IsOutOfRange()) break;  // lost the length race
+          ASSERT_TRUE(st.IsRetryable() || st.IsConflict())
+              << "thread " << t << " op " << i << ": " << st.ToString();
+          std::this_thread::yield();
+        }
+        (void)editor->PollEvents();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  scraper.join();
+
+  EXPECT_GT(applied.load(), 0u);
+  // The background thread actually checkpointed while edits ran, and the
+  // surviving state is sound.
+  EXPECT_GE(server->db()->checkpointer()->stats().completed, 1u);
+  EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
+  Status integrity = server->CheckIntegrity();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+  auto text = server->text()->Text(*doc);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto view = editors[t]->Text(*doc);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(*view, *text) << "editor " << t << " diverged";
+  }
 }
 
 }  // namespace

@@ -436,6 +436,71 @@ TEST(CrashTortureTest, TornPageWriteIsDetectedNeverSilent) {
   }
 }
 
+// Regression for the RecoveryStats bookkeeping (the undo loop used to
+// clobber `losers` with a dead store before the final recompute): a known
+// workload — two committed transactions, one in flight at the crash — must
+// produce exactly these counters, including the checkpoint-related fields
+// staying at their no-checkpoint defaults.
+TEST(CrashTortureTest, RecoveryStatsAreExactForKnownWorkload) {
+  auto disk = std::make_shared<InMemoryDiskManager>();
+  auto log = std::make_shared<InMemoryLogStorage>();
+
+  DatabaseOptions options;
+  options.buffer_pool_pages = kPoolPages;
+  options.disk = disk;
+  options.log_storage = log;
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  Schema schema({{"id", ColumnType::kUint64}, {"name", ColumnType::kString}});
+  auto t = db->CreateTable("docs", schema);  // txn 1: committed (catalog)
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(db->txns()
+                  ->RunInTxn(UserId(1),
+                             [&](Transaction* txn) -> Status {  // txn 2
+                               for (uint64_t i = 0; i < 5; ++i) {
+                                 auto r = (*t)->Insert(
+                                     txn, Record({i, "r" + std::to_string(i)}));
+                                 if (!r.ok()) return r.status();
+                               }
+                               return Status::OK();
+                             })
+                  .ok());
+  Transaction* loser = db->txns()->Begin(UserId(2));  // txn 3: in flight
+  ASSERT_TRUE(
+      (*t)->Insert(loser, Record({uint64_t{100}, std::string("lost")})).ok());
+  ASSERT_TRUE(
+      (*t)->Insert(loser, Record({uint64_t{101}, std::string("lost2")})).ok());
+  ASSERT_TRUE(db->wal()->FlushAll().ok());
+
+  // Count the durable records so the scan assertions are exact.
+  std::string raw;
+  ASSERT_TRUE(log->ReadAll(&raw).ok());
+  std::vector<LogRecord> durable;
+  Wal::DecodeLogBuffer(raw, &durable);
+  ASSERT_GT(durable.size(), 7u);
+
+  db->SimulateCrash();
+  db.reset();
+  auto reopened = Database::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+  const RecoveryStats& stats = (*reopened)->recovery_stats();
+  EXPECT_EQ(stats.records_scanned, durable.size());
+  EXPECT_EQ(stats.records_skipped, 0u);
+  EXPECT_EQ(stats.checkpoint_lsn, kInvalidLsn);
+  EXPECT_EQ(stats.txns_seen, 3u);
+  EXPECT_EQ(stats.winners, 2u);
+  EXPECT_EQ(stats.losers, 1u);
+  EXPECT_EQ(stats.undo_applied, 2u) << "exactly the loser's two inserts";
+  EXPECT_GE(stats.redo_applied, 7u);
+
+  auto table = (*reopened)->GetTable("docs");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*(*table)->Count(), 5u);
+}
+
 // A transient fsync failure at commit time must not wedge the engine: the
 // failed transaction rolls back, its locks release, and later edits on the
 // same document keep working.

@@ -9,8 +9,13 @@
 #                      (TENDAX_THREAD_SAFETY=ON; proves lock annotations)
 #   2. lock-order      gcc/clang build with TENDAX_LOCK_ORDER=ON, then the
 #                      full ctest suite under the runtime validator
-#   3. clang-tidy      bug/concurrency/performance checks over src/
-#   4. sanitizers      ctest under -fsanitize=address and =undefined
+#                      (includes the `checkpoint` label: checkpointer vs
+#                      editor lock ranks)
+#   3. checkpoint      ctest -L checkpoint on a default build — fuzzy
+#                      checkpoint pipeline, WAL truncation, crash sweep
+#   4. clang-tidy      bug/concurrency/performance checks over src/
+#   5. sanitizers      ctest under -fsanitize=address and =undefined
+#                      (the checkpoint suites run under both as well)
 #
 # Exit code is non-zero iff any stage that *ran* failed.
 set -u
@@ -58,6 +63,13 @@ stage_lock_order() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+stage_checkpoint() {
+  local dir="$BUILD_ROOT/checkpoint"
+  cmake -S "$ROOT" -B "$dir" >/dev/null &&
+  cmake --build "$dir" -j "$JOBS" &&
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L checkpoint
+}
+
 stage_clang_tidy() {
   local dir="$BUILD_ROOT/tidy"
   cmake -S "$ROOT" -B "$dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null ||
@@ -82,6 +94,8 @@ else
 fi
 
 run_stage "lock-order (TENDAX_LOCK_ORDER=ON ctest)" stage_lock_order
+
+run_stage "checkpoint (ctest -L checkpoint)" stage_checkpoint
 
 if have clang-tidy; then
   run_stage "clang-tidy" stage_clang_tidy
