@@ -13,6 +13,9 @@
 
 namespace tendax {
 
+class AdmissionController;
+class Clock;
+
 /// The services an editor client talks to (all owned by the server).
 struct CollabServices {
   TextStore* text = nullptr;
@@ -24,6 +27,12 @@ struct CollabServices {
   /// Server-wide metrics registry; null when the attaching server predates
   /// the observability layer or metrics were stripped.
   MetricsRegistry* metrics = nullptr;
+  /// The server's clock (shared with the database). Used by the wire
+  /// endpoint to judge request deadlines; null = deadlines unenforceable.
+  Clock* clock = nullptr;
+  /// Overload-admission gate in front of the wire endpoint; null or
+  /// disabled = every request admitted (the pre-overload-layer behavior).
+  AdmissionController* admission = nullptr;
 };
 
 /// A headless TeNDaX editor client: the word processor without the GUI.
@@ -102,6 +111,10 @@ class Editor {
   /// The attached registry, or null. Used by the wire endpoint to register
   /// its own dispatch metrics.
   MetricsRegistry* metrics() const { return services_.metrics; }
+  /// The server clock, or null (deadlines then unenforceable at dispatch).
+  Clock* clock() const { return services_.clock; }
+  /// The server's admission controller, or null (no overload protection).
+  AdmissionController* admission() const { return services_.admission; }
 
  private:
   CollabServices services_;

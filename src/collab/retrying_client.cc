@@ -1,8 +1,20 @@
 #include "collab/retrying_client.h"
 
 #include <algorithm>
+#include <bit>
+
+#include "util/clock.h"
 
 namespace tendax {
+
+uint64_t BackoffWindowMicros(uint64_t base, int attempt, uint64_t cap) {
+  if (base == 0) return 0;
+  if (attempt < 0) attempt = 0;
+  // `base << attempt` wraps once the shift pushes the top set bit out, so
+  // clamp the exponent first: any shift that cannot fit saturates to cap.
+  if (attempt >= std::countl_zero(base)) return cap;
+  return std::min(base << attempt, cap);
+}
 
 RetryingClient::RetryingClient(WireTransport* transport, RetryOptions options)
     : transport_(transport),
@@ -19,12 +31,43 @@ RetryingClient::RetryingClient(WireTransport* transport, RetryOptions options)
     m_wire_errors_ = options_.metrics->counter("client.wire_errors");
     m_exhausted_ = options_.metrics->counter("client.exhausted");
     m_resyncs_ = options_.metrics->counter("client.resyncs");
+    m_unavailable_ = options_.metrics->counter("client.unavailable");
+    m_retry_after_honored_ =
+        options_.metrics->counter("client.retry_after_honored");
+    m_breaker_opens_ = options_.metrics->counter("client.breaker_opens");
+    m_breaker_short_circuits_ =
+        options_.metrics->counter("client.breaker_short_circuits");
   }
+}
+
+Clock* RetryingClient::clock() const {
+  if (options_.clock != nullptr) return options_.clock;
+  static SystemClock shared;
+  return &shared;
 }
 
 Result<WireResponse> RetryingClient::Call(EditCommand command) {
   ++stats_.calls;
   MetricAdd(m_calls_);
+
+  // Fail fast while the breaker is open: a server that just shed us will
+  // shed us again, and every extra frame feeds the storm. After the
+  // cooldown the next call goes through as a half-open probe.
+  if (breaker_open_) {
+    const uint64_t now = clock()->NowMicros();
+    const uint64_t reopen_at =
+        breaker_opened_at_ + options_.breaker_cooldown_micros;
+    if (now < reopen_at) {
+      ++stats_.breaker_short_circuits;
+      MetricAdd(m_breaker_short_circuits_);
+      WireResponse open;
+      open.code = StatusCode::kUnavailable;
+      open.message = "circuit breaker open";
+      open.retry_after_micros = reopen_at - now;
+      return open;
+    }
+  }
+
   const bool exempt = command.kind == CommandKind::kResume ||
                       command.kind == CommandKind::kHeartbeat ||
                       command.kind == CommandKind::kStats;
@@ -32,17 +75,37 @@ Result<WireResponse> RetryingClient::Call(EditCommand command) {
     command.request_id = key_salt_ ^ ++next_key_;
     if (command.request_id == 0) command.request_id = ++next_key_;
   }
+  // The deadline is stamped once per logical command: it spans every retry
+  // of this frame, so a frame redelivered after the client gave up arrives
+  // already-expired and the server drops it at dispatch.
+  if (command.deadline_micros == 0 && options_.default_deadline_micros > 0) {
+    command.deadline_micros =
+        clock()->NowMicros() + options_.default_deadline_micros;
+  }
   const std::string frame = SealFrame(EncodeCommand(command));
-  uint64_t backoff = options_.base_backoff_micros;
+  // A nonzero hint from the server replaces the next jittered window — the
+  // server can see the whole queue; the client can't.
+  uint64_t server_hint = 0;
   Status last_error = Status::IOError("no attempt made");
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      // Full jitter: wait a uniform slice of the current window, then
-      // double it. Keeps retry storms from synchronizing across clients.
-      const uint64_t wait = backoff > 0 ? 1 + rng_.Uniform(backoff) : 0;
+      uint64_t wait;
+      if (server_hint > 0) {
+        wait = server_hint;
+        server_hint = 0;
+        ++stats_.retry_after_honored;
+        MetricAdd(m_retry_after_honored_);
+      } else {
+        // Full jitter: wait a uniform slice of the current window, which
+        // doubles per retry (saturating — see BackoffWindowMicros). Keeps
+        // retry storms from synchronizing across clients.
+        const uint64_t window =
+            BackoffWindowMicros(options_.base_backoff_micros, attempt - 1,
+                                options_.max_backoff_micros);
+        wait = window > 0 ? 1 + rng_.Uniform(window) : 0;
+      }
       stats_.backoff_micros += wait;
       if (options_.sleep_fn) options_.sleep_fn(wait);
-      backoff = std::min(backoff * 2, options_.max_backoff_micros);
       MetricAdd(m_retries_);
     }
     ++stats_.attempts;
@@ -68,6 +131,32 @@ Result<WireResponse> RetryingClient::Call(EditCommand command) {
       MetricAdd(m_wire_errors_);
       continue;
     }
+    if (response->code == StatusCode::kUnavailable) {
+      // The server shed us. Retry on its schedule — unless that keeps
+      // happening, in which case open the breaker and stop contributing
+      // to the storm.
+      ++stats_.unavailable;
+      MetricAdd(m_unavailable_);
+      if (response->retry_after_micros == 0) {
+        ++stats_.unavailable_without_hint;
+      }
+      ++consecutive_unavailable_;
+      if (options_.breaker_threshold > 0 &&
+          consecutive_unavailable_ >= options_.breaker_threshold) {
+        breaker_open_ = true;
+        breaker_opened_at_ = clock()->NowMicros();
+        ++stats_.breaker_opens;
+        MetricAdd(m_breaker_opens_);
+        return *response;
+      }
+      if (attempt + 1 >= options_.max_attempts) return *response;
+      server_hint = response->retry_after_micros;
+      continue;
+    }
+    // Any non-shed answer (success or a clean server error) proves the
+    // server is responsive again: reset/close the breaker.
+    consecutive_unavailable_ = 0;
+    breaker_open_ = false;
     return *response;
   }
   ++stats_.exhausted;

@@ -27,7 +27,29 @@ struct RetryOptions {
   /// Optional registry for client-side "client.*" counters mirroring
   /// RetryStats. May be null; must outlive the client when set.
   MetricsRegistry* metrics = nullptr;
+  /// Deadline budget stamped on every outgoing command (0 = none). The
+  /// absolute deadline is computed once per logical Call — it covers all
+  /// retries of that command — and the server rejects the frame at dispatch
+  /// once it has passed, and caps lock waits/scans by the remaining budget.
+  uint64_t default_deadline_micros = 0;
+  /// Clock used for deadline stamping and breaker cooldowns. Must be the
+  /// same clock domain as the server's when deadlines are enabled (the
+  /// deadline crosses the wire as an absolute timestamp). Null = a shared
+  /// SystemClock.
+  Clock* clock = nullptr;
+  /// Circuit breaker: after this many *consecutive* kUnavailable responses
+  /// the breaker opens and calls fail fast (kUnavailable, no wire traffic)
+  /// until `breaker_cooldown_micros` passes; the next call is then a
+  /// half-open probe — success closes the breaker, another kUnavailable
+  /// re-opens it. 0 disables the breaker.
+  int breaker_threshold = 0;
+  uint64_t breaker_cooldown_micros = 100'000;
 };
+
+/// The jittered-backoff window for retry `attempt` (0-based): base * 2^n,
+/// saturating instead of wrapping for large attempt counts, clamped to
+/// `cap`. Exposed for the overflow regression test.
+uint64_t BackoffWindowMicros(uint64_t base, int attempt, uint64_t cap);
 
 /// Client-side observability for the retry machinery.
 struct RetryStats {
@@ -38,6 +60,11 @@ struct RetryStats {
   uint64_t exhausted = 0;      // commands that ran out of attempts
   uint64_t backoff_micros = 0; // total backoff budgeted
   uint64_t resyncs = 0;        // change-stream resyncs observed
+  uint64_t unavailable = 0;    // typed kUnavailable (shed) responses seen
+  uint64_t unavailable_without_hint = 0;  // ... that carried no retry-after
+  uint64_t retry_after_honored = 0;  // server hint overrode local backoff
+  uint64_t breaker_opens = 0;        // closed/half-open -> open transitions
+  uint64_t breaker_short_circuits = 0;  // calls failed fast while open
 };
 
 /// The editor side of the resilient session protocol: wraps a
@@ -95,7 +122,12 @@ class RetryingClient {
 
   const RetryStats& stats() const { return stats_; }
 
+  /// True while the circuit breaker is open (calls fail fast).
+  bool breaker_open() const { return breaker_open_; }
+
  private:
+  Clock* clock() const;
+
   WireTransport* const transport_;
   const RetryOptions options_;
   Random rng_;
@@ -103,6 +135,11 @@ class RetryingClient {
   uint64_t next_key_ = 0;
   uint64_t last_seq_ = 0;
   RetryStats stats_;
+
+  // Circuit-breaker state (single-threaded like the rest of the client).
+  int consecutive_unavailable_ = 0;
+  bool breaker_open_ = false;
+  uint64_t breaker_opened_at_ = 0;
 
   // Registry mirrors of stats_ (null without options.metrics).
   Counter* m_calls_ = nullptr;
@@ -112,6 +149,10 @@ class RetryingClient {
   Counter* m_wire_errors_ = nullptr;
   Counter* m_exhausted_ = nullptr;
   Counter* m_resyncs_ = nullptr;
+  Counter* m_unavailable_ = nullptr;
+  Counter* m_retry_after_honored_ = nullptr;
+  Counter* m_breaker_opens_ = nullptr;
+  Counter* m_breaker_short_circuits_ = nullptr;
 };
 
 }  // namespace tendax

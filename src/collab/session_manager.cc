@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "collab/admission.h"
+
 namespace tendax {
 
 SessionManager::SessionManager(Database* db, MetaStore* meta,
@@ -70,6 +72,12 @@ void SessionManager::Dispatch(const ChangeBatch& batch) {
 
 Result<SessionId> SessionManager::Connect(UserId user,
                                           const std::string& client) {
+  // Degradation policy: refuse *new* sessions before harming existing ones.
+  // Checked before mu_ — the gate takes its own (lower-rank) lock and may
+  // probe the buffer pool.
+  if (admission_ != nullptr) {
+    TENDAX_RETURN_IF_ERROR(admission_->AdmitNewSession());
+  }
   ReapExpired();
   SessionId id(next_session_id_.fetch_add(1));
   auto session = std::make_unique<Session>();

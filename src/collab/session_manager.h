@@ -71,12 +71,21 @@ struct SessionOptions {
 /// `Resume(session, last_seq)`. A client that reconnects re-issues Resume
 /// with the last sequence it applied and receives exactly the missed
 /// suffix — or a single `kResync` marker when the suffix was trimmed.
+class AdmissionController;
+
 class SessionManager {
  public:
   SessionManager(Database* db, MetaStore* meta, SessionOptions options = {});
 
   /// Hooks the commit-event stream. Call once.
   Status Init();
+
+  /// Installs the overload gate consulted by Connect: while the server is
+  /// degraded, *new* sessions are refused (kUnavailable) before existing
+  /// sessions lose anything. Call before concurrent use; null detaches.
+  void AttachAdmission(AdmissionController* admission) {
+    admission_ = admission;
+  }
 
   Result<SessionId> Connect(UserId user, const std::string& client)
       TENDAX_EXCLUDES(mu_);
@@ -159,6 +168,7 @@ class SessionManager {
   Database* const db_;
   MetaStore* const meta_;
   const SessionOptions options_;
+  AdmissionController* admission_ = nullptr;  // set once before concurrency
 
   // Dropped before any db_ / meta_ call (OpenDocument records the read
   // outside the lock); Dispatch runs on the commit thread with nothing held.

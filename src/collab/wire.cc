@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "collab/admission.h"
 #include "storage/page.h"  // PageChecksum (FNV-1a), reused for frames
+#include "util/clock.h"
 #include "util/coding.h"
+#include "util/deadline.h"
 
 namespace tendax {
 
@@ -56,6 +59,7 @@ std::string EncodeCommand(const EditCommand& command) {
   PutVarint64(&out, command.len);
   PutLengthPrefixed(&out, command.text);
   PutLengthPrefixed(&out, command.extra);
+  PutVarint64(&out, command.deadline_micros);
   return out;
 }
 
@@ -75,7 +79,8 @@ Result<EditCommand> DecodeCommand(Slice bytes) {
       !GetVarint64(&bytes, &doc) || !GetVarint64(&bytes, &command.pos) ||
       !GetVarint64(&bytes, &command.len) ||
       !GetLengthPrefixed(&bytes, &text) ||
-      !GetLengthPrefixed(&bytes, &extra)) {
+      !GetLengthPrefixed(&bytes, &extra) ||
+      !GetVarint64(&bytes, &command.deadline_micros)) {
     return Status::Corruption("truncated command");
   }
   if (!bytes.empty()) {
@@ -92,13 +97,14 @@ std::string EncodeResponse(const WireResponse& response) {
   out.push_back(static_cast<char>(response.code));
   PutLengthPrefixed(&out, response.message);
   PutLengthPrefixed(&out, response.payload);
+  PutVarint64(&out, response.retry_after_micros);
   return out;
 }
 
 Result<WireResponse> DecodeResponse(Slice bytes) {
   if (bytes.empty()) return Status::Corruption("empty response");
   const uint8_t code = static_cast<uint8_t>(bytes[0]);
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(kStatusCodeMax)) {
     return Status::InvalidArgument("unknown status code " +
                                    std::to_string(code));
   }
@@ -107,7 +113,8 @@ Result<WireResponse> DecodeResponse(Slice bytes) {
   bytes.remove_prefix(1);
   Slice message, payload;
   if (!GetLengthPrefixed(&bytes, &message) ||
-      !GetLengthPrefixed(&bytes, &payload)) {
+      !GetLengthPrefixed(&bytes, &payload) ||
+      !GetVarint64(&bytes, &response.retry_after_micros)) {
     return Status::Corruption("truncated response");
   }
   if (!bytes.empty()) {
@@ -256,6 +263,7 @@ RemoteEditorEndpoint::RemoteEditorEndpoint(Editor* editor,
     m_requests_ = metrics->counter("wire.requests");
     m_decode_errors_ = metrics->counter("wire.decode_errors");
     m_dedup_hits_ = metrics->counter("wire.dedup_hits");
+    m_deadline_rejected_ = metrics->counter("admission.deadline_rejected");
     m_dispatch_[0] = metrics->histogram("wire.dispatch_micros.invalid");
     for (uint8_t k = 1; k <= kCommandKindMax; ++k) {
       m_dispatch_[k] = metrics->histogram(
@@ -279,6 +287,23 @@ std::string RemoteEditorEndpoint::Handle(Slice command_bytes) {
     return EncodeResponse(bad);
   }
   dispatch_timer.Redirect(m_dispatch_[static_cast<uint8_t>(command->kind)]);
+  // Deadline check happens before any work: an already-expired request is
+  // pure waste — the client stopped waiting — so reject it at the door.
+  // The remaining budget (if any) is armed as the ambient RequestDeadline
+  // around admission + execution so lock waits and scans stay within it.
+  uint64_t budget_micros = 0;
+  if (command->deadline_micros != 0 && editor_->clock() != nullptr) {
+    const uint64_t now = editor_->clock()->NowMicros();
+    if (now >= command->deadline_micros) {
+      ++deadline_rejected_;
+      MetricAdd(m_deadline_rejected_);
+      WireResponse expired;
+      expired.code = StatusCode::kDeadlineExceeded;
+      expired.message = "deadline expired before dispatch";
+      return EncodeResponse(expired);
+    }
+    budget_micros = command->deadline_micros - now;
+  }
   // At-most-once execution: a retried command (same idempotency key)
   // returns the cached response instead of running again. Resume, heartbeat
   // and stats are exempt — they are idempotent by construction and must
@@ -295,7 +320,25 @@ std::string RemoteEditorEndpoint::Handle(Slice command_bytes) {
       return it->second;
     }
   }
-  std::string encoded = EncodeResponse(Execute(*command));
+  std::string encoded;
+  {
+    ScopedRequestDeadline scoped_deadline(budget_micros);
+    // Admission sits after the dedup lookup (a cached answer costs nothing
+    // and must stay reachable even under shed) and inside the deadline
+    // scope (queue wait counts against the request's budget).
+    AdmissionController* admission = editor_->admission();
+    AdmissionController::Pass pass(admission,
+                                   ClassifyCommand(command->kind));
+    const auto& ticket = pass.ticket();
+    if (!ticket.status.ok()) {
+      WireResponse refused;
+      refused.code = ticket.status.code();
+      refused.message = ticket.status.message();
+      refused.retry_after_micros = ticket.retry_after_micros;
+      return EncodeResponse(refused);
+    }
+    encoded = EncodeResponse(Execute(*command));
+  }
   if (dedupable) {
     if (dedup_.size() >= dedup_capacity_ && !dedup_order_.empty()) {
       dedup_.erase(dedup_order_.front());

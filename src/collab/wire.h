@@ -60,6 +60,12 @@ struct EditCommand {
   uint64_t len = 0;
   std::string text;   // kType/kPaste payload, kAnnotate note, layout attr
   std::string extra;  // layout value
+  /// Absolute request deadline in server-clock microseconds; 0 = none.
+  /// Absolute (not a relative budget) so a frame that sat in a retry queue
+  /// arrives already-expired and is rejected at dispatch instead of doing
+  /// work nobody is waiting for. The remaining budget caps lock waits and
+  /// long scans downstream (see util/deadline.h).
+  uint64_t deadline_micros = 0;
 };
 
 /// The server's answer: a status plus an optional payload (document text,
@@ -68,6 +74,11 @@ struct WireResponse {
   StatusCode code = StatusCode::kOk;
   std::string message;
   std::string payload;
+  /// Server-computed backoff hint, nonzero iff `code == kUnavailable`: how
+  /// long the client should wait before retrying. Overrides the client's
+  /// own exponential backoff (the server can see the whole queue; the
+  /// client can't).
+  uint64_t retry_after_micros = 0;
 };
 
 // --- codec ---
@@ -156,6 +167,10 @@ class RemoteEditorEndpoint {
   uint64_t dedup_hits() const { return dedup_hits_; }
   size_t dedup_entries() const { return dedup_.size(); }
 
+  /// Requests rejected at dispatch because their deadline had already
+  /// passed (no work done).
+  uint64_t deadline_rejected() const { return deadline_rejected_; }
+
  private:
   WireResponse Execute(const EditCommand& command);
 
@@ -165,6 +180,7 @@ class RemoteEditorEndpoint {
   std::unordered_map<uint64_t, std::string> dedup_;  // key -> encoded response
   std::deque<uint64_t> dedup_order_;                 // FIFO eviction
   uint64_t dedup_hits_ = 0;
+  uint64_t deadline_rejected_ = 0;
 
   // Registry-backed wire metrics, resolved from the editor's server-side
   // registry at construction (null when metrics are disabled). Dispatch
@@ -173,6 +189,7 @@ class RemoteEditorEndpoint {
   Counter* m_requests_ = nullptr;
   Counter* m_decode_errors_ = nullptr;
   Counter* m_dedup_hits_ = nullptr;
+  Counter* m_deadline_rejected_ = nullptr;
   std::array<Histogram*, kCommandKindMax + 1> m_dispatch_{};
 };
 

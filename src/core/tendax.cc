@@ -33,6 +33,18 @@ Result<std::unique_ptr<TendaxServer>> TendaxServer::Open(
       raw_db, server->meta_.get(), options.session);
   TENDAX_RETURN_IF_ERROR(server->sessions_->Init());
 
+  server->admission_ = std::make_unique<AdmissionController>(
+      options.admission, raw_db->metrics());
+  if (options.db.checkpoint_dirty_page_threshold > 0) {
+    // Degradation signal: the same dirty-page threshold that triggers a
+    // fuzzy checkpoint marks the server as under buffer-pool pressure.
+    BufferPool* pool = raw_db->buffer_pool();
+    const size_t threshold = options.db.checkpoint_dirty_page_threshold;
+    server->admission_->SetPressureProbe(
+        [pool, threshold] { return pool->DirtyCount() >= threshold; });
+  }
+  server->sessions_->AttachAdmission(server->admission_.get());
+
   server->undo_ = std::make_unique<UndoManager>(server->text_.get());
 
   server->workflows_ = std::make_unique<WorkflowEngine>(
@@ -74,6 +86,8 @@ Result<std::unique_ptr<Editor>> TendaxServer::AttachEditor(
   services.sessions = sessions_.get();
   services.undo = undo_.get();
   services.metrics = db_->metrics();
+  services.clock = db_->clock();
+  services.admission = admission_.get();
   return std::make_unique<Editor>(services, *session, user);
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "collab/admission.h"
 #include "collab/editor.h"
 #include "collab/session_manager.h"
 #include "collab/undo_manager.h"
@@ -55,6 +56,15 @@ struct TendaxOptions {
   /// near-zero-cost configuration benchmarked by BM_MetricsOverhead.
   /// Ignored when `db.metrics` is already set.
   bool metrics_enabled = true;
+  /// Overload protection. `admission.max_inflight = 0` (the default) turns
+  /// admission control off entirely; nonzero bounds concurrent wire
+  /// requests, queues the overflow in priority order (heartbeats/resumes >
+  /// edits > stats), and sheds the rest with typed kUnavailable + a
+  /// retry-after hint. The degradation probe is wired automatically: when
+  /// `db.checkpoint_dirty_page_threshold` is set and the buffer pool's
+  /// dirty-page count reaches it, background traffic is shed outright and
+  /// new sessions are refused until pressure clears.
+  AdmissionOptions admission;
 };
 
 /// The TeNDaX server: one embedded database plus every subsystem of the
@@ -88,6 +98,7 @@ class TendaxServer {
   AccessControl* accounts() { return acl_.get(); }
   DocumentModel* documents() { return docs_.get(); }
   SessionManager* sessions() { return sessions_.get(); }
+  AdmissionController* admission() { return admission_.get(); }
   UndoManager* undo() { return undo_.get(); }
   WorkflowEngine* workflows() { return workflows_.get(); }
   LineageAnalyzer* lineage() { return lineage_.get(); }
@@ -119,6 +130,7 @@ class TendaxServer {
   std::unique_ptr<AccessControl> acl_;
   std::unique_ptr<DocumentModel> docs_;
   std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<UndoManager> undo_;
   std::unique_ptr<WorkflowEngine> workflows_;
   std::unique_ptr<LineageAnalyzer> lineage_;

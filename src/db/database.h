@@ -35,7 +35,11 @@ struct DatabaseOptions {
   /// flusher thread, when configured, lives inside the Wal and is drained
   /// on close. See `GroupCommitOptions`.
   GroupCommitOptions group_commit;
-  /// Lock wait timeout before a Conflict error.
+  /// Lock wait timeout before a Conflict error. When the acquiring thread
+  /// carries an ambient request deadline (util/deadline.h — armed by the
+  /// wire endpoint from the frame's `deadline_micros`), the effective wait
+  /// bound is min(lock_timeout, remaining deadline budget) and a
+  /// deadline-side expiry surfaces as kDeadlineExceeded instead.
   std::chrono::milliseconds lock_timeout{2000};
   /// Time source for all metadata stamps; defaults to the system clock.
   std::shared_ptr<Clock> clock;

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cmath>
 
+#include "util/deadline.h"
+
 namespace tendax {
 
 const char* RankingName(Ranking ranking) {
@@ -290,6 +292,13 @@ Result<std::vector<SearchResult>> SearchEngine::Search(
 
   std::vector<SearchResult> results;
   for (uint64_t doc : candidates) {
+    // The per-candidate scoring loop is the unbounded part of a query (a
+    // broad term can match every document), so it honors the caller's
+    // request deadline: better a typed refusal than a result nobody is
+    // still waiting for.
+    if (RequestDeadline::Expired()) {
+      return Status::DeadlineExceeded("request deadline expired mid-scan");
+    }
     SearchResult r;
     r.doc = DocumentId(doc);
     if (ranking == Ranking::kMostCited) {

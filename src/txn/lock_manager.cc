@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "util/deadline.h"
+
 namespace tendax {
 
 const char* LockModeName(LockMode mode) {
@@ -70,7 +72,16 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
     }
   }
 
-  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  // Deadline propagation: the wait is bounded by min(lock_timeout, the
+  // request's remaining budget). A request that would miss its deadline
+  // anyway gives the lock back to useful work early and surfaces the typed
+  // kDeadlineExceeded instead of a generic conflict.
+  auto deadline = std::chrono::steady_clock::now() + timeout_;
+  bool deadline_is_request = false;
+  if (RequestDeadline::Armed() && RequestDeadline::Deadline() < deadline) {
+    deadline = RequestDeadline::Deadline();
+    deadline_is_request = true;
+  }
   bool waited = false;
   // Armed at the first wait; RAII records the time blocked on every exit
   // below (deadlock victim, timeout, and eventual grant alike).
@@ -100,10 +111,17 @@ Status LockManager::Acquire(TxnId txn, uint64_t resource, LockMode mode) {
     }
     if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
         !Grantable(state, txn, target)) {
-      ++stats_.timeouts;
-      MetricAdd(m_timeouts_);
       wait_for_.erase(txn.value);
       --state.waiters;
+      if (deadline_is_request) {
+        ++stats_.deadline_exceeded;
+        MetricAdd(m_deadline_exceeded_);
+        return Status::DeadlineExceeded(
+            "request deadline expired waiting for resource " +
+            std::to_string(resource));
+      }
+      ++stats_.timeouts;
+      MetricAdd(m_timeouts_);
       return Status::Conflict("lock wait timeout on resource " +
                               std::to_string(resource));
     }

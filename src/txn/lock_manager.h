@@ -49,12 +49,19 @@ struct LockManagerStats {
   uint64_t waits = 0;
   uint64_t deadlocks = 0;
   uint64_t timeouts = 0;
+  /// Waits cut short by the *request's* deadline (not lock_timeout): the
+  /// ambient RequestDeadline expired first, so the caller got the typed
+  /// kDeadlineExceeded instead of a retryable Conflict.
+  uint64_t deadline_exceeded = 0;
 };
 
 /// Strict two-phase lock manager with wait-for-graph deadlock detection.
 /// On deadlock the *requesting* transaction is the victim and receives
 /// Status::Deadlock; callers abort it and may retry. A wait that exceeds
-/// `timeout` returns Status::Conflict.
+/// `timeout` returns Status::Conflict. When the calling thread carries an
+/// ambient RequestDeadline (util/deadline.h) that lands before the
+/// timeout, the wait is capped there instead and an expiry surfaces as
+/// Status::DeadlineExceeded.
 class LockManager {
  public:
   /// `metrics` may be null (standalone/unit use); it must outlive the
@@ -68,6 +75,7 @@ class LockManager {
       m_waits_ = metrics->counter("lock.waits");
       m_deadlocks_ = metrics->counter("lock.deadlocks");
       m_timeouts_ = metrics->counter("lock.timeouts");
+      m_deadline_exceeded_ = metrics->counter("lock.deadline_exceeded");
       m_wait_micros_ = metrics->histogram("lock.wait_micros");
     }
   }
@@ -127,6 +135,7 @@ class LockManager {
   Counter* m_waits_ = nullptr;
   Counter* m_deadlocks_ = nullptr;
   Counter* m_timeouts_ = nullptr;
+  Counter* m_deadline_exceeded_ = nullptr;
   Histogram* m_wait_micros_ = nullptr;
 };
 

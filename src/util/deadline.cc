@@ -1,0 +1,43 @@
+#include "util/deadline.h"
+
+#include <algorithm>
+
+namespace tendax {
+
+thread_local RequestDeadline::TimePoint RequestDeadline::deadline_{};
+thread_local bool RequestDeadline::armed_ = false;
+
+bool RequestDeadline::Armed() { return armed_; }
+
+RequestDeadline::TimePoint RequestDeadline::Deadline() { return deadline_; }
+
+bool RequestDeadline::Expired() {
+  return armed_ && std::chrono::steady_clock::now() >= deadline_;
+}
+
+uint64_t RequestDeadline::RemainingMicros() {
+  if (!armed_) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline_) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(deadline_ - now)
+          .count());
+}
+
+ScopedRequestDeadline::ScopedRequestDeadline(uint64_t budget_micros)
+    : saved_deadline_(RequestDeadline::deadline_),
+      saved_armed_(RequestDeadline::armed_) {
+  if (budget_micros == 0) return;
+  auto candidate = std::chrono::steady_clock::now() +
+                   std::chrono::microseconds(budget_micros);
+  if (saved_armed_) candidate = std::min(candidate, saved_deadline_);
+  RequestDeadline::deadline_ = candidate;
+  RequestDeadline::armed_ = true;
+}
+
+ScopedRequestDeadline::~ScopedRequestDeadline() {
+  RequestDeadline::deadline_ = saved_deadline_;
+  RequestDeadline::armed_ = saved_armed_;
+}
+
+}  // namespace tendax

@@ -1,0 +1,59 @@
+#ifndef TENDAX_UTIL_DEADLINE_H_
+#define TENDAX_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tendax {
+
+/// Ambient per-request deadline, gRPC-style. The collab endpoint arms it with
+/// the request's remaining budget before dispatching into the engine; deep
+/// blocking code (lock waits, long scans) reads it without any parameter
+/// plumbing. Stored as a thread-local steady_clock point because the wait
+/// primitives below it (CondVar::WaitUntil) are steady_clock-based — the
+/// wall-clock budget from the wire is converted once at the endpoint.
+///
+/// A zero/unset deadline means "no deadline"; all queries are cheap no-ops.
+class RequestDeadline {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// True iff a deadline is armed on this thread.
+  static bool Armed();
+
+  /// The armed deadline. Only meaningful when Armed().
+  static TimePoint Deadline();
+
+  /// True iff a deadline is armed and already in the past.
+  static bool Expired();
+
+  /// Remaining budget in microseconds; 0 when expired. Only meaningful when
+  /// Armed().
+  static uint64_t RemainingMicros();
+
+ private:
+  friend class ScopedRequestDeadline;
+  static thread_local TimePoint deadline_;
+  static thread_local bool armed_;
+};
+
+/// RAII guard that arms the calling thread's ambient deadline for the
+/// dynamic extent of a request. Nests: the inner guard may only tighten the
+/// deadline (an outer, earlier deadline wins), and the previous state is
+/// restored on destruction. `budget_micros == 0` arms nothing (no-op guard).
+class ScopedRequestDeadline {
+ public:
+  explicit ScopedRequestDeadline(uint64_t budget_micros);
+  ~ScopedRequestDeadline();
+
+  ScopedRequestDeadline(const ScopedRequestDeadline&) = delete;
+  ScopedRequestDeadline& operator=(const ScopedRequestDeadline&) = delete;
+
+ private:
+  RequestDeadline::TimePoint saved_deadline_;
+  bool saved_armed_;
+};
+
+}  // namespace tendax
+
+#endif  // TENDAX_UTIL_DEADLINE_H_

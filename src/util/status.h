@@ -25,7 +25,14 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 11,
   kUnimplemented = 12,
   kInternal = 13,
+  kDeadlineExceeded = 14,  // request's deadline budget ran out; retryable
+  kUnavailable = 15,       // server shed the request (overload); retry later
 };
+
+/// Highest valid StatusCode value. Wire decoders bound-check against this so
+/// adding a code is a one-line change here plus a StatusCodeName entry (the
+/// name-coverage test enforces the latter).
+inline constexpr StatusCode kStatusCodeMax = StatusCode::kUnavailable;
 
 /// Human-readable name of a status code, e.g. "Conflict".
 const char* StatusCodeName(StatusCode code);
@@ -82,6 +89,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   /// Builds a status from a dynamic code (e.g. one read off the wire).
   /// `kOk` yields OK and drops the message.
   static Status FromCode(StatusCode code, std::string msg) {
@@ -110,6 +123,10 @@ class [[nodiscard]] Status {
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// True for failures a caller may resolve by retrying the transaction
   /// (lock conflicts and deadlock victims).

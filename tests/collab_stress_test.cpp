@@ -30,6 +30,7 @@ namespace {
 //   TENDAX_STRESS_OPS           edits per editor    (default 60)
 //   TENDAX_STRESS_GROUP_COMMIT  group-commit case: 0 skip, 1 flusher
 //                               thread (default), 2 leader mode
+//   TENDAX_STRESS_OVERLOAD      overload-storm case: 0 skip, 1 run (default)
 
 uint64_t EnvU64(const char* name, uint64_t def) {
   const char* v = std::getenv(name);
@@ -296,6 +297,134 @@ TEST(CollabStressTest, ReconnectChurnOverFlakyTransportConverges) {
   EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
   EXPECT_EQ(server->sessions()->sessions_reaped(), 0u)
       << "no lease should lapse under active traffic";
+  Status integrity = server->CheckIntegrity();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
+}
+
+// Satellite: the overload storm under TSAN. Editors hammer a shared
+// document through a deliberately tiny admission gate (constant queueing,
+// displacement, and shedding) while a heartbeat thread rides the critical
+// class and a reaper sweeps leases — racing the admission queue's
+// grant/displace/timeout paths against dispatch. Assertions cover
+// convergence and integrity; the sanitizer covers the controller's locking.
+// Disable via TENDAX_STRESS_OVERLOAD=0.
+TEST(CollabStressTest, OverloadStormUnderTinyAdmissionGate) {
+  if (EnvU64("TENDAX_STRESS_OVERLOAD", 1) == 0) {
+    GTEST_SKIP() << "disabled via TENDAX_STRESS_OVERLOAD=0";
+  }
+  const size_t kThreads =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
+  const size_t kOpsPerThread =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
+
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 1024;
+  options.session.lease_ttl_micros = 60'000'000;
+  options.admission.max_inflight = 1;
+  options.admission.queue_depth = 1;
+  options.admission.retry_after_base_micros = 100;
+  options.admission.retry_after_max_micros = 2'000;
+  auto server_res = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
+  TendaxServer* server = server_res->get();
+
+  auto owner = server->accounts()->CreateUser("owner");
+  ASSERT_TRUE(owner.ok());
+  auto doc = server->text()->CreateDocument(*owner, "stormed.txt");
+  ASSERT_TRUE(doc.ok());
+
+  struct Rig {
+    std::unique_ptr<Editor> editor;
+    std::unique_ptr<RemoteEditorEndpoint> endpoint;
+    std::unique_ptr<FlakyTransport> transport;
+    std::unique_ptr<RetryingClient> client;
+  };
+  auto connect = [&](const std::string& name, uint64_t seed) {
+    Rig rig;
+    auto user = server->accounts()->CreateUser(name);
+    EXPECT_TRUE(user.ok());
+    auto editor = server->AttachEditor(*user, name);
+    EXPECT_TRUE(editor.ok()) << editor.status().ToString();
+    rig.editor = std::move(*editor);
+    rig.endpoint = std::make_unique<RemoteEditorEndpoint>(rig.editor.get());
+    rig.transport = std::make_unique<FlakyTransport>(
+        rig.endpoint.get(), NetFaultOptions::Uniform(seed, 0.0));
+    RetryOptions retry;
+    retry.seed = seed;
+    retry.max_attempts = 10'000;
+    retry.base_backoff_micros = 50;
+    retry.max_backoff_micros = 2'000;
+    retry.sleep_fn = [](uint64_t micros) {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    };
+    rig.client = std::make_unique<RetryingClient>(rig.transport.get(), retry);
+    return rig;
+  };
+
+  std::vector<Rig> rigs;
+  for (size_t t = 0; t < kThreads; ++t) {
+    rigs.push_back(connect("storm" + std::to_string(t), 9000 + t * 17));
+    ASSERT_TRUE(rigs[t].client->Open(*doc).ok());
+  }
+  Rig keeper = connect("storm-keeper", 777);
+
+  std::atomic<bool> stop{false};
+  std::thread reaper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)server->sessions()->ReapExpired();
+      std::this_thread::yield();
+    }
+  });
+  std::thread heartbeats([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(keeper.client->Heartbeat().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  std::atomic<size_t> applied{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // A fat payload keeps each admitted request inside the gate long
+      // enough for the other editors to pile up behind it.
+      const std::string payload(32, 'a' + static_cast<char>(t % 26));
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        Status st = rigs[t].client->Type(*doc, 0, payload);
+        while (st.IsRetryable()) {
+          std::this_thread::yield();
+          st = rigs[t].client->Type(*doc, 0, payload);
+        }
+        ASSERT_TRUE(st.ok()) << "thread " << t << ": " << st.ToString();
+        ++applied;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  heartbeats.join();
+  reaper.join();
+
+  EXPECT_EQ(applied.load(), kThreads * kOpsPerThread);
+  auto server_text = server->text()->Text(*doc);
+  ASSERT_TRUE(server_text.ok()) << server_text.status().ToString();
+  EXPECT_EQ(server_text->size(), kThreads * kOpsPerThread * 32);
+  for (size_t t = 0; t < kThreads; ++t) {
+    auto view = rigs[t].client->GetText(*doc);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(*view, *server_text) << "client " << t << " diverged";
+  }
+
+  const auto admission = server->admission()->Stats();
+  EXPECT_EQ(admission.shed[static_cast<size_t>(PriorityClass::kCritical)],
+            0u);
+  if (kThreads > 2) {
+    EXPECT_GT(admission.shed[static_cast<size_t>(PriorityClass::kNormal)],
+              0u);
+  }
+  EXPECT_EQ(server->sessions()->sessions_reaped(), 0u);
+  EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
   Status integrity = server->CheckIntegrity();
   EXPECT_TRUE(integrity.ok()) << integrity.ToString();
 }

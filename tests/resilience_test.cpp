@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "collab/retrying_client.h"
@@ -370,6 +373,91 @@ TEST_F(ResilienceTest, HeartbeatsKeepALeasedSessionAliveOverTheWire) {
   EXPECT_EQ((*server)->sessions()->ReapExpired(), 1u);
   Status s = client.Heartbeat();
   EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+// Priority-starvation regression: with the admission gate saturated by
+// normal-class edit traffic (tiny inflight/queue bounds, constant sheds), a
+// leased session that lives purely on kHeartbeat frames must keep renewing —
+// heartbeats ride the critical class, which is never shed before normals,
+// so mid-storm ReapExpired sweeps find nothing to reap.
+TEST_F(ResilienceTest, HeartbeatsSurviveNormalClassSaturation) {
+  constexpr size_t kStormers = 8;
+
+  TendaxOptions options;
+  options.session.lease_ttl_micros = 5'000'000;  // SystemClock domain
+  options.admission.max_inflight = 1;
+  options.admission.queue_depth = 2;
+  options.admission.retry_after_base_micros = 100;
+  options.admission.retry_after_max_micros = 2'000;
+  auto server = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto user = (*server)->accounts()->CreateUser("storm");
+  ASSERT_TRUE(user.ok());
+  auto doc = (*server)->text()->CreateDocument(*user, "saturated");
+  ASSERT_TRUE(doc.ok());
+
+  struct Conn {
+    std::unique_ptr<Editor> editor;
+    std::unique_ptr<RemoteEditorEndpoint> endpoint;
+    std::unique_ptr<FlakyTransport> transport;
+    std::unique_ptr<RetryingClient> client;
+  };
+  auto connect = [&](const std::string& name, uint64_t seed) {
+    auto c = std::make_unique<Conn>();
+    auto editor = (*server)->AttachEditor(*user, name);
+    EXPECT_TRUE(editor.ok()) << editor.status().ToString();
+    c->editor = std::move(*editor);
+    c->endpoint = std::make_unique<RemoteEditorEndpoint>(c->editor.get());
+    c->transport = std::make_unique<FlakyTransport>(
+        c->endpoint.get(), NetFaultOptions::Uniform(seed, 0.0));
+    RetryOptions retry;
+    retry.seed = seed;
+    retry.max_attempts = 10'000;
+    retry.base_backoff_micros = 50;
+    retry.max_backoff_micros = 2'000;
+    retry.sleep_fn = [](uint64_t micros) {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    };
+    c->client = std::make_unique<RetryingClient>(c->transport.get(), retry);
+    return c;
+  };
+
+  std::vector<std::unique_ptr<Conn>> stormers;
+  for (size_t i = 0; i < kStormers; ++i) {
+    stormers.push_back(connect("stormer-" + std::to_string(i), 100 + i));
+  }
+  auto keeper = connect("lease-keeper", 7);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kStormers; ++i) {
+    threads.emplace_back([&, i] {
+      while (!stop.load()) {
+        Status st = stormers[i]->client->Type(*doc, 0, "x");
+        EXPECT_TRUE(st.ok() || st.IsRetryable()) << st.ToString();
+      }
+    });
+  }
+
+  uint64_t heartbeats_ok = 0;
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  while (std::chrono::steady_clock::now() < until) {
+    ASSERT_TRUE(keeper->client->Heartbeat().ok());
+    ++heartbeats_ok;
+    // Mid-storm reap sweeps must find every lease current.
+    EXPECT_EQ((*server)->sessions()->ReapExpired(), 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(heartbeats_ok, 0u);
+  EXPECT_EQ((*server)->sessions()->sessions_reaped(), 0u);
+  const auto admission = (*server)->admission()->Stats();
+  EXPECT_GT(admission.shed[static_cast<size_t>(PriorityClass::kNormal)], 0u);
+  EXPECT_EQ(admission.shed[static_cast<size_t>(PriorityClass::kCritical)],
+            0u);
 }
 
 // --- the acceptance sweep ---

@@ -35,9 +35,32 @@ TEST(StatusTest, RetryableClassification) {
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= 13; ++c) {
-    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  // Coverage runs to kStatusCodeMax so adding an enum value without a
+  // StatusCodeName entry fails here instead of shipping "Unknown".
+  for (int c = 0; c <= static_cast<int>(kStatusCodeMax); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown")
+        << "StatusCode " << c << " has no name";
   }
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(
+                   static_cast<int>(kStatusCodeMax) + 1)),
+               "Unknown");
+}
+
+TEST(StatusTest, OverloadCodes) {
+  Status expired = Status::DeadlineExceeded("too late");
+  EXPECT_TRUE(expired.IsDeadlineExceeded());
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.ToString(), "DeadlineExceeded: too late");
+
+  Status shed = Status::Unavailable("queue full");
+  EXPECT_TRUE(shed.IsUnavailable());
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed.ToString(), "Unavailable: queue full");
+
+  // Overload refusals are not transaction-retryable: the caller must wait
+  // (retry-after / breaker), not immediately re-run the transaction.
+  EXPECT_FALSE(expired.IsRetryable());
+  EXPECT_FALSE(shed.IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {

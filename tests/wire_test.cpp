@@ -32,17 +32,19 @@ EditCommand RandomCommand(Random* rng) {
   command.len = rng->Next();
   command.text = RandomBlob(rng, 64);
   command.extra = RandomBlob(rng, 32);
+  command.deadline_micros = rng->Next();
   return command;
 }
 
 WireResponse RandomResponse(Random* rng) {
   WireResponse response;
-  // Codes beyond kInternal do not exist; the decoder rejects them (see
+  // Codes beyond kStatusCodeMax do not exist; the decoder rejects them (see
   // UnknownEnumValuesRejected), so valid inputs stay in range.
   response.code = static_cast<StatusCode>(
-      rng->Uniform(static_cast<uint64_t>(StatusCode::kInternal) + 1));
+      rng->Uniform(static_cast<uint64_t>(kStatusCodeMax) + 1));
   response.message = RandomBlob(rng, 48);
   response.payload = RandomBlob(rng, 96);
+  response.retry_after_micros = rng->Next();
   return response;
 }
 
@@ -67,6 +69,7 @@ TEST(WireCodecTest, CommandRoundTrip) {
   command.len = 3;
   command.text = "payload text";
   command.extra = "attr-value";
+  command.deadline_micros = 1'700'000'123'456ULL;
   auto decoded = DecodeCommand(EncodeCommand(command));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->kind, CommandKind::kType);
@@ -75,6 +78,7 @@ TEST(WireCodecTest, CommandRoundTrip) {
   EXPECT_EQ(decoded->len, 3u);
   EXPECT_EQ(decoded->text, "payload text");
   EXPECT_EQ(decoded->extra, "attr-value");
+  EXPECT_EQ(decoded->deadline_micros, 1'700'000'123'456ULL);
 }
 
 TEST(WireCodecTest, ResponseRoundTrip) {
@@ -82,11 +86,31 @@ TEST(WireCodecTest, ResponseRoundTrip) {
   response.code = StatusCode::kPermissionDenied;
   response.message = "nope";
   response.payload = std::string("bin\0data", 8);
+  response.retry_after_micros = 12'500;
   auto decoded = DecodeResponse(EncodeResponse(response));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->code, StatusCode::kPermissionDenied);
   EXPECT_EQ(decoded->message, "nope");
   EXPECT_EQ(decoded->payload.size(), 8u);
+  EXPECT_EQ(decoded->retry_after_micros, 12'500u);
+}
+
+TEST(WireCodecTest, UnavailableResponseCarriesRetryAfter) {
+  WireResponse shed;
+  shed.code = StatusCode::kUnavailable;
+  shed.message = "admission queue full";
+  shed.retry_after_micros = 64'000;
+  auto decoded = DecodeResponse(EncodeResponse(shed));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kUnavailable);
+  EXPECT_EQ(decoded->retry_after_micros, 64'000u);
+  // The two new status codes introduced with the overload layer survive
+  // the wire unchanged.
+  WireResponse expired;
+  expired.code = StatusCode::kDeadlineExceeded;
+  auto decoded2 = DecodeResponse(EncodeResponse(expired));
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2->code, StatusCode::kDeadlineExceeded);
 }
 
 TEST(WireCodecTest, EventBatchRoundTrip) {
@@ -142,7 +166,8 @@ TEST(WireCodecTest, UnknownEnumValuesRejected) {
   WireResponse response;
   response.code = StatusCode::kOk;
   std::string response_bytes = EncodeResponse(response);
-  response_bytes[0] = static_cast<char>(14);  // one past kInternal
+  response_bytes[0] =
+      static_cast<char>(static_cast<uint8_t>(kStatusCodeMax) + 1);
   EXPECT_TRUE(DecodeResponse(response_bytes).status().IsInvalidArgument());
 
   ChangeEvent event;

@@ -13,9 +13,12 @@
 #                      editor lock ranks)
 #   3. checkpoint      ctest -L checkpoint on a default build — fuzzy
 #                      checkpoint pipeline, WAL truncation, crash sweep
-#   4. clang-tidy      bug/concurrency/performance checks over src/
-#   5. sanitizers      ctest under -fsanitize=address and =undefined
-#                      (the checkpoint suites run under both as well)
+#   4. overload        ctest -L overload on a default build — admission
+#                      control, deadline propagation, the editor storm
+#   5. clang-tidy      bug/concurrency/performance checks over src/
+#   6. sanitizers      ctest under -fsanitize=address and =undefined
+#                      (the checkpoint + overload suites run under both
+#                      as well)
 #
 # Exit code is non-zero iff any stage that *ran* failed.
 set -u
@@ -70,6 +73,13 @@ stage_checkpoint() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L checkpoint
 }
 
+stage_overload() {
+  local dir="$BUILD_ROOT/checkpoint"  # reuse the default-config build
+  cmake -S "$ROOT" -B "$dir" >/dev/null &&
+  cmake --build "$dir" -j "$JOBS" &&
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L overload
+}
+
 stage_clang_tidy() {
   local dir="$BUILD_ROOT/tidy"
   cmake -S "$ROOT" -B "$dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null ||
@@ -96,6 +106,8 @@ fi
 run_stage "lock-order (TENDAX_LOCK_ORDER=ON ctest)" stage_lock_order
 
 run_stage "checkpoint (ctest -L checkpoint)" stage_checkpoint
+
+run_stage "overload (ctest -L overload)" stage_overload
 
 if have clang-tidy; then
   run_stage "clang-tidy" stage_clang_tidy
