@@ -134,6 +134,11 @@ Result<std::string> Editor::Text(DocumentId doc) {
   return services_.text->Text(doc);
 }
 
+Result<std::string> Editor::TextAt(DocumentId doc, Version version) {
+  TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kRead));
+  return services_.text->TextAtVersion(doc, version);
+}
+
 Result<std::string> Editor::RenderMarkup(DocumentId doc) {
   TENDAX_RETURN_IF_ERROR(services_.acl->Require(user_, doc, Right::kRead));
   return services_.docs->RenderMarkup(doc);
@@ -160,6 +165,9 @@ Result<MetricsSnapshot> Editor::ServerStats() const {
   // Fold the lock-order validator's counters into the snapshot so remote
   // scrapes surface any violation a surviving (non-aborting) run recorded.
   lockorder::PublishTo(services_.metrics);
+  // Point-in-time gauges (live snapshot count, oldest snapshot age) are
+  // recomputed at scrape time rather than maintained continuously.
+  if (services_.text != nullptr) services_.text->RefreshMvccGauges();
   return services_.metrics->Snapshot();
 }
 

@@ -91,6 +91,9 @@ class Editor {
 
   // --- view ---
   Result<std::string> Text(DocumentId doc);
+  /// Time-travel read: the text as of `version` (served from an MVCC
+  /// snapshot; no locks). Versions below the purge floor fail typed.
+  Result<std::string> TextAt(DocumentId doc, Version version);
   Result<std::string> RenderMarkup(DocumentId doc);
   Status SetCursor(DocumentId doc, size_t pos);
   /// Change notifications accumulated since the last call.

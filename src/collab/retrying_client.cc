@@ -210,6 +210,14 @@ Result<std::string> RetryingClient::GetText(DocumentId doc) {
   return r->payload;
 }
 
+Result<std::string> RetryingClient::GetTextAt(DocumentId doc,
+                                              uint64_t version) {
+  auto r = Call(MakeCommand(CommandKind::kGetTextAt, doc, version));
+  if (!r.ok()) return r.status();
+  if (r->code != StatusCode::kOk) return ToStatus(*r);
+  return r->payload;
+}
+
 Status RetryingClient::SetCursor(DocumentId doc, uint64_t pos) {
   auto r = Call(MakeCommand(CommandKind::kSetCursor, doc, pos));
   return r.ok() ? ToStatus(*r) : r.status();

@@ -92,6 +92,8 @@ class RetryingClient {
   Status Type(DocumentId doc, uint64_t pos, const std::string& text);
   Status Erase(DocumentId doc, uint64_t pos, uint64_t len);
   Result<std::string> GetText(DocumentId doc);
+  /// Time-travel read (kGetTextAt): the document's text as of `version`.
+  Result<std::string> GetTextAt(DocumentId doc, uint64_t version);
   Status SetCursor(DocumentId doc, uint64_t pos);
   Status Heartbeat();
   /// Fetches the server's metrics snapshot via kStats and verifies its

@@ -46,6 +46,8 @@ const char* CommandKindName(CommandKind kind) {
       return "resume";
     case CommandKind::kStats:
       return "stats";
+    case CommandKind::kGetTextAt:
+      return "get_text_at";
   }
   return "?";
 }
@@ -448,6 +450,15 @@ WireResponse RemoteEditorEndpoint::Execute(const EditCommand& command) {
         break;
       }
       response.payload = EncodeMetricsSnapshot(*snapshot);
+      break;
+    }
+    case CommandKind::kGetTextAt: {
+      auto text = editor_->TextAt(command.doc, command.pos);
+      if (!text.ok()) {
+        fail(text.status());
+        break;
+      }
+      response.payload = std::move(*text);
       break;
     }
   }

@@ -37,11 +37,12 @@ enum class CommandKind : uint8_t {
   kHeartbeat = 15,  // lease renewal; no payload
   kResume = 16,     // `pos` = last applied seq; payload = SeqEvent batch
   kStats = 17,      // payload = checksummed EncodeMetricsSnapshot bytes
+  kGetTextAt = 18,  // time travel: `pos` = version; payload = text at it
 };
 
 /// Highest valid `CommandKind` value; `DecodeCommand` rejects anything
 /// outside [1, kCommandKindMax] with kInvalidArgument.
-constexpr uint8_t kCommandKindMax = 17;
+constexpr uint8_t kCommandKindMax = 18;
 
 /// Lowercase short name of a command kind, e.g. "type"; "?" for values
 /// outside the enum. Used for per-command metric names.

@@ -56,6 +56,13 @@ struct TendaxOptions {
   /// near-zero-cost configuration benchmarked by BM_MetricsOverhead.
   /// Ignored when `db.metrics` is already set.
   bool metrics_enabled = true;
+  /// MVCC snapshot reads (default on): committed edits publish immutable
+  /// refcounted snapshots and read-only operations (GetText, time travel,
+  /// copy sources, search indexing, stats) serve from them without
+  /// acquiring document locks. Off = the pre-MVCC behavior, where reads
+  /// share the handle mutex and Copy takes a shared document lock — the
+  /// ablation baseline measured by bench_mvcc.
+  bool mvcc_snapshots = true;
   /// Overload protection. `admission.max_inflight = 0` (the default) turns
   /// admission control off entirely; nonzero bounds concurrent wire
   /// requests, queues the overflow in priority order (heartbeats/resumes >

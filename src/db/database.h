@@ -126,7 +126,11 @@ class Database : public ChangeApplier {
   Catalog* catalog() { return catalog_.get(); }
   Wal* wal() { return wal_.get(); }
   Clock* clock() { return clock_.get(); }
+  /// Shared ownership for components whose artifacts can outlive the
+  /// database (e.g. MVCC snapshots held by readers after eviction).
+  std::shared_ptr<Clock> clock_shared() const { return clock_; }
   MetricsRegistry* metrics() { return metrics_.get(); }
+  std::shared_ptr<MetricsRegistry> metrics_shared() const { return metrics_; }
   Checkpointer* checkpointer() { return checkpointer_.get(); }
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
 

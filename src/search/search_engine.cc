@@ -74,22 +74,39 @@ Status SearchEngine::Init() {
 }
 
 Status SearchEngine::IndexDocument(DocumentId doc) {
-  auto version = text_->CurrentVersion(doc);
-  if (!version.ok()) return version.status();
+  // One MVCC snapshot gives version, text and name from the same committed
+  // state — the three reads can never straddle a concurrent edit (the
+  // legacy path below performed them independently and could index text of
+  // version N+1 under version N).
+  Version version;
+  std::string content;
+  std::string name;
+  if (text_->snapshots_enabled()) {
+    auto snap = text_->AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    version = (*snap)->version();
+    content = (*snap)->Text();
+    name = (*snap)->info().name;
+  } else {
+    auto v = text_->CurrentVersion(doc);
+    if (!v.ok()) return v.status();
+    version = *v;
+    auto c = text_->Text(doc);
+    if (!c.ok()) return c.status();
+    content = std::move(*c);
+    auto info = text_->GetDocumentInfo(doc);
+    name = info.ok() ? info->name : "";
+  }
   {
     MutexLock lock(mu_);
     auto it = indexed_version_.find(doc.value);
-    if (it != indexed_version_.end() && it->second >= *version) {
+    if (it != indexed_version_.end() && it->second >= version) {
       dirty_docs_.erase(doc.value);
       return Status::OK();  // already fresh (events may arrive out of order)
     }
   }
-  auto content = text_->Text(doc);
-  if (!content.ok()) return content.status();
-  auto info = text_->GetDocumentInfo(doc);
-  std::string name = info.ok() ? info->name : "";
 
-  std::vector<std::string> tokens = Tokenize(*content + " " + name);
+  std::vector<std::string> tokens = Tokenize(content + " " + name);
 
   MutexLock lock(mu_);
   // Drop old postings.
@@ -110,7 +127,7 @@ Status SearchEngine::IndexDocument(DocumentId doc) {
     term_docs_[tokens[i]].insert(doc.value);
   }
   doc_postings_[doc.value] = std::move(postings);
-  indexed_version_[doc.value] = *version;
+  indexed_version_[doc.value] = version;
   dirty_docs_.erase(doc.value);
   return Status::OK();
 }

@@ -35,6 +35,7 @@ enum DocCol : size_t {
   kDcHead,
   kDcTail,
   kDcLive,
+  kDcPurgeFloor,
 };
 
 Schema CharsSchema() {
@@ -62,7 +63,8 @@ Schema DocsSchema() {
                  {"version", ColumnType::kUint64},
                  {"head", ColumnType::kUint64},
                  {"tail", ColumnType::kUint64},
-                 {"live_count", ColumnType::kUint64}});
+                 {"live_count", ColumnType::kUint64},
+                 {"purge_floor", ColumnType::kUint64}});
 }
 
 CharInfo CharInfoFromRecord(const Record& rec) {
@@ -81,9 +83,23 @@ CharInfo CharInfoFromRecord(const Record& rec) {
   return info;
 }
 
+Status PurgeFloorError(DocumentId doc, Version version, Version floor) {
+  return Status::FailedPrecondition(
+      "version " + std::to_string(version) + " predates the purge floor " +
+      std::to_string(floor) + " of document " + doc.ToString() +
+      ": its tombstones were physically purged");
+}
+
 }  // namespace
 
-TextStore::TextStore(Database* db) : db_(db) {}
+TextStore::TextStore(Database* db)
+    : db_(db),
+      tracker_(std::make_shared<SnapshotTracker>(db->clock_shared(),
+                                                 db->metrics_shared())) {
+  if (db_->metrics() != nullptr) {
+    m_evictions_ = db_->metrics()->counter("mvcc.evictions");
+  }
+}
 
 Status TextStore::Init() {
   auto chars = db_->EnsureTable("tendax_chars", CharsSchema());
@@ -129,6 +145,14 @@ Status TextStore::Init() {
   TENDAX_RETURN_IF_ERROR(index_status);
   next_char_id_ = max_char + 1;
   next_doc_id_ = max_doc + 1;
+
+  // Snapshot publication rides the commit: this listener runs before any
+  // listener registered later (sessions, search), so those observe the
+  // fresh snapshot of every document the transaction edited.
+  db_->txns()->AddCommitListener(
+      [this](TxnId, UserId, const ChangeBatch& events) {
+        OnCommitted(events);
+      });
   return Status::OK();
 }
 
@@ -142,7 +166,7 @@ Result<DocumentId> TextStore::CreateDocument(UserId user,
         LockMode::kX));
     Record rec({doc.value, name, user.value, uint64_t{now},
                 std::string("draft"), uint64_t{0}, uint64_t{0}, uint64_t{0},
-                uint64_t{0}});
+                uint64_t{0}, uint64_t{0}});
     auto rid = docs_table_->Insert(txn, rec);
     if (!rid.ok()) return rid.status();
     TENDAX_RETURN_IF_ERROR(doc_index_->Insert(doc.value, rid->Pack()));
@@ -165,15 +189,16 @@ Result<DocumentId> TextStore::CreateDocument(UserId user,
   return doc;
 }
 
+std::shared_ptr<TextStore::DocHandle> TextStore::HandleSlot(DocumentId doc) {
+  MutexLock lock(handles_mu_);
+  auto& slot = handles_[doc.value];
+  if (!slot) slot = std::make_shared<DocHandle>();
+  return slot;
+}
+
 Result<std::shared_ptr<TextStore::DocHandle>> TextStore::Handle(
     DocumentId doc) {
-  std::shared_ptr<DocHandle> handle;
-  {
-    MutexLock lock(handles_mu_);
-    auto& slot = handles_[doc.value];
-    if (!slot) slot = std::make_shared<DocHandle>();
-    handle = slot;
-  }
+  std::shared_ptr<DocHandle> handle = HandleSlot(doc);
   MutexLock lock(handle->mu);
   if (!handle->loaded) {
     TENDAX_RETURN_IF_ERROR(LoadHandle(handle.get(), doc));
@@ -197,14 +222,15 @@ Status TextStore::LoadHandle(DocHandle* handle, DocumentId doc) {
   handle->created = rec->GetUint(kDcCreated);
   handle->state = rec->GetString(kDcState);
   handle->version = rec->GetUint(kDcVersion);
+  handle->purge_floor = rec->GetUint(kDcPurgeFloor);
   handle->head = rec->GetUint(kDcHead);
   handle->tail = rec->GetUint(kDcTail);
-  handle->list.Clear();
+  handle->chain.Clear();
   handle->char_rids.clear();
 
   // Walk the linked character records (including tombstones) to rebuild the
-  // live-character order cache.
-  std::vector<CachedChar> live;
+  // in-memory chain cache.
+  std::vector<SnapChar> chain;
   uint64_t current = handle->head;
   while (current != 0) {
     auto packed = char_index_->GetFirst(current);
@@ -216,21 +242,195 @@ Status TextStore::LoadHandle(DocHandle* handle, DocumentId doc) {
     auto crec = chars_table_->Get(rid);
     if (!crec.ok()) return crec.status();
     handle->char_rids[current] = rid;
-    if (crec->GetUint(kCcDelVer) == 0) {
-      live.push_back(CachedChar{current,
-                                static_cast<uint32_t>(crec->GetUint(kCcCp))});
-    }
+    SnapChar sc;
+    sc.id = current;
+    sc.cp = static_cast<uint32_t>(crec->GetUint(kCcCp));
+    sc.inserted = crec->GetUint(kCcInsVer);
+    sc.deleted = crec->GetUint(kCcDelVer);
+    sc.src_doc = crec->GetUint(kCcSrcDoc);
+    sc.src_char = crec->GetUint(kCcSrcChar);
+    sc.src_external = crec->GetString(kCcSrcExt);
+    chain.push_back(std::move(sc));
     current = crec->GetUint(kCcNext);
   }
-  handle->list.Clear();
-  handle->list.InsertRun(0, live);
+  handle->chain.Rebuild(std::move(chain));
   handle->loaded = true;
   return Status::OK();
+}
+
+Status TextStore::EnsureFreshBase(DocHandle* handle, DocumentId doc) {
+  auto rid_packed = doc_index_->GetFirst(doc.value);
+  if (!rid_packed.ok()) {
+    return Status::NotFound("document " + doc.ToString() + " does not exist");
+  }
+  RecordId doc_rid = RecordId::Unpack(*rid_packed);
+  auto rec = docs_table_->Get(doc_rid);
+  if (!rec.ok()) return rec.status();
+  if (handle->loaded && handle->doc_rid == doc_rid &&
+      handle->version == rec->GetUint(kDcVersion)) {
+    return Status::OK();
+  }
+  return LoadHandle(handle, doc);
 }
 
 void TextStore::InvalidateHandle(DocumentId doc) {
   MutexLock lock(handles_mu_);
   handles_.erase(doc.value);
+}
+
+bool TextStore::EvictDocument(DocumentId doc) {
+  std::shared_ptr<DocHandle> handle;
+  {
+    MutexLock lock(handles_mu_);
+    auto it = handles_.find(doc.value);
+    if (it == handles_.end()) return false;
+    handle = std::move(it->second);
+    handles_.erase(it);
+  }
+  {
+    MutexLock lock(handle->mu);
+    handle->loaded = false;
+    handle->pending_snapshot = nullptr;
+    // Readers that already acquired the snapshot keep it alive by
+    // refcount; this only drops the store's own reference.
+    {
+      MutexLock slot(handle->snapshot_mu);
+      handle->snapshot = nullptr;
+    }
+    handle->chain.Clear();
+    handle->char_rids.clear();
+  }
+  MetricAdd(m_evictions_);
+  return true;
+}
+
+void TextStore::SetSnapshotsEnabled(bool on) {
+  bool was = snapshots_enabled_.exchange(on, std::memory_order_relaxed);
+  if (was == on) return;
+  // Drop published state across the toggle so a re-enable can never serve
+  // a snapshot that missed edits made while the path was disabled.
+  std::vector<std::shared_ptr<DocHandle>> all;
+  {
+    MutexLock lock(handles_mu_);
+    all.reserve(handles_.size());
+    for (auto& [id, handle] : handles_) all.push_back(handle);
+  }
+  for (auto& handle : all) {
+    MutexLock lock(handle->mu);
+    handle->pending_snapshot = nullptr;
+    MutexLock slot(handle->snapshot_mu);
+    handle->snapshot = nullptr;
+  }
+}
+
+void TextStore::RefreshMvccGauges() { tracker_->RefreshGauges(); }
+
+SnapshotRef TextStore::PrepareLockedSnapshot(DocHandle* handle) {
+  DocumentInfo info;
+  info.id = handle->id;
+  info.name = handle->name;
+  info.creator = handle->creator;
+  info.created = handle->created;
+  info.state = handle->state;
+  info.version = handle->version;
+  info.length = handle->chain.live_size();
+  return std::make_shared<CharListSnapshot>(
+      std::move(info), handle->purge_floor, handle->chain.Freeze(), tracker_);
+}
+
+void TextStore::InstallSnapshot(DocHandle* handle, const SnapshotRef& snap) {
+  MutexLock lock(handle->mu);
+  {
+    MutexLock slot(handle->snapshot_mu);
+    if (handle->snapshot == nullptr ||
+        handle->snapshot->version() < snap->version()) {
+      handle->snapshot = snap;
+    }
+  }
+  if (handle->pending_snapshot == snap) handle->pending_snapshot = nullptr;
+}
+
+void TextStore::OnCommitted(const ChangeBatch& events) {
+  if (!snapshots_enabled_.load(std::memory_order_relaxed)) return;
+  for (const ChangeEvent& ev : events) {
+    if (!ev.doc.valid() || ev.version == 0) continue;
+    std::shared_ptr<DocHandle> handle;
+    {
+      MutexLock lock(handles_mu_);
+      auto it = handles_.find(ev.doc.value);
+      if (it == handles_.end()) continue;
+      handle = it->second;
+    }
+    MutexLock lock(handle->mu);
+    if (handle->pending_snapshot == nullptr ||
+        handle->pending_snapshot->version() != ev.version) {
+      // No matching pending edit: the commit went through a detached
+      // handle object (eviction raced the edit). Drop whatever this —
+      // the current — handle has cached so the next read or edit
+      // re-materializes the committed state instead of serving a base
+      // the commit already superseded.
+      if (handle->loaded && handle->version < ev.version) {
+        handle->loaded = false;
+      }
+      MutexLock slot(handle->snapshot_mu);
+      if (handle->snapshot != nullptr &&
+          handle->snapshot->version() < ev.version) {
+        handle->snapshot = nullptr;
+      }
+      continue;
+    }
+    {
+      MutexLock slot(handle->snapshot_mu);
+      if (handle->snapshot == nullptr ||
+          handle->snapshot->version() < ev.version) {
+        handle->snapshot = handle->pending_snapshot;
+      }
+    }
+    handle->pending_snapshot = nullptr;
+  }
+}
+
+Result<SnapshotRef> TextStore::AcquireSnapshot(DocumentId doc) {
+  if (!snapshots_enabled_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("mvcc snapshots are disabled");
+  }
+  std::shared_ptr<DocHandle> handle = HandleSlot(doc);
+  SnapshotRef snap;
+  {
+    // Fast path: a refcount bump under the leaf slot mutex — no
+    // LockManager, no handle mutex, no materialization.
+    MutexLock slot(handle->snapshot_mu);
+    snap = handle->snapshot;
+  }
+  if (snap == nullptr) {
+    // Cold cache (first read after open / invalidation / eviction):
+    // materialize under a shared document lock, once. The S lock is what
+    // makes the rebuild read *committed* state: a writer applies its char
+    // records before its durable commit releases the X lock, so a lock-free
+    // reload here could capture a chain newer than the document header it
+    // came with (or worse, a state that later aborts). This is the one
+    // place the snapshot path touches the LockManager; every subsequent
+    // read hits the published slot above.
+    Status st = db_->txns()->RunInTxn(
+        UserId(0), [&](Transaction* txn) -> Status {
+          TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
+              txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
+              LockMode::kS));
+          MutexLock lock(handle->mu);
+          if (!handle->loaded) {
+            TENDAX_RETURN_IF_ERROR(LoadHandle(handle.get(), doc));
+          }
+          MutexLock slot(handle->snapshot_mu);
+          if (handle->snapshot == nullptr) {
+            handle->snapshot = PrepareLockedSnapshot(handle.get());
+          }
+          snap = handle->snapshot;
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+  }
+  tracker_->OnAcquire();
+  return snap;
 }
 
 Result<Record> TextStore::ReadCharRecord(DocHandle* handle,
@@ -271,7 +471,8 @@ Status TextStore::WriteDocRecord(Transaction* txn, DocHandle* handle) {
   Record rec({handle->id.value, handle->name, handle->creator.value,
               uint64_t{handle->created}, handle->state,
               uint64_t{handle->version}, uint64_t{handle->head},
-              uint64_t{handle->tail}, uint64_t{handle->list.size()}});
+              uint64_t{handle->tail}, uint64_t{handle->chain.live_size()},
+              uint64_t{handle->purge_floor}});
   auto new_rid = docs_table_->Update(txn, handle->doc_rid, rec);
   if (!new_rid.ok()) return new_rid.status();
   if (new_rid->Pack() != handle->doc_rid.Pack()) {
@@ -297,14 +498,14 @@ Result<EditResult> TextStore::RunEdit(UserId user, DocumentId doc,
 
   EditResult result;
   bool cache_mutated = false;
+  SnapshotRef prepared;
   Status st = db_->txns()->RunInTxn(user, [&](Transaction* txn) -> Status {
+    prepared = nullptr;
     TENDAX_RETURN_IF_ERROR(db_->locks()->Acquire(
         txn->id(), MakeResource(ResourceKind::kDocument, doc.value),
         LockMode::kX));
     MutexLock lock(h->mu);
-    if (!h->loaded) {
-      TENDAX_RETURN_IF_ERROR(LoadHandle(h, doc));
-    }
+    TENDAX_RETURN_IF_ERROR(EnsureFreshBase(h, doc));
     result = EditResult{};
     Version new_version = h->version + 1;
     result.version = new_version;
@@ -328,12 +529,24 @@ Result<EditResult> TextStore::RunEdit(UserId user, DocumentId doc,
     if (!result.chars.empty()) ev.anchor = result.chars.front();
     ev.count = result.chars.size();
     txn->AddEvent(ev);
+
+    // Prepare — but do not publish — the post-edit snapshot. The commit
+    // listener installs it the instant the transaction durably commits;
+    // an abort discards it with the invalidated handle.
+    if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+      prepared = PrepareLockedSnapshot(h);
+      h->pending_snapshot = prepared;
+    }
     return Status::OK();
   });
   if (!st.ok()) {
     if (cache_mutated) InvalidateHandle(doc);
     return st;
   }
+  // Belt and braces: the commit listener already published `prepared` in
+  // the common case; this covers commits whose event was not matched (the
+  // store is monotone, so a double install is a no-op).
+  if (prepared != nullptr) InstallSnapshot(h, prepared);
   return result;
 }
 
@@ -341,17 +554,17 @@ Status TextStore::InsertCharsAt(Transaction* txn, DocHandle* handle,
                                 UserId user, size_t pos,
                                 const std::vector<PasteChar>& chars,
                                 Version new_version, EditResult* result) {
-  if (pos > handle->list.size()) {
+  if (pos > handle->chain.live_size()) {
     return Status::OutOfRange("insert position " + std::to_string(pos) +
                               " beyond document length " +
-                              std::to_string(handle->list.size()));
+                              std::to_string(handle->chain.live_size()));
   }
   if (chars.empty()) return Status::OK();
   const Timestamp now = db_->clock()->NowMicros();
 
   // Physical neighbors: insert directly after the live char at pos-1 (or at
   // the physical head for pos == 0).
-  uint64_t left_id = pos > 0 ? handle->list.At(pos - 1).id : 0;
+  uint64_t left_id = pos > 0 ? handle->chain.LiveAt(pos - 1).id : 0;
   uint64_t right_id;
   Record left_rec;
   if (left_id != 0) {
@@ -368,8 +581,8 @@ Status TextStore::InsertCharsAt(Transaction* txn, DocHandle* handle,
   for (size_t i = 0; i < chars.size(); ++i) {
     ids[i] = next_char_id_.fetch_add(1);
   }
-  std::vector<CachedChar> cached;
-  cached.reserve(chars.size());
+  std::vector<SnapChar> run;
+  run.reserve(chars.size());
   for (size_t i = 0; i < chars.size(); ++i) {
     uint64_t prev = i == 0 ? left_id : ids[i - 1];
     uint64_t next = i + 1 < chars.size() ? ids[i + 1] : right_id;
@@ -387,7 +600,14 @@ Status TextStore::InsertCharsAt(Transaction* txn, DocHandle* handle,
       txn->AddRollbackAction(
           [index, id, packed] { (void)index->Delete(id, packed); });
     }
-    cached.push_back(CachedChar{ids[i], chars[i].cp});
+    SnapChar sc;
+    sc.id = ids[i];
+    sc.cp = chars[i].cp;
+    sc.inserted = new_version;
+    sc.src_doc = chars[i].src_doc.value;
+    sc.src_char = chars[i].src_char.value;
+    sc.src_external = chars[i].src_external;
+    run.push_back(std::move(sc));
     result->chars.push_back(CharId(ids[i]));
   }
 
@@ -407,7 +627,7 @@ Status TextStore::InsertCharsAt(Transaction* txn, DocHandle* handle,
     handle->tail = ids.back();
   }
 
-  handle->list.InsertRun(pos, cached);
+  handle->chain.InsertRun(pos, run);
   return Status::OK();
 }
 
@@ -430,6 +650,45 @@ Result<EditResult> TextStore::InsertText(UserId user, DocumentId doc,
 
 Result<std::vector<PasteChar>> TextStore::Copy(UserId user, DocumentId doc,
                                                size_t pos, size_t len) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto acquired = AcquireSnapshot(doc);
+    if (!acquired.ok()) return acquired.status();
+    SnapshotRef snap = *acquired;
+    std::vector<PasteChar> out;
+    // The snapshot is immutable, so no locks are needed for stability; the
+    // snapshot-read transaction keeps the op inside the txn framework
+    // (accounting, uniform call shape) without ever blocking on a writer.
+    Status st = db_->txns()->RunSnapshotRead(
+        user, [&](Transaction*) -> Status {
+          if (pos + len > snap->length()) {
+            return Status::OutOfRange("copy range beyond document length");
+          }
+          auto range = snap->LiveRange(pos, len);
+          if (!range.ok()) return range.status();
+          out.reserve(range->size());
+          for (const SnapChar& c : *range) {
+            PasteChar pc;
+            pc.cp = c.cp;
+            // Provenance points at the *original* character: if this char
+            // was itself pasted, keep its source; otherwise this char is
+            // the source.
+            if (c.src_doc != 0) {
+              pc.src_doc = DocumentId(c.src_doc);
+              pc.src_char = CharId(c.src_char);
+            } else {
+              pc.src_doc = doc;
+              pc.src_char = CharId(c.id);
+            }
+            pc.src_external = c.src_external;
+            out.push_back(std::move(pc));
+          }
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+    return out;
+  }
+
+  // Legacy (snapshots disabled): shared lock + handle mutex.
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
@@ -442,29 +701,23 @@ Result<std::vector<PasteChar>> TextStore::Copy(UserId user, DocumentId doc,
         LockMode::kS));
     MutexLock lock(h->mu);
     if (!h->loaded) TENDAX_RETURN_IF_ERROR(LoadHandle(h, doc));
-    if (pos + len > h->list.size()) {
+    if (pos + len > h->chain.live_size()) {
       return Status::OutOfRange("copy range beyond document length");
     }
     out.clear();
     out.reserve(len);
     for (size_t i = pos; i < pos + len; ++i) {
-      const CachedChar& c = h->list.At(i);
-      auto rec = ReadCharRecord(h, c.id);
-      if (!rec.ok()) return rec.status();
+      const SnapChar& c = h->chain.LiveAt(i);
       PasteChar pc;
       pc.cp = c.cp;
-      // Provenance points at the *original* character: if this char was
-      // itself pasted, keep its source; otherwise this char is the source.
-      uint64_t src_doc = rec->GetUint(kCcSrcDoc);
-      uint64_t src_char = rec->GetUint(kCcSrcChar);
-      if (src_doc != 0) {
-        pc.src_doc = DocumentId(src_doc);
-        pc.src_char = CharId(src_char);
+      if (c.src_doc != 0) {
+        pc.src_doc = DocumentId(c.src_doc);
+        pc.src_char = CharId(c.src_char);
       } else {
         pc.src_doc = doc;
         pc.src_char = CharId(c.id);
       }
-      pc.src_external = rec->GetString(kCcSrcExt);
+      pc.src_external = c.src_external;
       out.push_back(std::move(pc));
     }
     return Status::OK();
@@ -487,11 +740,11 @@ Result<EditResult> TextStore::DeleteRange(UserId user, DocumentId doc,
   return RunEdit(
       user, doc, ChangeKind::kTextDeleted,
       [&](Transaction* txn, DocHandle* h, EditResult* out) -> Status {
-        if (pos + len > h->list.size()) {
+        if (pos + len > h->chain.live_size()) {
           return Status::OutOfRange("delete range beyond document length");
         }
         for (size_t i = pos; i < pos + len; ++i) {
-          const CachedChar& c = h->list.At(i);
+          const SnapChar& c = h->chain.LiveAt(i);
           auto rec = ReadCharRecord(h, c.id);
           if (!rec.ok()) return rec.status();
           rec->value(kCcDelVer) = uint64_t{out->version};
@@ -499,7 +752,7 @@ Result<EditResult> TextStore::DeleteRange(UserId user, DocumentId doc,
           TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, h, c.id, *rec));
           out->chars.push_back(CharId(c.id));
         }
-        h->list.EraseRange(pos, len);
+        h->chain.TombstoneRange(pos, len, out->version);
         return Status::OK();
       });
 }
@@ -516,8 +769,7 @@ Result<EditResult> TextStore::DeleteChars(UserId user, DocumentId doc,
           rec->value(kCcDelVer) = uint64_t{out->version};
           rec->value(kCcDeletedBy) = user.value;
           TENDAX_RETURN_IF_ERROR(UpdateCharRecord(txn, h, id.value, *rec));
-          auto pos = h->list.FindById(id.value);
-          if (pos.has_value()) h->list.Erase(*pos);
+          h->chain.TombstoneById(id.value, out->version);
           out->chars.push_back(id);
         }
         return Status::OK();
@@ -550,29 +802,47 @@ Result<EditResult> TextStore::ResurrectChars(UserId user, DocumentId doc,
 }
 
 Result<std::string> TextStore::Text(DocumentId doc) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto snap = AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    return (*snap)->Text();
+  }
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   MutexLock lock((*handle)->mu);
-  return (*handle)->list.Text();
+  return (*handle)->chain.Text();
 }
 
 Result<std::string> TextStore::TextRange(DocumentId doc, size_t pos,
                                          size_t len) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto snap = AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    return (*snap)->TextRange(pos, len);
+  }
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   MutexLock lock((*handle)->mu);
-  if (pos + len > (*handle)->list.size()) {
+  if (pos + len > (*handle)->chain.live_size()) {
     return Status::OutOfRange("text range beyond document length");
   }
-  return (*handle)->list.TextRange(pos, len);
+  return (*handle)->chain.TextRange(pos, len);
 }
 
 Result<std::string> TextStore::TextAtVersion(DocumentId doc,
                                              Version version) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto snap = AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    return (*snap)->TextAtVersion(version);
+  }
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
   MutexLock lock(h->mu);
+  if (version < h->purge_floor) {
+    return PurgeFloorError(doc, version, h->purge_floor);
+  }
   std::string out;
   uint64_t current = h->head;
   while (current != 0) {
@@ -589,13 +859,23 @@ Result<std::string> TextStore::TextAtVersion(DocumentId doc,
 }
 
 Result<uint64_t> TextStore::Length(DocumentId doc) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto snap = AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    return (*snap)->length();
+  }
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   MutexLock lock((*handle)->mu);
-  return static_cast<uint64_t>((*handle)->list.size());
+  return static_cast<uint64_t>((*handle)->chain.live_size());
 }
 
 Result<Version> TextStore::CurrentVersion(DocumentId doc) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto snap = AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    return (*snap)->version();
+  }
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   MutexLock lock((*handle)->mu);
@@ -607,10 +887,10 @@ Result<CharInfo> TextStore::CharAt(DocumentId doc, size_t pos) {
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
   MutexLock lock(h->mu);
-  if (pos >= h->list.size()) {
+  if (pos >= h->chain.live_size()) {
     return Status::OutOfRange("position beyond document length");
   }
-  auto rec = ReadCharRecord(h, h->list.At(pos).id);
+  auto rec = ReadCharRecord(h, h->chain.LiveAt(pos).id);
   if (!rec.ok()) return rec.status();
   return CharInfoFromRecord(*rec);
 }
@@ -631,13 +911,13 @@ Result<std::vector<CharInfo>> TextStore::RangeInfo(DocumentId doc, size_t pos,
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
   MutexLock lock(h->mu);
-  if (pos + len > h->list.size()) {
+  if (pos + len > h->chain.live_size()) {
     return Status::OutOfRange("range beyond document length");
   }
   std::vector<CharInfo> out;
   out.reserve(len);
   for (size_t i = pos; i < pos + len; ++i) {
-    auto rec = ReadCharRecord(h, h->list.At(i).id);
+    auto rec = ReadCharRecord(h, h->chain.LiveAt(i).id);
     if (!rec.ok()) return rec.status();
     out.push_back(CharInfoFromRecord(*rec));
   }
@@ -666,6 +946,7 @@ Result<uint64_t> TextStore::PurgeHistory(UserId user, DocumentId doc,
   auto result = RunEdit(
       user, doc, ChangeKind::kMetadataChanged,
       [&](Transaction* txn, DocHandle* h, EditResult*) -> Status {
+        purged = 0;
         // Snapshot the chain: id, next, deletion version.
         struct Node {
           uint64_t id;
@@ -706,7 +987,11 @@ Result<uint64_t> TextStore::PurgeHistory(UserId user, DocumentId doc,
         h->head = survivors.empty() ? 0 : survivors.front();
         h->tail = survivors.empty() ? 0 : survivors.back();
 
-        // Physically delete the purged records.
+        // Physically delete the purged records, tracking the highest
+        // deletion version removed: that becomes the new purge floor (any
+        // version >= it already saw all purged characters as dead, so
+        // reads at or above the floor stay exact).
+        Version max_del = 0;
         for (const Node& node : chain) {
           if (!purgeable(node)) continue;
           auto it = h->char_rids.find(node.id);
@@ -722,7 +1007,13 @@ Result<uint64_t> TextStore::PurgeHistory(UserId user, DocumentId doc,
             });
           }
           h->char_rids.erase(it);
+          max_del = std::max(max_del, node.del_ver);
           ++purged;
+        }
+        uint64_t chain_purged = h->chain.PurgeBelow(before);
+        TENDAX_CHECK(chain_purged == purged);
+        if (purged > 0 && max_del > h->purge_floor) {
+          h->purge_floor = max_del;  // persisted by WriteDocRecord
         }
         return Status::OK();
       });
@@ -731,6 +1022,11 @@ Result<uint64_t> TextStore::PurgeHistory(UserId user, DocumentId doc,
 }
 
 Result<DocumentInfo> TextStore::GetDocumentInfo(DocumentId doc) {
+  if (snapshots_enabled_.load(std::memory_order_relaxed)) {
+    auto snap = AcquireSnapshot(doc);
+    if (!snap.ok()) return snap.status();
+    return (*snap)->info();
+  }
   auto handle = Handle(doc);
   if (!handle.ok()) return handle.status();
   DocHandle* h = handle->get();
@@ -742,7 +1038,7 @@ Result<DocumentInfo> TextStore::GetDocumentInfo(DocumentId doc) {
   info.created = h->created;
   info.state = h->state;
   info.version = h->version;
-  info.length = h->list.size();
+  info.length = h->chain.live_size();
   return info;
 }
 

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "db/database.h"
-#include "text/char_list.h"
+#include "text/snapshot.h"
 #include "util/ids.h"
 #include "util/mutex.h"
 #include "util/result.h"
@@ -31,17 +31,6 @@ struct CharInfo {
   DocumentId src_doc;           // copy-paste provenance (invalid = typed)
   CharId src_char;
   std::string src_external;     // non-TeNDaX source label, if any
-};
-
-/// Document-level header as stored in the documents table.
-struct DocumentInfo {
-  DocumentId id;
-  std::string name;
-  UserId creator;
-  Timestamp created = 0;
-  std::string state;       // free-form lifecycle state, e.g. "draft"
-  Version version = 0;     // bumped by every committed editing transaction
-  uint64_t length = 0;     // live characters
 };
 
 /// Outcome of one editing transaction.
@@ -67,14 +56,18 @@ struct PasteChar {
 ///
 /// Characters are tombstoned, never physically removed, which yields
 /// time-travel reads (`TextAtVersion`) and cheap global undo. Per-document
-/// order is cached in memory for open documents (a `CharList`) and rebuilt
-/// from the linked records at open — the database stays the only source of
-/// truth.
+/// order is cached in memory for open documents (a copy-on-write
+/// `VersionedCharList`) and rebuilt from the linked records at open — the
+/// database stays the only source of truth.
 ///
 /// Concurrency: every editing call takes an exclusive transaction-scoped
-/// lock on the document (plus shared locks on copy sources), so concurrent
-/// edits on one document serialize per keystroke — the paper's
-/// database-centric alternative to operational transformation.
+/// lock on the document, so concurrent edits on one document serialize per
+/// keystroke — the paper's database-centric alternative to operational
+/// transformation. Reads are MVCC: each committed edit publishes an
+/// immutable refcounted `CharListSnapshot` and read-only operations serve
+/// from the latest published snapshot with no LockManager acquisition and
+/// no handle mutex (see `AcquireSnapshot`), so readers never stall behind
+/// a writer waiting on the commit flush.
 class TextStore {
  public:
   explicit TextStore(Database* db);
@@ -102,7 +95,9 @@ class TextStore {
                                 const std::string& utf8,
                                 const std::string& external_source = "");
 
-  /// Captures [pos, pos+len) with provenance for a later Paste.
+  /// Captures [pos, pos+len) with provenance for a later Paste. Reads a
+  /// published snapshot inside a snapshot-read transaction (no locks); with
+  /// snapshots disabled it falls back to a shared document lock.
   Result<std::vector<PasteChar>> Copy(UserId user, DocumentId doc, size_t pos,
                                       size_t len);
 
@@ -125,12 +120,23 @@ class TextStore {
   Result<EditResult> ResurrectChars(UserId user, DocumentId doc,
                                     const std::vector<CharId>& ids);
 
-  // --- reads ---
+  // --- reads (MVCC snapshot path when enabled) ---
+
+  /// The latest published snapshot of `doc`: an immutable view of the last
+  /// committed version. The fast path is one atomic shared_ptr load — no
+  /// LockManager acquisition, no handle mutex; only a cold cache (first
+  /// read after open/eviction) materializes under the handle mutex.
+  /// Fails kFailedPrecondition when snapshots are disabled.
+  Result<SnapshotRef> AcquireSnapshot(DocumentId doc)
+      TENDAX_EXCLUDES(handles_mu_);
 
   Result<std::string> Text(DocumentId doc);
   Result<std::string> TextRange(DocumentId doc, size_t pos, size_t len);
-  /// Reconstructs the text as of `version` by walking the full character
-  /// chain including tombstones.
+  /// Reconstructs the text as of `version` from the snapshot chain
+  /// (tombstones included). Versions below the document's purge floor —
+  /// i.e. versions whose tombstones `PurgeHistory` physically deleted —
+  /// fail with kFailedPrecondition instead of returning silently wrong
+  /// text.
   Result<std::string> TextAtVersion(DocumentId doc, Version version);
   Result<uint64_t> Length(DocumentId doc);
   Result<Version> CurrentVersion(DocumentId doc);
@@ -146,14 +152,38 @@ class TextStore {
 
   /// Physically deletes tombstones whose deletion version is <= `before`,
   /// unlinking them from the chain in one transaction. This irreversibly
-  /// truncates history: TextAtVersion for versions where those characters
-  /// were alive no longer reproduces them, and undo of the covered deletes
-  /// becomes impossible. Returns the number of records purged (the
+  /// truncates history: the document's purge floor rises to the highest
+  /// deletion version purged, `TextAtVersion` below the floor fails typed,
+  /// and undo of the covered deletes becomes impossible. Snapshots already
+  /// held by readers are untouched (copy-on-write) and keep reading their
+  /// pre-purge history. Returns the number of records purged (the
   /// storage-reclamation ablation of DESIGN.md).
   Result<uint64_t> PurgeHistory(UserId user, DocumentId doc, Version before);
 
   /// Drops the in-memory cache for `doc` (it reloads on next access).
   void InvalidateHandle(DocumentId doc) TENDAX_EXCLUDES(handles_mu_);
+
+  /// Cache eviction: drops the handle *and* its published snapshot.
+  /// Readers still holding a `SnapshotRef` keep it alive by refcount; the
+  /// next read reloads from storage. Returns false if nothing was cached.
+  bool EvictDocument(DocumentId doc) TENDAX_EXCLUDES(handles_mu_);
+
+  /// Toggles the MVCC read path (default on). Disabling routes every read
+  /// back through the legacy handle-mutex path and Copy back to a shared
+  /// document lock — the ablation baseline for bench_mvcc. Toggling clears
+  /// published snapshots so a re-enable never serves stale state.
+  void SetSnapshotsEnabled(bool on) TENDAX_EXCLUDES(handles_mu_);
+  bool snapshots_enabled() const {
+    return snapshots_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Recomputes mvcc.live_snapshots / mvcc.oldest_snapshot_age_micros;
+  /// the stats scrape calls this so kStats folds the gauges in.
+  void RefreshMvccGauges();
+  /// The reclamation tracker (test/introspection hook; never null).
+  const std::shared_ptr<SnapshotTracker>& snapshot_tracker() const {
+    return tracker_;
+  }
 
   Database* db() { return db_; }
 
@@ -172,25 +202,70 @@ class TextStore {
     Timestamp created TENDAX_GUARDED_BY(mu) = 0;
     std::string state TENDAX_GUARDED_BY(mu);
     Version version TENDAX_GUARDED_BY(mu) = 0;
+    // Versions strictly below this are unreadable (purged history);
+    // persisted in the documents table, raised only by PurgeHistory.
+    Version purge_floor TENDAX_GUARDED_BY(mu) = 0;
     // head/tail: physical first/last char id (may be tombstones).
     uint64_t head TENDAX_GUARDED_BY(mu) = 0;
     uint64_t tail TENDAX_GUARDED_BY(mu) = 0;
-    CharList list TENDAX_GUARDED_BY(mu);  // live chars in order
+    // Full chain including tombstones, copy-on-write with snapshots.
+    VersionedCharList chain TENDAX_GUARDED_BY(mu);
     std::unordered_map<uint64_t, RecordId> char_rids
         TENDAX_GUARDED_BY(mu);  // all chars
+    // The MVCC publication slot. The slot has its own leaf mutex so the
+    // read fast path copies the shared_ptr without touching `mu` (or any
+    // LockManager state) — the critical section is a refcount bump, never
+    // materialization. Not std::atomic<shared_ptr>: libstdc++ implements
+    // that with an untagged lock-bit protocol TSAN cannot model, and the
+    // race checks in `ctest -L mvcc` under -fsanitize=thread are part of
+    // this subsystem's contract. Stores (commit publication, cold
+    // materialization, eviction) are version-monotone — an
+    // early-lock-released commit that finishes its flush late never
+    // overwrites a newer snapshot.
+    Mutex snapshot_mu{"textstore.snapshot", lockorder::kRankLeaf};
+    SnapshotRef snapshot TENDAX_GUARDED_BY(snapshot_mu);
+    // Snapshot prepared by an in-flight edit (under `mu`, pre-commit);
+    // moved into `snapshot` by the commit listener / post-commit install,
+    // discarded on abort via handle invalidation.
+    SnapshotRef pending_snapshot TENDAX_GUARDED_BY(mu);
   };
 
   using EditBody =
       std::function<Status(Transaction*, DocHandle*, EditResult*)>;
 
+  /// Registry lookup only — creates the slot but does not load or lock it.
+  std::shared_ptr<DocHandle> HandleSlot(DocumentId doc)
+      TENDAX_EXCLUDES(handles_mu_);
   Result<std::shared_ptr<DocHandle>> Handle(DocumentId doc)
       TENDAX_EXCLUDES(handles_mu_);
   Status LoadHandle(DocHandle* handle, DocumentId doc)
       TENDAX_REQUIRES(handle->mu);
+  /// Pins an edit's base to the committed document header; caller holds the
+  /// document X lock. Eviction racing an in-flight edit can leave two
+  /// handle objects for one document, and a commit that went through the
+  /// detached one leaves this handle's cache — including `doc_rid`, which
+  /// record updates move — behind the stored state. One header read per
+  /// edit detects that and reloads.
+  Status EnsureFreshBase(DocHandle* handle, DocumentId doc)
+      TENDAX_REQUIRES(handle->mu);
   /// Runs `body` inside a transaction holding the document's X lock, with
   /// the handle's mutex held; bumps the document version and emits `event`.
+  /// After a successful commit the prepared snapshot is published.
   Result<EditResult> RunEdit(UserId user, DocumentId doc, ChangeKind kind,
                              const EditBody& body);
+
+  /// Materializes an immutable snapshot of the handle's current state
+  /// (shares chain segments copy-on-write; cheap).
+  SnapshotRef PrepareLockedSnapshot(DocHandle* handle)
+      TENDAX_REQUIRES(handle->mu);
+  /// Version-monotone store into the publication slot.
+  void InstallSnapshot(DocHandle* handle, const SnapshotRef& snap)
+      TENDAX_EXCLUDES(handle->mu);
+  /// Commit listener: publishes the pending snapshot of every document a
+  /// just-committed transaction edited (runs before later-registered
+  /// listeners such as the search index, which therefore see fresh
+  /// snapshots).
+  void OnCommitted(const ChangeBatch& events) TENDAX_EXCLUDES(handles_mu_);
 
   Result<Record> ReadCharRecord(DocHandle* handle, uint64_t char_id)
       TENDAX_REQUIRES(handle->mu);
@@ -210,6 +285,10 @@ class TextStore {
   HeapTable* docs_table_ = nullptr;
   BPlusTree* char_index_ = nullptr;  // char_id -> rid
   BPlusTree* doc_index_ = nullptr;   // doc_id -> rid
+
+  std::atomic<bool> snapshots_enabled_{true};
+  std::shared_ptr<SnapshotTracker> tracker_;
+  Counter* m_evictions_ = nullptr;
 
   // Registry of handles only; always released before a handle's own mu.
   Mutex handles_mu_{"textstore.handles", lockorder::kRankDocument};

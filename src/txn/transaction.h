@@ -15,6 +15,15 @@ namespace tendax {
 
 enum class TxnState : uint8_t { kActive = 0, kCommitted = 1, kAborted = 2 };
 
+/// How a transaction interacts with concurrency control and the log.
+///
+/// `kSnapshotRead` is the MVCC read mode: the transaction reads published
+/// document snapshots only, acquires no LockManager locks, writes no WAL
+/// records (not even a begin record), and refuses `LogUpdate`. It exists so
+/// read-only operations still run inside the transaction framework (events,
+/// accounting, uniform call shape) without ever stalling behind a writer.
+enum class TxnMode : uint8_t { kReadWrite = 0, kSnapshotRead = 1 };
+
 /// One entry of a transaction's write set; enough to undo the change
 /// logically (and to find the WAL record chain).
 struct WriteEntry {
@@ -34,8 +43,9 @@ struct WriteEntry {
 /// session); the managers it touches are themselves thread-safe.
 class Transaction {
  public:
-  Transaction(TxnId id, UserId user, Timestamp start)
-      : id_(id), user_(user), start_time_(start) {}
+  Transaction(TxnId id, UserId user, Timestamp start,
+              TxnMode mode = TxnMode::kReadWrite)
+      : id_(id), user_(user), start_time_(start), mode_(mode) {}
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
@@ -44,6 +54,8 @@ class Transaction {
   UserId user() const { return user_; }
   TxnState state() const { return state_; }
   Timestamp start_time() const { return start_time_; }
+  TxnMode mode() const { return mode_; }
+  bool is_snapshot_read() const { return mode_ == TxnMode::kSnapshotRead; }
 
   // prev_lsn is written by the owning thread on every logged change and
   // read concurrently by the fuzzy checkpointer's ATT snapshot; relaxed
@@ -86,6 +98,7 @@ class Transaction {
   const TxnId id_;
   const UserId user_;
   const Timestamp start_time_;
+  const TxnMode mode_;
   TxnState state_ = TxnState::kActive;
   std::atomic<Lsn> prev_lsn_{kInvalidLsn};
   Lsn first_lsn_ = kInvalidLsn;

@@ -11,15 +11,18 @@ TxnManager::TxnManager(Wal* wal, LockManager* locks, Clock* clock,
     m_begun_ = metrics->counter("txn.begun");
     m_committed_ = metrics->counter("txn.committed");
     m_aborted_ = metrics->counter("txn.aborted");
+    m_snapshot_reads_ = metrics->counter("txn.snapshot_reads");
     m_commit_micros_ = metrics->histogram("txn.commit_micros");
   }
 }
 
-Transaction* TxnManager::Begin(UserId user) {
+Transaction* TxnManager::Begin(UserId user, TxnMode mode) {
   TxnId id(next_txn_id_.fetch_add(1, std::memory_order_relaxed));
-  auto txn = std::make_unique<Transaction>(id, user, clock_->NowMicros());
+  auto txn = std::make_unique<Transaction>(id, user, clock_->NowMicros(), mode);
   Transaction* raw = txn.get();
-  if (wal_ != nullptr) {
+  // Snapshot-read transactions never log, so a begin record would only be
+  // dead weight in the log (and would pin WAL truncation via the ATT).
+  if (wal_ != nullptr && mode == TxnMode::kReadWrite) {
     LogRecord rec;
     rec.type = LogType::kBegin;
     rec.txn = id;
@@ -35,6 +38,7 @@ Transaction* TxnManager::Begin(UserId user) {
     ++stats_.begun;
     MetricAdd(m_begun_);
   }
+  if (mode == TxnMode::kSnapshotRead) MetricAdd(m_snapshot_reads_);
   return raw;
 }
 
@@ -213,6 +217,22 @@ Status TxnManager::RunInTxn(UserId user,
   return last;
 }
 
+Status TxnManager::RunSnapshotRead(
+    UserId user, const std::function<Status(Transaction*)>& body) {
+  // Snapshot reads hold no locks, never log, and have nothing to undo, so
+  // the registry round-trip (two global-mutex crossings per read) would be
+  // pure overhead on the lock-free read path. Run on a stack transaction
+  // that never enters `active_`: it is invisible to ActiveCount, the
+  // checkpoint ATT, and the begun/committed accounting — consistent with
+  // the WAL records it never writes.
+  Transaction txn(TxnId(next_txn_id_.fetch_add(1, std::memory_order_relaxed)),
+                  user, clock_->NowMicros(), TxnMode::kSnapshotRead);
+  MetricAdd(m_snapshot_reads_);
+  Status st = body(&txn);
+  txn.state_ = st.ok() ? TxnState::kCommitted : TxnState::kAborted;
+  return st;
+}
+
 void TxnManager::AddCommitListener(CommitListener listener) {
   MutexLock lock(mu_);
   listeners_.push_back(std::move(listener));
@@ -221,6 +241,10 @@ void TxnManager::AddCommitListener(CommitListener listener) {
 Result<Lsn> TxnManager::LogUpdate(Transaction* txn, UpdateOp op,
                                   uint64_t table_id, uint64_t rid,
                                   std::string before, std::string after) {
+  if (txn->is_snapshot_read()) {
+    return Status::FailedPrecondition(
+        "snapshot-read transaction cannot log updates");
+  }
   Lsn lsn = kInvalidLsn;
   if (wal_ != nullptr) {
     LogRecord rec;
@@ -252,6 +276,9 @@ std::vector<CheckpointTxnEntry> TxnManager::ActiveTxnTable() const {
   std::vector<CheckpointTxnEntry> att;
   att.reserve(active_.size());
   for (const auto& [id, txn] : active_) {
+    // Snapshot-read transactions have no log records for recovery to walk:
+    // including them (first_lsn = kInvalidLsn) would only pin truncation.
+    if (txn->is_snapshot_read()) continue;
     CheckpointTxnEntry e;
     e.txn = id;
     e.first_lsn = txn->first_lsn();

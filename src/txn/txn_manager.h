@@ -50,8 +50,11 @@ class TxnManager {
   TxnManager(Wal* wal, LockManager* locks, Clock* clock,
              bool sync_commit = true, MetricsRegistry* metrics = nullptr);
 
-  /// Starts a transaction on behalf of `user`.
-  Transaction* Begin(UserId user);
+  /// Starts a transaction on behalf of `user`. `TxnMode::kSnapshotRead`
+  /// transactions write no begin record (they never log anything, so there
+  /// is no chain for recovery to walk) and must not acquire locks or call
+  /// `LogUpdate`.
+  Transaction* Begin(UserId user, TxnMode mode = TxnMode::kReadWrite);
 
   /// Commits: appends the commit record, waits for its (possibly group)
   /// flush, releases locks, then publishes the transaction's change events
@@ -68,6 +71,12 @@ class TxnManager {
   /// and bounded retry on retryable (lock/deadlock) failures.
   Status RunInTxn(UserId user, const std::function<Status(Transaction*)>& body,
                   int max_retries = 8);
+
+  /// Runs `body` in a `TxnMode::kSnapshotRead` transaction: no locks, no
+  /// WAL records, no retries (there is nothing to conflict on). The body
+  /// reads published MVCC snapshots; `LogUpdate` inside it fails typed.
+  Status RunSnapshotRead(UserId user,
+                         const std::function<Status(Transaction*)>& body);
 
   void SetChangeApplier(ChangeApplier* applier) { applier_ = applier; }
   void AddCommitListener(CommitListener listener);
@@ -113,6 +122,7 @@ class TxnManager {
   Counter* m_begun_ = nullptr;
   Counter* m_committed_ = nullptr;
   Counter* m_aborted_ = nullptr;
+  Counter* m_snapshot_reads_ = nullptr;
   Histogram* m_commit_micros_ = nullptr;
 };
 

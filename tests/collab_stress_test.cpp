@@ -31,6 +31,8 @@ namespace {
 //   TENDAX_STRESS_GROUP_COMMIT  group-commit case: 0 skip, 1 flusher
 //                               thread (default), 2 leader mode
 //   TENDAX_STRESS_OVERLOAD      overload-storm case: 0 skip, 1 run (default)
+//   TENDAX_STRESS_MVCC          snapshot-reader storm: 0 skip, 1 run (default)
+//   TENDAX_STRESS_MVCC_READERS  snapshot readers in that storm (default 16)
 
 uint64_t EnvU64(const char* name, uint64_t def) {
   const char* v = std::getenv(name);
@@ -637,6 +639,150 @@ TEST(CollabStressTest, BackgroundCheckpointerUnderConcurrentEditors) {
     ASSERT_TRUE(view.ok()) << view.status().ToString();
     EXPECT_EQ(*view, *text) << "editor " << t << " diverged";
   }
+}
+
+// Satellite: the MVCC snapshot read path under maximum interleaving — 16
+// snapshot readers hammer AcquireSnapshot / GetText / time travel while a
+// writer storm mutates the shared document, the background checkpointer
+// truncates WAL segments, and a maintenance thread periodically purges
+// history and evicts the document's cache (dropping the published
+// snapshot). Run under TENDAX_SANITIZE=thread this is the race check for
+// snapshot publication (atomic slot store vs lock-free load), copy-on-write
+// segment sharing, and refcount reclamation racing eviction. Disable via
+// TENDAX_STRESS_MVCC=0; scale readers via TENDAX_STRESS_MVCC_READERS.
+TEST(CollabStressTest, SnapshotReadersUnderWriterStormPurgeAndEviction) {
+  if (EnvU64("TENDAX_STRESS_MVCC", 1) == 0) {
+    GTEST_SKIP() << "disabled via TENDAX_STRESS_MVCC=0";
+  }
+  const size_t kWriters =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_THREADS", 4));
+  const size_t kOpsPerWriter =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_OPS", 60));
+  const size_t kReaders =
+      static_cast<size_t>(EnvU64("TENDAX_STRESS_MVCC_READERS", 16));
+
+  TendaxOptions options;
+  options.db.buffer_pool_pages = 256;
+  options.db.log_storage = SegmentedLogStorage::InMemory();
+  options.db.wal_segment_bytes = 4096;
+  options.db.checkpoint_interval_micros = 300;  // checkpoints mid-storm
+  auto server_res = TendaxServer::Open(std::move(options));
+  ASSERT_TRUE(server_res.ok()) << server_res.status().ToString();
+  TendaxServer* server = server_res->get();
+
+  auto owner = server->accounts()->CreateUser("owner");
+  ASSERT_TRUE(owner.ok());
+  auto doc = server->text()->CreateDocument(*owner, "mvcc-storm.txt");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(server->text()->InsertText(*owner, *doc, 0, "seed text").ok());
+
+  std::vector<std::unique_ptr<Editor>> editors;
+  for (size_t t = 0; t < kWriters; ++t) {
+    auto user = server->accounts()->CreateUser("m" + std::to_string(t));
+    ASSERT_TRUE(user.ok());
+    auto editor = server->AttachEditor(*user, "mvcc-client");
+    ASSERT_TRUE(editor.ok()) << editor.status().ToString();
+    ASSERT_TRUE((*editor)->Open(*doc).ok());
+    editors.push_back(std::move(*editor));
+  }
+
+  std::atomic<size_t> applied{0};
+  std::atomic<size_t> snapshot_reads{0};
+  std::atomic<bool> stop{false};
+
+  // Snapshot readers: lock-free acquires interleaved with routed reads.
+  // Each asserts per-reader version monotonicity and that time travel to
+  // the snapshot's own version reproduces its live text (chain scan and
+  // live scan agree on the same immutable state).
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Version prev = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto snap = server->text()->AcquireSnapshot(*doc);
+        ASSERT_TRUE(snap.ok()) << "reader " << r << ": "
+                               << snap.status().ToString();
+        const Version v = (*snap)->version();
+        EXPECT_GE(v, prev) << "reader " << r << " non-monotone";
+        prev = v;
+        const std::string live = (*snap)->Text();
+        EXPECT_EQ((*snap)->length(), live.size());
+        auto travel = (*snap)->TextAtVersion(v);
+        ASSERT_TRUE(travel.ok()) << travel.status().ToString();
+        EXPECT_EQ(*travel, live) << "reader " << r << " at version " << v;
+        // Routed reads share the same path; purged-history probes must
+        // fail typed, never return garbage.
+        auto old = server->text()->TextAtVersion(*doc, v > 2 ? v / 2 : v);
+        EXPECT_TRUE(old.ok() || old.status().IsFailedPrecondition())
+            << old.status().ToString();
+        ++snapshot_reads;
+      }
+    });
+  }
+
+  // Maintenance: purge history below the current version and evict the
+  // handle (with its published snapshot) while readers hold references.
+  std::thread maintenance([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto version = server->text()->CurrentVersion(*doc);
+      if (version.ok() && *version > 2) {
+        (void)server->text()->PurgeHistory(*owner, *doc, *version / 2);
+      }
+      (void)server->text()->EvictDocument(*doc);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      Editor* editor = editors[t].get();
+      TypingTraceGenerator gen(/*seed=*/5000 + t);
+      for (size_t i = 0; i < kOpsPerWriter; ++i) {
+        auto len = server->text()->Length(*doc);
+        if (!len.ok()) continue;
+        TypingAction a = gen.Next(static_cast<size_t>(*len));
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          Status st = a.kind == TypingAction::Kind::kInsert
+                          ? editor->Type(*doc, a.pos, a.text)
+                          : editor->Erase(*doc, a.pos, a.len);
+          if (st.ok()) {
+            ++applied;
+            break;
+          }
+          if (st.IsOutOfRange()) break;  // lost the length race
+          ASSERT_TRUE(st.IsRetryable() || st.IsConflict())
+              << "writer " << t << " op " << i << ": " << st.ToString();
+          std::this_thread::yield();
+        }
+        (void)editor->PollEvents();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  maintenance.join();
+
+  EXPECT_GT(applied.load(), 0u);
+  EXPECT_GT(snapshot_reads.load(), 0u);
+  // Convergence: the final snapshot, the routed read, and every editor view
+  // agree; accounting balances; structure is intact.
+  auto final_snap = server->text()->AcquireSnapshot(*doc);
+  ASSERT_TRUE(final_snap.ok());
+  auto text = server->text()->Text(*doc);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ((*final_snap)->Text(), *text);
+  for (size_t t = 0; t < kWriters; ++t) {
+    auto view = editors[t]->Text(*doc);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(*view, *text) << "editor " << t << " diverged";
+  }
+  EXPECT_EQ(server->db()->txns()->ActiveCount(), 0u);
+  Status integrity = server->CheckIntegrity();
+  EXPECT_TRUE(integrity.ok()) << integrity.ToString();
 }
 
 }  // namespace

@@ -101,10 +101,15 @@ TEST_F(PurgeTest, PurgeRemovesOldTombstonesOnly) {
   EXPECT_EQ(*server_->text()->Text(doc), "adf");
   EXPECT_EQ(server_->text()->FullChain(doc)->size(), 4u);
 
-  // Time travel above the purge horizon still works.
+  // Time travel at or above the purge floor still works exactly.
   EXPECT_EQ(*server_->text()->TextAtVersion(doc, 3), "adf");
-  // Below it, history is (documented as) lossy: v1 can't see b, c anymore.
-  EXPECT_EQ(*server_->text()->TextAtVersion(doc, 1), "adef");
+  EXPECT_EQ(*server_->text()->TextAtVersion(doc, 2), "adef");
+  // Below the floor the purged tombstones are gone, so instead of silently
+  // wrong text the read fails typed.
+  auto below = server_->text()->TextAtVersion(doc, 1);
+  ASSERT_FALSE(below.ok());
+  EXPECT_TRUE(below.status().IsFailedPrecondition())
+      << below.status().ToString();
 
   // The cache survives a cold reload (chain relinked correctly).
   server_->text()->InvalidateHandle(doc);

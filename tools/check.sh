@@ -15,10 +15,16 @@
 #                      checkpoint pipeline, WAL truncation, crash sweep
 #   4. overload        ctest -L overload on a default build — admission
 #                      control, deadline propagation, the editor storm
-#   5. clang-tidy      bug/concurrency/performance checks over src/
-#   6. sanitizers      ctest under -fsanitize=address and =undefined
-#                      (the checkpoint + overload suites run under both
-#                      as well)
+#   5. mvcc            ctest -L mvcc on a default build — lock-free
+#                      snapshot reads, purge-floor semantics, the seeded
+#                      snapshot-consistency harness
+#   6. clang-tidy      bug/concurrency/performance checks over src/
+#   7. sanitizers      ctest under -fsanitize=address and =undefined
+#                      (the checkpoint + overload + mvcc suites run under
+#                      both as well)
+#   8. tsan mvcc       ctest -L mvcc under -fsanitize=thread — snapshot
+#                      publication / COW / reclamation raced against the
+#                      writer storm, checkpointer, purge, and eviction
 #
 # Exit code is non-zero iff any stage that *ran* failed.
 set -u
@@ -80,6 +86,20 @@ stage_overload() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L overload
 }
 
+stage_mvcc() {
+  local dir="$BUILD_ROOT/checkpoint"  # reuse the default-config build
+  cmake -S "$ROOT" -B "$dir" >/dev/null &&
+  cmake --build "$dir" -j "$JOBS" &&
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L mvcc
+}
+
+stage_tsan_mvcc() {
+  local dir="$BUILD_ROOT/san-thread"
+  cmake -S "$ROOT" -B "$dir" -DTENDAX_SANITIZE=thread >/dev/null &&
+  cmake --build "$dir" -j "$JOBS" &&
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -L mvcc
+}
+
 stage_clang_tidy() {
   local dir="$BUILD_ROOT/tidy"
   cmake -S "$ROOT" -B "$dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null ||
@@ -109,6 +129,8 @@ run_stage "checkpoint (ctest -L checkpoint)" stage_checkpoint
 
 run_stage "overload (ctest -L overload)" stage_overload
 
+run_stage "mvcc (ctest -L mvcc)" stage_mvcc
+
 if have clang-tidy; then
   run_stage "clang-tidy" stage_clang_tidy
 else
@@ -120,6 +142,7 @@ if [ "$FAST" = 1 ]; then
 else
   run_stage "asan ctest" stage_asan
   run_stage "ubsan ctest" stage_ubsan
+  run_stage "tsan mvcc (ctest -L mvcc)" stage_tsan_mvcc
 fi
 
 note "summary"
